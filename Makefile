@@ -1,0 +1,31 @@
+# Convenience targets for the bit-pushing reproduction.
+
+.PHONY: install test bench figures experiments examples clean
+
+install:
+	pip install -e .[dev]
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Reproduce every paper figure at full scale (tables to stdout).
+figures:
+	@for panel in 1a 1b 1c 2a 2b 2c 3a 3b 4a 4b 4c; do \
+		python -m repro.cli figure $$panel; \
+	done
+
+# Rebuild EXPERIMENTS.md (paper-vs-measured, full scale; a few minutes).
+experiments:
+	python -m repro.experiments.generate
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; python $$script; \
+	done
+
+clean:
+	rm -rf .pytest_cache benchmarks/results src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

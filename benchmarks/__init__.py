@@ -1,0 +1,1 @@
+"""Benchmark harness: one bench per paper figure/table plus ablations."""

@@ -1,0 +1,125 @@
+"""Ablation benches over the paper's design choices (see DESIGN.md §2)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import (
+    alpha_sweep,
+    b_send_sweep,
+    caching_ablation,
+    delta_sweep,
+    distributed_dp_comparison,
+    gamma_sweep,
+    poisoning_sweep,
+    render_series_table,
+    schedule_sensitivity,
+    variance_decomposition,
+)
+
+REPS = 25
+
+
+def test_delta_split(benchmark, emit):
+    """Section 3.2: the analysis-guided delta = 1/3 should be competitive
+    with (or better than) the naive 1/2 split."""
+    results = run_once(benchmark, lambda: delta_sweep(n_clients=5_000, n_reps=REPS))
+    emit("ablation_delta", render_series_table(
+        "Ablation — adaptive NRMSE vs round-split delta", results, x_name="delta",
+    ))
+    series = results["adaptive"]
+    by_delta = dict(zip(series.x, series.nrmse))
+    third = by_delta[min(by_delta, key=lambda d: abs(d - 1 / 3))]
+    assert third <= 1.5 * min(by_delta.values())
+
+
+def test_alpha_gamma(benchmark, emit):
+    """Schedule exponents: Lemma 3.3's alpha = 0.5 optimum; gamma default 0.5."""
+    def run():
+        return (
+            gamma_sweep(n_clients=5_000, n_reps=REPS),
+            alpha_sweep(n_clients=5_000, n_reps=REPS),
+        )
+
+    gammas, alphas = run_once(benchmark, run)
+    emit("ablation_gamma", render_series_table(
+        "Ablation — adaptive NRMSE vs round-1 gamma", gammas, x_name="gamma",
+    ))
+    emit("ablation_alpha", render_series_table(
+        "Ablation — adaptive NRMSE vs round-2 alpha", alphas, x_name="alpha",
+    ))
+    alpha_series = alphas["adaptive"]
+    by_alpha = dict(zip(alpha_series.x, alpha_series.nrmse))
+    # alpha = 0.5 (the analytic optimum) should be close to the best.
+    assert by_alpha[0.5] <= 1.5 * min(by_alpha.values())
+
+
+def test_caching(benchmark, emit):
+    """Section 3.2: pooling both rounds' reports should only help."""
+    results = run_once(benchmark, lambda: caching_ablation(n_reps=REPS))
+    emit("ablation_caching", render_series_table(
+        "Ablation — caching vs round-2-only NRMSE", results, x_name="n",
+    ))
+    cached = np.mean(results["caching"].nrmse)
+    uncached = np.mean(results["round-2 only"].nrmse)
+    assert cached <= uncached * 1.1
+
+
+def test_b_send(benchmark, emit):
+    """Corollary 3.2: error shrinks ~1/sqrt(b_send)."""
+    results = run_once(benchmark, lambda: b_send_sweep(n_clients=5_000, n_reps=REPS))
+    emit("ablation_b_send", render_series_table(
+        "Ablation — basic NRMSE vs bits sent per client", results, x_name="b_send",
+    ))
+    series = results["basic"]
+    # 8 bits per client vs 1: expect ~sqrt(8) = 2.8x improvement (allow slack).
+    assert series.nrmse[-1] < series.nrmse[0] / 1.8
+
+
+def test_variance_decomposition(benchmark, emit):
+    """Lemma 3.5: centered decomposition beats moments."""
+    results = run_once(
+        benchmark, lambda: variance_decomposition(cohorts=(10_000, 50_000), n_reps=REPS)
+    )
+    emit("ablation_variance_decomposition", render_series_table(
+        "Ablation — variance NRMSE, centered vs moments", results, x_name="n",
+    ))
+    assert np.mean(results["centered"].nrmse) < np.mean(results["moments"].nrmse)
+
+
+def test_poisoning(benchmark, emit):
+    """Section 5: central randomness cuts MSB-forcing leverage (uniform schedule)."""
+    results = run_once(benchmark, lambda: poisoning_sweep(n_clients=5_000, n_reps=15))
+    emit("ablation_poisoning", render_series_table(
+        "Ablation — poisoning-injected relative error, local vs central randomness",
+        results, x_name="adversary fraction",
+    ))
+    # Compare the attack-injected error at the largest adversary fraction.
+    local = results["local"].nrmse[-1]
+    central = results["central"].nrmse[-1]
+    assert local > 3 * central
+
+
+def test_schedule_sensitivity(benchmark, emit):
+    """Section 4.3: the protocol is 'not overly sensitive to the
+    bit-sampling probability' -- blending the schedule toward uniform moves
+    the error by a small factor, not a cliff."""
+    results = run_once(benchmark, lambda: schedule_sensitivity(n_clients=5_000, n_reps=REPS))
+    emit("ablation_schedule_sensitivity", render_series_table(
+        "Ablation — NRMSE vs schedule blend toward uniform",
+        results, x_name="uniform mix fraction",
+    ))
+    series = results["basic"]
+    assert max(series.nrmse) < 3 * min(series.nrmse)
+
+
+def test_distributed_dp(benchmark, emit):
+    """Section 3.3: distributed DP error sits well below local RR at equal eps."""
+    results = run_once(
+        benchmark, lambda: distributed_dp_comparison(n_clients=50_000, n_reps=REPS)
+    )
+    emit("ablation_distributed_dp", render_series_table(
+        "Ablation — NRMSE under local RR vs distributed DP (census)",
+        results, x_name="eps",
+    ))
+    for label in ("bernoulli noise", "sample+threshold"):
+        assert np.mean(results[label].nrmse) < np.mean(results["local RR"].nrmse), label

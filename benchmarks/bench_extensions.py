@@ -1,0 +1,193 @@
+"""Benches for the paper's Section 3.4 extensions and the planning calculator.
+
+These cover capabilities the paper mentions but does not plot: higher
+moments / geometric means via bit-pushing, the one-bit histogram protocol,
+and the offline analysis that "is sufficient to set the parameters"
+(Section 4.3) -- predicted vs achieved accuracy.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis import plan_cohort_size, predicted_nrmse
+from repro.core import (
+    BasicBitPushing,
+    BitSamplingSchedule,
+    FederatedHistogram,
+    FixedPointEncoder,
+    GeometricMeanEstimator,
+    MomentEstimator,
+    skewness,
+)
+from repro.privacy import BernoulliNoiseAggregator, RandomizedResponse
+
+
+def test_extended_aggregates(benchmark, emit):
+    """Moments, skewness, geometric mean: all within tolerance of the truth."""
+    rng = np.random.default_rng(0)
+    encoder = FixedPointEncoder.for_integers(8)
+
+    def run():
+        exp_values = rng.exponential(30.0, 300_000)
+        norm_values = np.clip(rng.normal(100.0, 20.0, 300_000), 0, None)
+        logn_values = rng.lognormal(3.0, 0.5, 300_000)
+        rows = []
+        m2 = MomentEstimator(encoder, order=2).estimate(norm_values, rng)
+        rows.append(("2nd central moment (Normal)", norm_values.var(), m2.value))
+        m3 = MomentEstimator(encoder, order=3).estimate(exp_values, rng)
+        rows.append((
+            "3rd central moment (Exp)",
+            float(np.mean((exp_values - exp_values.mean()) ** 3)),
+            m3.value,
+        ))
+        skew = skewness(exp_values, encoder, rng)
+        rows.append(("skewness (Exp, true 2.0)", 2.0, skew))
+        gm = GeometricMeanEstimator(0.0, 10.0).estimate(logn_values, rng)
+        rows.append((
+            "geometric mean (LogNormal)",
+            float(np.exp(np.log(logn_values).mean())),
+            gm.value,
+        ))
+        return rows
+
+    rows = run_once(benchmark, run)
+    lines = ["### Extended aggregates (Section 3.4)", "",
+             "| aggregate | truth | one-bit estimate | rel. error |", "|---|---|---|---|"]
+    for name, truth, estimate in rows:
+        rel = abs(estimate - truth) / max(abs(truth), 1e-12)
+        lines.append(f"| {name} | {truth:.4g} | {estimate:.4g} | {rel:.2%} |")
+        assert rel < 0.5, name
+    emit("extensions_aggregates", "\n".join(lines) + "\n")
+
+
+def test_histogram_protocol(benchmark, emit):
+    """One-bit histograms under the three privacy postures."""
+    rng = np.random.default_rng(1)
+    edges = np.linspace(0.0, 100.0, 11)
+
+    def run():
+        values = rng.normal(50.0, 12.0, 200_000)
+        true_freq, _ = np.histogram(np.clip(values, 0, 99.99), bins=edges)
+        true_freq = true_freq / values.size
+        variants = {
+            "plain": FederatedHistogram(edges),
+            "local DP (eps=2)": FederatedHistogram(
+                edges, perturbation=RandomizedResponse(epsilon=2.0)
+            ),
+            "distributed DP (eps=1)": FederatedHistogram(
+                edges, distributed=BernoulliNoiseAggregator(1.0, 1e-6)
+            ),
+        }
+        rows = []
+        for name, hist in variants.items():
+            est = hist.estimate(values, rng)
+            l1 = float(np.abs(est.frequencies - true_freq).sum())
+            rows.append((name, l1, est.mean_estimate(), values.mean()))
+        return rows
+
+    rows = run_once(benchmark, run)
+    lines = ["### One-bit federated histograms", "",
+             "| variant | L1 error | implied mean | true mean |", "|---|---|---|---|"]
+    for name, l1, implied, truth in rows:
+        lines.append(f"| {name} | {l1:.4f} | {implied:.2f} | {truth:.2f} |")
+    emit("extensions_histogram", "\n".join(lines) + "\n")
+    # Plain < distributed < local in L1 error, and all usable.
+    l1s = {name: l1 for name, l1, *_ in rows}
+    assert l1s["plain"] < l1s["local DP (eps=2)"]
+    assert l1s["distributed DP (eps=1)"] < l1s["local DP (eps=2)"]
+    assert all(l1 < 0.25 for l1 in l1s.values())
+
+
+def test_covariance_protocol(benchmark, emit):
+    """Covariance/correlation from one bit per client (Section 3.4 'products')."""
+    from repro.core import CovarianceEstimator, VarianceEstimator
+
+    rng = np.random.default_rng(4)
+    enc = FixedPointEncoder.for_integers(8)
+
+    def run():
+        x = np.clip(rng.normal(100, 20, 600_000), 0, None)
+        y = np.clip(0.7 * x + rng.normal(0, 10, x.size) + 15, 0, None)
+        cov = CovarianceEstimator(enc, enc).estimate(x, y, rng)
+        var_x = VarianceEstimator(enc).estimate(x, rng).value
+        var_y = VarianceEstimator(enc).estimate(y, rng).value
+        return (
+            float(np.cov(x, y)[0, 1]), cov.value,
+            float(np.corrcoef(x, y)[0, 1]), cov.correlation(var_x, var_y),
+        )
+
+    true_cov, est_cov, true_corr, est_corr = run_once(benchmark, run)
+    emit("extensions_covariance", (
+        "### Covariance / correlation (one bit per client)\n\n"
+        f"| statistic | truth | estimate |\n|---|---|---|\n"
+        f"| covariance | {true_cov:.1f} | {est_cov:.1f} |\n"
+        f"| correlation | {true_corr:.3f} | {est_corr:.3f} |\n"
+    ))
+    assert abs(est_cov - true_cov) < 0.5 * abs(true_cov)
+    assert abs(est_corr - true_corr) < 0.3
+
+
+def test_quantile_protocol(benchmark, emit):
+    """Bitwise median/percentiles: accurate, and robust where the raw mean
+    is hostage to outliers (Section 4.3)."""
+    from repro.core import QuantileEstimator
+    from repro.data.telemetry import binary_with_outliers
+
+    rng = np.random.default_rng(3)
+    encoder = FixedPointEncoder.for_integers(10)
+
+    def run():
+        normal_values = np.clip(rng.normal(300.0, 60.0, 100_000), 0, None)
+        rows = []
+        for q in (0.1, 0.5, 0.9):
+            est = QuantileEstimator(encoder, q=q).estimate(normal_values, rng)
+            rows.append((f"p{int(q * 100)} (Normal)", float(np.quantile(normal_values, q)), est.value))
+        outliers = binary_with_outliers(
+            100_000, p_one=0.4, outlier_rate=1e-3, outlier_magnitude=1e6, rng=rng
+        )
+        med = QuantileEstimator(encoder, q=0.5).estimate(outliers, rng)
+        rows.append(("median (outlier telemetry)", float(np.median(outliers)), med.value))
+        rows.append(("(raw mean of the same data)", float(outliers.mean()), float("nan")))
+        return rows
+
+    rows = run_once(benchmark, run)
+    lines = ["### Bitwise quantiles (one comparison bit per client)", "",
+             "| statistic | truth | estimate |", "|---|---|---|"]
+    for name, truth, estimate in rows:
+        lines.append(f"| {name} | {truth:.3g} | {estimate:.3g} |")
+    emit("extensions_quantile", "\n".join(lines) + "\n")
+    for name, truth, estimate in rows[:3]:
+        assert abs(estimate - truth) < 0.1 * truth + 5, name
+    # The median of the outlier metric stays ~1 while the mean explodes.
+    assert rows[3][2] <= 1.0
+    assert rows[4][1] > 100.0
+
+
+def test_cohort_planning(benchmark, emit):
+    """plan_cohort_size: the planned n achieves the target NRMSE."""
+    rng = np.random.default_rng(2)
+    n_bits = 8
+    encoder = FixedPointEncoder.for_integers(n_bits)
+    schedule = BitSamplingSchedule.weighted(n_bits, 1.0)
+    bit_means = np.full(n_bits, 0.5)    # uniform bytes
+
+    def run():
+        rows = []
+        for target in (0.05, 0.02, 0.01):
+            n = plan_cohort_size(target, bit_means, schedule)
+            est = BasicBitPushing(encoder, schedule=schedule)
+            rel = []
+            for _ in range(150):
+                values = rng.integers(0, 256, n).astype(float)
+                rel.append((est.estimate(values, rng).value - 127.5) / 127.5)
+            achieved = float(np.sqrt(np.mean(np.square(rel))))
+            rows.append((target, n, predicted_nrmse(bit_means, schedule, n), achieved))
+        return rows
+
+    rows = run_once(benchmark, run)
+    lines = ["### Cohort planning: predicted vs achieved NRMSE", "",
+             "| target | planned n | predicted | achieved |", "|---|---|---|---|"]
+    for target, n, predicted, achieved in rows:
+        lines.append(f"| {target:.0%} | {n} | {predicted:.4f} | {achieved:.4f} |")
+        assert achieved < target * 1.35
+    emit("extensions_planning", "\n".join(lines) + "\n")

@@ -1,0 +1,72 @@
+"""Figure 1 benches: accuracy on Normal data (paper Section 4.1).
+
+Paper claims checked here:
+
+* 1a -- the adaptive approach reliably achieves (near-)least error across
+  the mean sweep; dithering's error steps up around powers of two.
+* 1b -- for variance estimation, dithering is orders of magnitude worse
+  (it cannot adapt to the scale of the squared values); adaptive is best.
+* 1c -- one-round methods grow in error with the bit depth (less for
+  alpha=0.5 than alpha=1.0); adaptive is largely oblivious to it.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure_1a, figure_1b, figure_1c, render_series_table
+
+REPS = 25
+
+
+def _mean_over_sweep(series) -> float:
+    return float(np.mean(series.nrmse))
+
+
+def test_figure_1a(benchmark, emit):
+    results = run_once(
+        benchmark,
+        lambda: figure_1a(n_clients=5_000, n_reps=REPS),
+    )
+    emit("figure_1a", render_series_table("Figure 1a — mean NRMSE vs mu (Normal, sigma=100)", results, x_name="mu"))
+
+    # Adaptive is the most accurate method on average over the sweep.
+    averages = {label: _mean_over_sweep(series) for label, series in results.items()}
+    assert averages["adaptive"] <= min(averages.values()) * 1.25
+    # Everyone lands in a sane accuracy regime at n=5k.
+    assert averages["adaptive"] < 0.05
+
+
+def test_figure_1b(benchmark, emit):
+    results = run_once(
+        benchmark,
+        lambda: figure_1b(n_clients=30_000, n_reps=10),
+    )
+    emit("figure_1b", render_series_table("Figure 1b — variance NRMSE vs mu (Normal, sigma=100)", results, x_name="mu"))
+
+    averages = {label: _mean_over_sweep(series) for label, series in results.items()}
+    # Dithering cannot adapt to the squared scale: orders of magnitude worse.
+    assert averages["dithering"] > 10 * averages["adaptive"]
+    # Adaptive is the best bit-pushing variant.
+    assert averages["adaptive"] <= min(
+        averages["weighted a=0.5"], averages["weighted a=1.0"]
+    ) * 1.25
+
+
+def test_figure_1c(benchmark, emit):
+    results = run_once(
+        benchmark,
+        lambda: figure_1c(n_clients=5_000, n_reps=REPS),
+    )
+    emit("figure_1c", render_series_table("Figure 1c — mean NRMSE vs bit depth (Normal mu=1000)", results, x_name="bits"))
+
+    def growth(label):
+        series = results[label]
+        return series.nrmse[-1] / series.nrmse[0]
+
+    # One-round methods grow with bit depth; alpha=1.0 grows faster than 0.5.
+    assert growth("weighted a=1.0") > 2.0
+    assert growth("weighted a=1.0") > growth("weighted a=0.5")
+    # Adaptive is largely oblivious to added slack bits.
+    assert growth("adaptive") < 2.5
+    # At the deepest setting adaptive clearly beats the one-round methods.
+    assert results["adaptive"].nrmse[-1] < results["weighted a=1.0"].nrmse[-1]

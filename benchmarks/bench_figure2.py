@@ -1,0 +1,68 @@
+"""Figure 2 benches: accuracy on census-style ages (paper Section 4.1).
+
+Paper claims checked here:
+
+* 2a -- NRMSE decays ~n^-1/2; a few thousand clients reach ~3% for a 10-bit
+  quantity and 10k reports are comfortably below 1%.
+* 2b -- variance NRMSE also decays with n; adaptive is more variable at
+  small n but best overall.
+* 2c -- adaptive handles growing bit depth best.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure_2a, figure_2b, figure_2c, render_series_table
+
+REPS = 25
+COHORTS = (1_000, 2_000, 5_000, 10_000, 20_000)
+
+
+def test_figure_2a(benchmark, emit):
+    results = run_once(
+        benchmark,
+        lambda: figure_2a(cohorts=COHORTS, n_reps=REPS),
+    )
+    emit("figure_2a", render_series_table("Figure 2a — census mean NRMSE vs n", results, x_name="n"))
+
+    adaptive = results["adaptive"]
+    # Headline numbers: a few percent at a few thousand clients, ~1% by
+    # 10k-20k.  (Our census stand-in has mean ~35, a small normalizer, so
+    # NRMSE runs slightly above the paper's quoted <1%-at-10k; the n^-1/2
+    # shape is the claim under test.)
+    assert adaptive.nrmse[0] < 0.05
+    at_10k = adaptive.nrmse[COHORTS.index(10_000)]
+    assert at_10k < 0.02
+    assert adaptive.nrmse[-1] < 0.012
+    # ~n^-1/2 decay: 20x the clients should cut error by ~4.5x (allow slack).
+    assert adaptive.nrmse[-1] < adaptive.nrmse[0] / 2.0
+
+
+def test_figure_2b(benchmark, emit):
+    results = run_once(
+        benchmark,
+        lambda: figure_2b(cohorts=COHORTS, n_reps=15),
+    )
+    emit("figure_2b", render_series_table("Figure 2b — census variance NRMSE vs n", results, x_name="n"))
+
+    adaptive = results["adaptive"]
+    # Errors decay with n and the adaptive method ends up accurate.
+    assert adaptive.nrmse[-1] < adaptive.nrmse[0]
+    assert adaptive.nrmse[-1] < 0.1
+    # Dithering is far worse throughout (cannot adapt to squared scale).
+    assert np.mean(results["dithering"].nrmse) > 5 * np.mean(adaptive.nrmse)
+
+
+def test_figure_2c(benchmark, emit):
+    results = run_once(
+        benchmark,
+        lambda: figure_2c(n_clients=5_000, n_reps=REPS),
+    )
+    emit("figure_2c", render_series_table("Figure 2c — census mean NRMSE vs bit depth", results, x_name="bits"))
+
+    # Adaptive handles the growing bit depth (roughly tied-)best at depth 20;
+    # dithering and the aggressive weighted allocation blow up.
+    final = {label: series.nrmse[-1] for label, series in results.items()}
+    assert final["adaptive"] <= min(final.values()) * 1.2
+    assert final["dithering"] > 20 * final["adaptive"]
+    assert final["weighted a=1.0"] > 2 * final["adaptive"]

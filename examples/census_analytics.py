@@ -1,0 +1,81 @@
+"""Private census analytics with three privacy postures (Sections 3.3, 4.2).
+
+Estimates the mean age of a census-style population under:
+
+1. **Data minimization only** -- one bit per person, no noise.  The
+   worst-case promise (a single binary digit) is enforced by the bit meter.
+2. **Local DP** -- randomized response on every bit (epsilon = 1), debiased
+   server-side, with the epsilon ledger recording the spend.
+3. **Distributed DP** -- noise-free bits protected by the aggregation
+   boundary, with Bernoulli noise added to the per-bit histograms
+   (epsilon = 1, delta = 1e-6): far less error than local DP at equal
+   epsilon.
+
+Run:  python examples/census_analytics.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    BasicBitPushing,
+    BitSamplingSchedule,
+    FixedPointEncoder,
+)
+from repro.data.census import sample_ages
+from repro.experiments.methods import distributed_mean_estimate
+from repro.privacy import (
+    BernoulliNoiseAggregator,
+    BitMeter,
+    PrivacyAccountant,
+    RandomizedResponse,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    n_clients, n_bits, epsilon = 100_000, 8, 1.0
+    ages = sample_ages(n_clients, rng)
+    truth = ages.mean()
+    encoder = FixedPointEncoder.for_integers(n_bits)
+    accountant = PrivacyAccountant(epsilon_budget=2.0)
+    meter = BitMeter(max_bits_per_value=1)
+
+    print(f"census population: n={n_clients}, true mean age {truth:.3f}\n")
+
+    # 1. Data minimization only: one true bit per person.
+    plain = BasicBitPushing(encoder).estimate(ages, rng)
+    for person in range(n_clients):
+        meter.record(person, "age")       # one bit each -- the meter enforces it
+    print(f"1. one-bit, no noise:   {plain.value:.3f} "
+          f"(err {abs(plain.value - truth):.3f}); "
+          f"bits disclosed per person: 1 (metered, total {meter.total_bits})")
+
+    # 2. Local DP: randomized response on the transmitted bit.
+    accountant.spend(epsilon, note="local randomized response, age query")
+    local = BasicBitPushing(
+        encoder, perturbation=RandomizedResponse(epsilon=epsilon)
+    ).estimate(ages, rng)
+    print(f"2. local DP (eps=1):    {local.value:.3f} "
+          f"(err {abs(local.value - truth):.3f}); "
+          f"ledger: spent eps={accountant.spent_epsilon:g}, "
+          f"remaining {accountant.remaining_epsilon:g}")
+
+    # 3. Distributed DP: histogram noise inside the aggregation boundary.
+    accountant.spend(epsilon, delta=1e-6, note="distributed Bernoulli noise, age query")
+    mechanism = BernoulliNoiseAggregator(epsilon=epsilon, delta=1e-6)
+    distributed = distributed_mean_estimate(ages, n_bits, mechanism, rng)
+    print(f"3. distributed DP:      {distributed:.3f} "
+          f"(err {abs(distributed - truth):.3f}); "
+          f"{mechanism.noise_bits_per_index} noise bits per histogram index")
+
+    print("\nat equal epsilon, distributed DP noise is aggregate-level, so its")
+    print("error is a small fraction of the local-DP error (Section 3.3).")
+
+    # Bonus: what the server actually learns -- per-bit counts only.
+    schedule = BitSamplingSchedule.weighted(n_bits, alpha=1.0)
+    print(f"\nserver-side view is just {n_bits} (count, sum) pairs; schedule "
+          f"p_j = {np.round(schedule.probabilities, 4).tolist()}")
+
+
+if __name__ == "__main__":
+    main()

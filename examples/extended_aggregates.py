@@ -1,0 +1,68 @@
+"""Beyond the mean: moments, skewness, geometric means, histograms.
+
+Section 3.4 of the paper closes with "other functions, e.g., higher
+moments, products and geometric means, can also be approximated via
+bit-pushing".  This example estimates a full descriptive-statistics panel
+for a latency-like metric — mean, variance, skewness, kurtosis, geometric
+mean, and a 12-bucket histogram with median / p90 — with every client
+still revealing only a single bit.
+
+Run:  python examples/extended_aggregates.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    FederatedHistogram,
+    FixedPointEncoder,
+    GeometricMeanEstimator,
+    MomentEstimator,
+    VarianceEstimator,
+    kurtosis,
+    skewness,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+    # A right-skewed latency population (lognormal, median ~90 ms).
+    values = rng.lognormal(np.log(90.0), 0.45, size=400_000)
+    encoder = FixedPointEncoder.for_integers(9)   # clip at 511 ms
+
+    clipped = np.clip(values, 0, encoder.representable_max)
+    print(f"population: n={values.size}, clipped to 9 bits (<= 511 ms)\n")
+    print(f"{'statistic':<18} {'true':>10} {'one-bit estimate':>18}")
+
+    var_result = VarianceEstimator(encoder).estimate(values, rng)
+    print(f"{'mean':<18} {clipped.mean():>10.2f} {var_result.mean.value:>18.2f}")
+    print(f"{'variance':<18} {clipped.var():>10.1f} {var_result.value:>18.1f}")
+
+    m3 = MomentEstimator(encoder, order=3).estimate(values, rng)
+    true_m3 = float(np.mean((clipped - clipped.mean()) ** 3))
+    print(f"{'3rd c. moment':<18} {true_m3:>10.3g} {m3.value:>18.3g}")
+
+    from scipy import stats
+
+    print(f"{'skewness':<18} {stats.skew(clipped):>10.3f} "
+          f"{skewness(values, encoder, rng):>18.3f}")
+    print(f"{'excess kurtosis':<18} {stats.kurtosis(clipped):>10.3f} "
+          f"{kurtosis(values, encoder, rng):>18.3f}")
+
+    geo = GeometricMeanEstimator(log2_low=0.0, log2_high=9.0).estimate(values, rng)
+    true_geo = float(np.exp(np.log(clipped.clip(1e-9)).mean()))
+    print(f"{'geometric mean':<18} {true_geo:>10.2f} {geo.value:>18.2f}")
+
+    hist = FederatedHistogram.uniform(0.0, 480.0, 12).estimate(values, rng)
+    print(f"{'median (p50)':<18} {np.median(clipped):>10.1f} "
+          f"{hist.quantile_estimate(0.5):>18.1f}")
+    print(f"{'p90':<18} {np.quantile(clipped, 0.9):>10.1f} "
+          f"{hist.quantile_estimate(0.9):>18.1f}")
+
+    print("\nhistogram (one membership bit per client):")
+    for low, high, freq in zip(hist.edges[:-1], hist.edges[1:], hist.frequencies):
+        bar = "#" * int(round(freq * 120))
+        print(f"  [{low:5.0f},{high:5.0f})  {freq:6.1%}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Federated feature normalization (paper Section 3.4).
+
+Federated learning wants features standardized to zero mean / unit variance,
+but no one may see the raw feature values.  Bit-pushing estimates both
+moments from one-bit reports: the variance estimator spends half the cohort
+on the mean, then has the rest bit-push centred squares (the
+lower-variance decomposition of Lemma 3.5).
+
+We normalize three features of very different scales and verify the result
+against the true (never-disclosed) statistics, then show the same pipeline
+under an epsilon-LDP guarantee.
+
+Run:  python examples/feature_normalization.py
+"""
+
+import numpy as np
+
+from repro.core import FixedPointEncoder, VarianceEstimator
+from repro.privacy import RandomizedResponse
+
+
+FEATURES = {
+    # name: (generator args, encoder bits)
+    "session_length_s": ((300.0, 90.0), 10),
+    "images_cached": ((40.0, 12.0), 7),
+    "bytes_sent_kb": ((900.0, 250.0), 11),
+}
+
+
+def estimate_moments(values, n_bits, rng, epsilon=None):
+    perturbation = RandomizedResponse(epsilon=epsilon) if epsilon else None
+    estimator = VarianceEstimator(
+        FixedPointEncoder.for_integers(n_bits),
+        method="centered",
+        inner="adaptive",
+        perturbation=perturbation,
+        inner_kwargs={"squash_multiple": 2.0} if perturbation else None,
+    )
+    result = estimator.estimate(values, rng)
+    return result.mean.value, result.value
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    n_clients = 200_000
+
+    print(f"{'feature':<18} {'true mu':>9} {'est mu':>9} {'true var':>10} {'est var':>10}")
+    estimates = {}
+    for name, ((mu, sigma), bits) in FEATURES.items():
+        values = np.clip(rng.normal(mu, sigma, n_clients), 0.0, None)
+        mean_hat, var_hat = estimate_moments(values, bits, rng)
+        estimates[name] = (values, mean_hat, var_hat)
+        print(f"{name:<18} {values.mean():>9.2f} {mean_hat:>9.2f} "
+              f"{values.var():>10.1f} {var_hat:>10.1f}")
+
+    print("\nnormalized-feature sanity check (should be ~0 mean, ~1 std):")
+    for name, (values, mean_hat, var_hat) in estimates.items():
+        normalized = (values - mean_hat) / np.sqrt(var_hat)
+        print(f"  {name:<18} mean {normalized.mean():+.4f}, std {normalized.std():.4f}")
+
+    # The same pipeline with a formal epsilon = 4 LDP guarantee on every bit.
+    name = "session_length_s"
+    values = estimates[name][0]
+    mean_dp, var_dp = estimate_moments(values, FEATURES[name][1], rng, epsilon=4.0)
+    print(f"\nwith epsilon=4 LDP ({name}): "
+          f"mu {mean_dp:.2f} (true {values.mean():.2f}), "
+          f"var {var_dp:.1f} (true {values.var():.1f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Federated learning with one-bit gradient aggregation.
+
+The paper's very first motivation: "federated learning computes sample
+means for gradient updates" (Section 1).  Here 30,000 simulated devices
+train a logistic-regression model collaboratively.  Each round, every
+device computes its local gradient, and the server estimates the *mean
+gradient* with :class:`VectorMeanEstimator` — every device reveals exactly
+one bit of one (clipped, fixed-point-encoded) gradient coordinate.
+
+We train three models side by side:
+
+* exact-gradient SGD (no privacy; the baseline);
+* bit-pushed SGD (one bit per device per round);
+* bit-pushed SGD + epsilon=4 randomized response on every transmitted bit.
+
+Run:  python examples/federated_learning_round.py
+"""
+
+import numpy as np
+
+from repro.core import FixedPointEncoder, VectorMeanEstimator
+from repro.privacy import RandomizedResponse
+
+N_DEVICES, N_FEATURES, N_ROUNDS, LR = 30_000, 8, 30, 1.0
+
+
+def logistic_loss(X, y, w):
+    z = X @ w
+    return float(np.mean(np.log1p(np.exp(-np.abs(z))) + np.maximum(z, 0) - y * z))
+
+
+def per_device_gradients(X, y, w):
+    predictions = 1.0 / (1.0 + np.exp(-(X @ w)))
+    return (predictions - y)[:, None] * X
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    true_w = rng.normal(0.0, 1.0, N_FEATURES)
+    X = rng.normal(0.0, 1.0, (N_DEVICES, N_FEATURES))
+    y = (X @ true_w + rng.logistic(0, 1, N_DEVICES) > 0).astype(float)
+
+    encoder = FixedPointEncoder.for_range(-2.0, 2.0, n_bits=10)   # gradient clip
+    one_bit = VectorMeanEstimator(encoder, n_dims=N_FEATURES)
+    one_bit_dp = VectorMeanEstimator(
+        encoder, n_dims=N_FEATURES, perturbation=RandomizedResponse(epsilon=4.0)
+    )
+
+    weights = {"exact": np.zeros(N_FEATURES),
+               "one-bit": np.zeros(N_FEATURES),
+               "one-bit +4.0-LDP": np.zeros(N_FEATURES)}
+
+    print(f"{'round':>5} {'exact':>10} {'one-bit':>10} {'one-bit+LDP':>12}")
+    for round_index in range(N_ROUNDS):
+        gradients = {name: per_device_gradients(X, y, w) for name, w in weights.items()}
+        weights["exact"] -= LR * gradients["exact"].mean(axis=0)
+        weights["one-bit"] -= LR * one_bit.estimate(gradients["one-bit"], rng).values
+        weights["one-bit +4.0-LDP"] -= LR * one_bit_dp.estimate(
+            gradients["one-bit +4.0-LDP"], rng
+        ).values
+        if round_index % 5 == 0 or round_index == N_ROUNDS - 1:
+            losses = {name: logistic_loss(X, y, w) for name, w in weights.items()}
+            print(f"{round_index:>5} {losses['exact']:>10.4f} "
+                  f"{losses['one-bit']:>10.4f} {losses['one-bit +4.0-LDP']:>12.4f}")
+
+    print("\nper-round disclosure per device: 1 bit of 1 clipped gradient")
+    print("coordinate (plus randomized response in the LDP variant).")
+    final = {name: logistic_loss(X, y, w) for name, w in weights.items()}
+    gap = (final["one-bit"] - final["exact"]) / final["exact"]
+    print(f"final loss gap vs exact gradients: {gap:+.1%} (one-bit), "
+          f"{(final['one-bit +4.0-LDP'] - final['exact']) / final['exact']:+.1%} (LDP)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Poisoning robustness: why the server should pick the bits (Section 5).
+
+An attacker controlling a small fraction of clients wants to inflate the
+estimated mean.  Under *local* randomness each corrupted client claims its
+random draw landed on the most significant bit and reports 1 -- concentrated
+leverage.  Under *central* randomness the server fixes each client's bit, so
+a liar can only flip its one assigned bit.
+
+With a uniform schedule the gap is roughly the bit depth; we sweep the
+adversary fraction and print the attack-injected shift for both modes.
+
+Run:  python examples/poisoning_robustness.py
+"""
+
+import numpy as np
+
+from repro.attacks import poisoned_estimate
+from repro.core import BitSamplingSchedule, FixedPointEncoder
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    encoder = FixedPointEncoder.for_integers(12)
+    schedule = BitSamplingSchedule.uniform(12)
+    values = np.clip(rng.normal(500.0, 80.0, 20_000), 0.0, None)
+    print(f"population: n={values.size}, true mean {values.mean():.1f}, "
+          f"12-bit encoding, uniform schedule")
+    print(f"\n{'adversaries':>12} {'local shift':>14} {'central shift':>14} {'leverage':>9}")
+
+    for fraction in (0.001, 0.002, 0.005, 0.01, 0.02, 0.05):
+        shifts = {}
+        for mode in ("local", "central"):
+            runs = [
+                poisoned_estimate(
+                    values, encoder, fraction, randomness=mode,
+                    schedule=schedule, rng=rng,
+                ).attack_shift
+                for _ in range(15)
+            ]
+            shifts[mode] = float(np.mean(runs))
+        leverage = shifts["local"] / shifts["central"] if shifts["central"] else float("inf")
+        print(f"{fraction:>11.1%} {shifts['local']:>+14.1f} "
+              f"{shifts['central']:>+14.1f} {leverage:>8.1f}x")
+
+    print("\ncentral (server-chosen) randomness caps each adversary at its")
+    print("assigned bit; local randomness lets every adversary claim the MSB.")
+
+
+if __name__ == "__main__":
+    main()

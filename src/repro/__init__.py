@@ -1,0 +1,100 @@
+"""repro -- bit-pushing: private and efficient federated numerical aggregation.
+
+A from-scratch reproduction of Cormode, Markov & Srinivas, *Private and
+Efficient Federated Numerical Aggregation* (EDBT 2024).  The package
+provides:
+
+* :mod:`repro.core` -- the bit-pushing protocols (basic, adaptive), variance
+  estimation, bit squashing, and heavy-tail monitoring;
+* :mod:`repro.privacy` -- randomized response, Laplace, distributed-DP
+  histogram mechanisms, and privacy accounting/metering;
+* :mod:`repro.baselines` -- subtractive dithering, piecewise, Duchi,
+  randomized rounding, and Laplace-mean comparison methods;
+* :mod:`repro.federated` -- a client/server round simulator with dropout,
+  cohorts, multi-value semantics, and secure aggregation;
+* :mod:`repro.data` -- synthetic, census-style, and telemetry workloads;
+* :mod:`repro.attacks` -- poisoning adversaries;
+* :mod:`repro.metrics`, :mod:`repro.experiments` -- the evaluation harness
+  that regenerates every figure in the paper.
+
+Quickstart::
+
+    import numpy as np
+    from repro import AdaptiveBitPushing, FixedPointEncoder
+
+    ages = np.random.default_rng(0).normal(35, 22, size=10_000).clip(0)
+    encoder = FixedPointEncoder.for_integers(n_bits=7)
+    estimate = AdaptiveBitPushing(encoder).estimate(ages, rng=0)
+    print(estimate.value)      # ~35, from one bit per client
+"""
+
+from repro.core import (
+    AdaptiveBitPushing,
+    BasicBitPushing,
+    BitSamplingSchedule,
+    CovarianceEstimator,
+    FederatedHistogram,
+    FixedPointEncoder,
+    GeometricMeanEstimator,
+    HighBitMonitor,
+    MeanEstimate,
+    MomentEstimator,
+    QuantileEstimator,
+    VarianceEstimate,
+    VarianceEstimator,
+    VectorMeanEstimator,
+    estimate_mean,
+)
+from repro.exceptions import (
+    CohortTooSmallError,
+    ConfigurationError,
+    DataGenerationError,
+    EncodingError,
+    PrivacyBudgetExceeded,
+    ProtocolError,
+    ReproError,
+    SecureAggregationError,
+)
+from repro.privacy import (
+    BernoulliNoiseAggregator,
+    BitMeter,
+    LaplaceMechanism,
+    PrivacyAccountant,
+    RandomizedResponse,
+    SampleAndThreshold,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveBitPushing",
+    "BasicBitPushing",
+    "BernoulliNoiseAggregator",
+    "BitMeter",
+    "BitSamplingSchedule",
+    "CohortTooSmallError",
+    "ConfigurationError",
+    "CovarianceEstimator",
+    "DataGenerationError",
+    "EncodingError",
+    "FederatedHistogram",
+    "FixedPointEncoder",
+    "GeometricMeanEstimator",
+    "HighBitMonitor",
+    "LaplaceMechanism",
+    "MeanEstimate",
+    "MomentEstimator",
+    "PrivacyAccountant",
+    "PrivacyBudgetExceeded",
+    "ProtocolError",
+    "QuantileEstimator",
+    "RandomizedResponse",
+    "ReproError",
+    "SampleAndThreshold",
+    "SecureAggregationError",
+    "VarianceEstimate",
+    "VarianceEstimator",
+    "VectorMeanEstimator",
+    "estimate_mean",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Adversarial models: poisoning attacks on bit-pushing."""
+
+from repro.attacks.poisoning import PoisoningOutcome, poisoned_estimate
+
+__all__ = ["PoisoningOutcome", "poisoned_estimate"]

@@ -1,0 +1,25 @@
+"""Prior-work baselines the paper compares against (Sections 2 and 4).
+
+All baselines share the :class:`RangeMeanEstimator` interface: configure a
+known input range (and epsilon where applicable), then call
+``estimate(values, rng)``.
+"""
+
+from repro.baselines.base import RangeMeanEstimator, ScalarEstimate
+from repro.baselines.dithering import SubtractiveDithering
+from repro.baselines.duchi import DuchiMechanism
+from repro.baselines.hybrid import HybridMechanism
+from repro.baselines.laplace_mean import LaplaceMean
+from repro.baselines.piecewise import PiecewiseMechanism
+from repro.baselines.randomized_rounding import RandomizedRounding
+
+__all__ = [
+    "DuchiMechanism",
+    "HybridMechanism",
+    "LaplaceMean",
+    "PiecewiseMechanism",
+    "RandomizedRounding",
+    "RangeMeanEstimator",
+    "ScalarEstimate",
+    "SubtractiveDithering",
+]

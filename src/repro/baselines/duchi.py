@@ -1,0 +1,67 @@
+"""Duchi et al. minimax-optimal one-dimensional LDP mechanism.
+
+The early randomized-response-based approach the paper cites (Section 2,
+[13]).  For ``t in [-1, 1]`` the client reports one of two values ``+B`` or
+``-B`` with ``B = (e^eps + 1)/(e^eps - 1)``, choosing ``+B`` with
+probability ``1/2 + t/2 * (e^eps - 1)/(e^eps + 1)``.  Each report is an
+unbiased estimate of ``t``; the output is effectively one bit (which of the
+two values was sent), making this a fair one-bit comparison point.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.base import RangeMeanEstimator
+from repro.exceptions import ConfigurationError
+
+__all__ = ["DuchiMechanism"]
+
+
+class DuchiMechanism(RangeMeanEstimator):
+    """One-bit epsilon-LDP mean estimation (Duchi et al.).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> est = DuchiMechanism(low=0.0, high=10.0, epsilon=2.0)
+    >>> values = np.full(200_000, 7.0)
+    >>> abs(est.estimate(values, rng=2).value - 7.0) < 0.1
+    True
+    """
+
+    method = "duchi"
+
+    def __init__(self, low: float, high: float, epsilon: float) -> None:
+        super().__init__(low, high)
+        if not np.isfinite(epsilon) or epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be a positive finite float, got {epsilon}")
+        self.epsilon = float(epsilon)
+        e = math.exp(self.epsilon)
+        #: Report magnitude B = (e^eps + 1) / (e^eps - 1).
+        self.B = (e + 1.0) / (e - 1.0)
+        #: Slope of P(+B) in t: (e^eps - 1) / (2 (e^eps + 1)).
+        self._slope = (e - 1.0) / (2.0 * (e + 1.0))
+
+    def perturb(self, t: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Privatize inputs ``t in [-1, 1]`` into +/-B reports."""
+        t = np.asarray(t, dtype=np.float64)
+        prob_plus = 0.5 + self._slope * t
+        plus = rng.random(t.shape) < prob_plus
+        return np.where(plus, self.B, -self.B)
+
+    def _estimate_unit(self, unit_values: np.ndarray, rng: np.random.Generator) -> float:
+        t = 2.0 * unit_values - 1.0
+        t_mean = float(self.perturb(t, rng).mean())
+        return (t_mean + 1.0) / 2.0
+
+    def _metadata(self) -> dict:
+        meta = super()._metadata()
+        meta.update(epsilon=self.epsilon, B=self.B)
+        return meta
+
+    def per_report_variance(self, t: float = 0.0) -> float:
+        """Exact variance of one report: ``B**2 - t**2``."""
+        return self.B**2 - t * t

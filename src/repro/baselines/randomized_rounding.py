@@ -1,0 +1,60 @@
+"""Randomized rounding (+ optional randomized response).
+
+The simplest one-bit scheme the paper describes (Section 2, deployed for
+Windows telemetry [10]): treat ``u in [0, 1]`` as a probability, round it to
+a Bernoulli(u) bit, and optionally pass that bit through randomized response
+for an epsilon-LDP guarantee.  The mean of the (debiased) bits estimates the
+population mean directly.
+
+Like dithering, accuracy is tied to the assumed range: after rescaling, the
+estimate's variance carries a ``(high - low)**2`` factor.  The paper notes
+this family exhibited errors 2-3x larger than the plotted methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import RangeMeanEstimator
+from repro.privacy.randomized_response import RandomizedResponse
+
+__all__ = ["RandomizedRounding"]
+
+
+class RandomizedRounding(RangeMeanEstimator):
+    """One-bit mean estimation via randomized rounding.
+
+    Parameters
+    ----------
+    low, high:
+        Assumed input range.
+    epsilon:
+        If given, the rounded bit additionally passes through randomized
+        response (epsilon-LDP); ``None`` sends the rounded bit as-is.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> est = RandomizedRounding(low=0.0, high=100.0)
+    >>> values = np.full(100_000, 25.0)
+    >>> abs(est.estimate(values, rng=3).value - 25.0) < 1.0
+    True
+    """
+
+    method = "randomized-rounding"
+
+    def __init__(self, low: float, high: float, epsilon: float | None = None) -> None:
+        super().__init__(low, high)
+        self.response = RandomizedResponse(epsilon=epsilon) if epsilon is not None else None
+
+    def _estimate_unit(self, unit_values: np.ndarray, rng: np.random.Generator) -> float:
+        bits = (rng.random(unit_values.shape) < unit_values).astype(np.uint8)
+        if self.response is None:
+            return float(bits.mean())
+        reported = self.response.perturb_bits(bits, rng)
+        return float(self.response.unbias_bit_means(np.array([reported.mean()]))[0])
+
+    def _metadata(self) -> dict:
+        meta = super()._metadata()
+        meta["epsilon"] = None if self.response is None else self.response.epsilon
+        return meta

@@ -1,0 +1,143 @@
+"""Command-line runner for the paper's figures and our ablations.
+
+Usage::
+
+    python -m repro.cli figure 1a            # full-size reproduction
+    python -m repro.cli figure 3b --quick    # scaled-down smoke run
+    python -m repro.cli ablation poisoning
+    python -m repro.cli list
+
+Each command prints the figure's series as a markdown table (the tabular
+equivalent of the paper's line plots).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    alpha_sweep,
+    b_send_sweep,
+    caching_ablation,
+    delta_sweep,
+    distributed_dp_comparison,
+    dropout_adjustment,
+    figure_1a,
+    figure_1b,
+    figure_1c,
+    figure_2a,
+    figure_2b,
+    figure_2c,
+    figure_3a,
+    figure_3b,
+    figure_4a,
+    figure_4b,
+    figure_4c,
+    gamma_sweep,
+    poisoning_sweep,
+    render_series_table,
+    render_snapshot,
+    schedule_sensitivity,
+    variance_decomposition,
+)
+
+__all__ = ["main", "FIGURES", "ABLATIONS"]
+
+#: figure id -> (runner, quick-mode overrides, metric, x-axis label)
+FIGURES: dict[str, tuple[Callable, dict, str, str]] = {
+    "1a": (figure_1a, {"n_clients": 2_000, "n_reps": 10}, "nrmse", "mu"),
+    "1b": (figure_1b, {"n_clients": 20_000, "n_reps": 10}, "nrmse", "mu"),
+    "1c": (figure_1c, {"n_clients": 2_000, "n_reps": 10}, "nrmse", "bits"),
+    "2a": (figure_2a, {"cohorts": (1_000, 5_000, 20_000), "n_reps": 10}, "nrmse", "n"),
+    "2b": (figure_2b, {"cohorts": (1_000, 5_000, 20_000), "n_reps": 10}, "nrmse", "n"),
+    "2c": (figure_2c, {"n_clients": 2_000, "n_reps": 10}, "nrmse", "bits"),
+    "3a": (figure_3a, {"n_clients": 2_000, "n_reps": 10}, "rmse", "epsilon"),
+    "3b": (figure_3b, {"n_clients": 2_000, "n_reps": 10}, "rmse", "epsilon"),
+    "4a": (figure_4a, {"n_clients": 2_000, "n_reps": 10}, "rmse", "noise multiple"),
+    "4c": (figure_4c, {"n_clients": 2_000, "n_reps": 10}, "rmse", "bits"),
+}
+
+ABLATIONS: dict[str, tuple[Callable, dict, str, str]] = {
+    "delta": (delta_sweep, {"n_clients": 2_000, "n_reps": 10}, "nrmse", "delta"),
+    "gamma": (gamma_sweep, {"n_clients": 2_000, "n_reps": 10}, "nrmse", "gamma"),
+    "alpha": (alpha_sweep, {"n_clients": 2_000, "n_reps": 10}, "nrmse", "alpha"),
+    "caching": (caching_ablation, {"cohorts": (1_000, 5_000), "n_reps": 10}, "nrmse", "n"),
+    "b-send": (b_send_sweep, {"n_clients": 2_000, "n_reps": 10}, "nrmse", "b_send"),
+    "variance-decomposition": (
+        variance_decomposition,
+        {"cohorts": (10_000, 50_000), "n_reps": 10},
+        "nrmse",
+        "n",
+    ),
+    "poisoning": (poisoning_sweep, {"n_clients": 2_000, "n_reps": 10}, "nrmse", "fraction"),
+    "distributed-dp": (
+        distributed_dp_comparison,
+        {"n_clients": 10_000, "n_reps": 10},
+        "nrmse",
+        "epsilon",
+    ),
+    "dropout": (dropout_adjustment, {"n_clients": 1_000, "n_reps": 5}, "nrmse", "dropout rate"),
+    "schedule-sensitivity": (
+        schedule_sensitivity,
+        {"n_clients": 2_000, "n_reps": 10},
+        "nrmse",
+        "uniform mix fraction",
+    ),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-figures",
+        description="Reproduce figures from 'Private and Efficient Federated Numerical Aggregation'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="reproduce a paper figure panel")
+    fig.add_argument("panel", choices=sorted(FIGURES) + ["4b"])
+    fig.add_argument("--quick", action="store_true", help="scaled-down parameters")
+
+    abl = sub.add_parser("ablation", help="run a design-choice ablation")
+    abl.add_argument("name", choices=sorted(ABLATIONS))
+    abl.add_argument("--quick", action="store_true", help="scaled-down parameters")
+
+    sub.add_parser("list", help="list available figures and ablations")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early -- not an error.
+        return 0
+
+
+def _dispatch(argv: list[str] | None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("figures:  " + " ".join(sorted(FIGURES) + ["4b"]))
+        print("ablations: " + " ".join(sorted(ABLATIONS)))
+        return 0
+
+    if args.command == "figure":
+        if args.panel == "4b":
+            snapshot = figure_4b()
+            print(render_snapshot(snapshot))
+            return 0
+        runner, quick_kwargs, metric, x_name = FIGURES[args.panel]
+        results = runner(**(quick_kwargs if args.quick else {}))
+        print(render_series_table(f"Figure {args.panel}", results, metric=metric, x_name=x_name))
+        return 0
+
+    runner, quick_kwargs, metric, x_name = ABLATIONS[args.name]
+    results = runner(**(quick_kwargs if args.quick else {}))
+    print(render_series_table(f"Ablation: {args.name}", results, metric=metric, x_name=x_name))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

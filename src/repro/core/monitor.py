@@ -1,0 +1,152 @@
+"""Heavy-tail / non-stationarity monitoring of the occupied bit range.
+
+Section 1.1 of the paper observes that mean estimation is not meaningful for
+highly skewed data; instead, bit-pushing "can report an upper bound on the
+aggregated samples, and flag when this bound changes significantly over
+time, indicating a heavy-tail and/or non-stationary distribution".
+
+:class:`HighBitMonitor` implements that idea: feed it the per-bit means of
+successive aggregation rounds and it tracks the highest *occupied* bit index
+(bits whose mean clears a configurable noise floor).  The implied upper
+bound on the data is ``2**(top+1) - 1`` encoded units; when the top bit
+drifts by at least ``shift_threshold`` positions from its recent baseline,
+the monitor emits a :class:`MonitorAlert`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["MonitorAlert", "HighBitMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorAlert:
+    """Emitted when the occupied bit range shifts significantly.
+
+    Attributes
+    ----------
+    round_index:
+        0-based index of the update that triggered the alert.
+    baseline_bit / observed_bit:
+        Recent-median top occupied bit vs the newly observed one.
+    shift:
+        ``observed_bit - baseline_bit`` (positive = data grew).
+    upper_bound:
+        New implied upper bound on the data, in encoded units.
+    message:
+        Human-readable summary suitable for an operator dashboard.
+    """
+
+    round_index: int
+    baseline_bit: int
+    observed_bit: int
+    shift: int
+    upper_bound: float
+    message: str
+
+
+class HighBitMonitor:
+    """Track the top occupied bit across rounds and flag large shifts.
+
+    Parameters
+    ----------
+    noise_floor:
+        A bit counts as occupied when its estimated mean exceeds this value.
+        Under local DP, set it near the squash threshold so noise bits do
+        not masquerade as signal.
+    shift_threshold:
+        Minimum |shift| in bit positions (relative to the rolling baseline)
+        that triggers an alert.  One bit position = a 2x change in the data
+        bound.
+    window:
+        Number of recent rounds forming the baseline (median of their top
+        bits).  No alerts fire until the window has filled once.
+
+    Examples
+    --------
+    >>> monitor = HighBitMonitor(noise_floor=0.01, shift_threshold=2, window=3)
+    >>> quiet = [0.4, 0.5, 0.3, 0.0, 0.0, 0.0, 0.0, 0.0]
+    >>> for _ in range(3):
+    ...     _ = monitor.update(quiet)
+    >>> spike = [0.4, 0.5, 0.3, 0.0, 0.0, 0.0, 0.2, 0.0]
+    >>> alert = monitor.update(spike)
+    >>> alert.shift
+    4
+    """
+
+    def __init__(
+        self,
+        noise_floor: float = 0.0,
+        shift_threshold: int = 1,
+        window: int = 5,
+    ) -> None:
+        if noise_floor < 0:
+            raise ConfigurationError(f"noise_floor must be >= 0, got {noise_floor}")
+        if shift_threshold < 1:
+            raise ConfigurationError(f"shift_threshold must be >= 1, got {shift_threshold}")
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self.noise_floor = noise_floor
+        self.shift_threshold = shift_threshold
+        self.window = window
+        self._recent: deque[int] = deque(maxlen=window)
+        self._round_index = -1
+        self._alerts: list[MonitorAlert] = []
+
+    # ------------------------------------------------------------------
+    def top_occupied_bit(self, bit_means: np.ndarray) -> int:
+        """Highest bit index whose mean clears the noise floor (-1 if none)."""
+        means = np.asarray(bit_means, dtype=np.float64)
+        occupied = np.flatnonzero(means > self.noise_floor)
+        return int(occupied[-1]) if occupied.size else -1
+
+    def update(self, bit_means: np.ndarray) -> MonitorAlert | None:
+        """Record one round's bit means; return an alert if the bound moved."""
+        self._round_index += 1
+        observed = self.top_occupied_bit(bit_means)
+        alert: MonitorAlert | None = None
+        if len(self._recent) == self.window:
+            baseline = int(np.median(list(self._recent)))
+            shift = observed - baseline
+            if abs(shift) >= self.shift_threshold:
+                direction = "grew" if shift > 0 else "shrank"
+                bound = float(2.0 ** (observed + 1) - 1) if observed >= 0 else 0.0
+                alert = MonitorAlert(
+                    round_index=self._round_index,
+                    baseline_bit=baseline,
+                    observed_bit=observed,
+                    shift=shift,
+                    upper_bound=bound,
+                    message=(
+                        f"round {self._round_index}: top occupied bit {direction} "
+                        f"from {baseline} to {observed} (data bound now <= {bound:g}); "
+                        "possible heavy tail or distribution shift"
+                    ),
+                )
+                self._alerts.append(alert)
+        self._recent.append(observed)
+        return alert
+
+    # ------------------------------------------------------------------
+    @property
+    def current_upper_bound(self) -> float:
+        """Latest implied upper bound on the data, in encoded units."""
+        if not self._recent:
+            return 0.0
+        top = self._recent[-1]
+        return float(2.0 ** (top + 1) - 1) if top >= 0 else 0.0
+
+    @property
+    def alerts(self) -> tuple[MonitorAlert, ...]:
+        """All alerts emitted so far, in order."""
+        return tuple(self._alerts)
+
+    @property
+    def rounds_observed(self) -> int:
+        return self._round_index + 1

@@ -1,0 +1,165 @@
+"""Result types returned by bit-pushing estimators.
+
+These dataclasses carry not just the point estimate but the full per-bit
+diagnostics (schedules, counts, sums, estimated bit means) that the adaptive
+protocol, the squashing heuristic, the heavy-tail monitor, and the benchmark
+harness all consume.  They are plain, immutable-ish records -- no behaviour
+beyond light validation and convenience accessors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["RoundSummary", "MeanEstimate", "VarianceEstimate"]
+
+
+@dataclass(frozen=True)
+class RoundSummary:
+    """Per-bit accounting for one round of bit collection.
+
+    Attributes
+    ----------
+    probabilities:
+        The sampling schedule used this round (length ``n_bits``).
+    counts:
+        Number of client reports received per bit.
+    sums:
+        Sum of *unbiased* reported bit values per bit.  Without a privacy
+        perturbation these are integer counts of 1-bits; with randomized
+        response they are debiased and may fall outside ``[0, counts]``.
+    bit_means:
+        ``sums / counts`` with zero-count bits reported as 0.0.
+    n_clients:
+        Cohort size that participated in the round.
+    """
+
+    probabilities: np.ndarray
+    counts: np.ndarray
+    sums: np.ndarray
+    bit_means: np.ndarray
+    n_clients: int
+
+    def __post_init__(self) -> None:
+        sizes = {self.probabilities.size, self.counts.size, self.sums.size, self.bit_means.size}
+        if len(sizes) != 1:
+            raise ValueError(f"inconsistent per-bit array lengths: {sizes}")
+
+    @property
+    def n_bits(self) -> int:
+        return int(self.counts.size)
+
+    @property
+    def total_reports(self) -> int:
+        return int(self.counts.sum())
+
+
+@dataclass(frozen=True)
+class MeanEstimate:
+    """A mean estimate plus everything needed to audit how it was produced.
+
+    Attributes
+    ----------
+    value:
+        The estimate in the caller's (real) domain.
+    encoded_value:
+        The same estimate on the fixed-point grid, before decoding.
+    bit_means:
+        Final per-bit mean estimates (after unbiasing, combination across
+        rounds, and squashing, in that order).
+    counts:
+        Total reports per bit across all rounds.
+    n_clients:
+        Total cohort size consumed.
+    n_bits:
+        Bit depth of the encoding.
+    method:
+        Human-readable method tag (``"basic"``, ``"adaptive"``, ...).
+    rounds:
+        Per-round summaries, in execution order.
+    squashed_bits:
+        Indices zeroed by bit squashing (empty when squashing is off).
+    metadata:
+        Free-form extras (parameters, dropout rates, ...).
+    """
+
+    value: float
+    encoded_value: float
+    bit_means: np.ndarray
+    counts: np.ndarray
+    n_clients: int
+    n_bits: int
+    method: str
+    rounds: tuple[RoundSummary, ...] = ()
+    squashed_bits: tuple[int, ...] = ()
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.bit_means.size != self.n_bits or self.counts.size != self.n_bits:
+            raise ValueError(
+                f"per-bit arrays must have length n_bits={self.n_bits}; "
+                f"got {self.bit_means.size} means and {self.counts.size} counts"
+            )
+
+    @property
+    def total_reports(self) -> int:
+        """Total bit reports received (equals one per client when b_send=1)."""
+        return int(self.counts.sum())
+
+    @property
+    def highest_occupied_bit(self) -> int:
+        """Index of the highest bit with a (strictly) positive estimated mean.
+
+        Returns -1 when every bit mean is <= 0.  This is the quantity the
+        heavy-tail monitor tracks as a live upper bound on the data.
+        """
+        positive = np.flatnonzero(self.bit_means > 0.0)
+        return int(positive[-1]) if positive.size else -1
+
+    def __float__(self) -> float:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class VarianceEstimate:
+    """A variance estimate produced via bit-pushing (paper Section 3.4).
+
+    Attributes
+    ----------
+    value:
+        Estimated population variance (clamped at 0; sampling noise can push
+        the raw moment difference negative).
+    raw_value:
+        The un-clamped estimate, kept for diagnostics.
+    mean:
+        The mean estimate used/produced along the way.
+    method:
+        ``"moments"`` for ``E[X^2] - E[X]^2`` or ``"centered"`` for
+        ``E[(X - E[X])^2]`` (Lemma 3.5 prefers the latter).
+    second_moment:
+        Estimate of ``E[X^2]`` (moments method) or of the centered second
+        moment (centered method).
+    n_clients:
+        Total cohort size consumed across all phases.
+    metadata:
+        Free-form extras.
+    """
+
+    value: float
+    raw_value: float
+    mean: MeanEstimate
+    method: str
+    second_moment: float
+    n_clients: int
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def std(self) -> float:
+        """Standard deviation implied by the (clamped) variance estimate."""
+        return float(np.sqrt(self.value))
+
+    def __float__(self) -> float:  # pragma: no cover - trivial
+        return self.value

@@ -1,0 +1,132 @@
+"""Bit squashing: filtering noise-dominated bits under differential privacy.
+
+With randomized-response noise, the estimated mean of an *unused* bit is no
+longer zero -- it is a zero-mean fluctuation whose magnitude scales like the
+DP noise (and can even leave ``[0, 1]``, see paper Figure 4b).  Folding those
+fluctuations into the estimate at weight ``2**j`` is catastrophic for high
+bit indices.  The paper's remedy (Section 3.3, Figure 4) is a simple
+heuristic: if an estimated bit mean is below an absolute threshold, assume
+the bit carries only noise and "squash" it to zero.
+
+This module provides the squash operation, a helper to express the threshold
+as a multiple of the *expected* randomized-response noise level (the x-axis
+of Figure 4a), and a contiguity variant that squashes everything above the
+first long run of quiet bits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "squash_bit_means",
+    "rr_noise_std",
+    "threshold_from_noise_multiple",
+    "per_bit_squash_thresholds",
+]
+
+
+def squash_bit_means(
+    bit_means: np.ndarray,
+    threshold: "float | np.ndarray",
+    clip_to_unit: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Zero out bit means whose magnitude falls below ``threshold``.
+
+    Parameters
+    ----------
+    bit_means:
+        Estimated per-bit means (possibly noisy, possibly outside [0, 1]).
+    threshold:
+        Absolute squash threshold -- a scalar, or one threshold per bit
+        (the count-aware form of :func:`per_bit_squash_thresholds`, which
+        prevents sparsely-sampled noise bits from sneaking past a
+        population-wide value).  Entries <= 0 disable squashing for that
+        bit; clipping still applies.
+    clip_to_unit:
+        Clip surviving means into ``[0, 1]`` afterwards.  DP noise can
+        produce means below 0 (which would otherwise *subtract* mass) or
+        above 1; a true bit mean is a proportion, so clipping is always
+        sound post-processing.
+
+    Returns
+    -------
+    squashed, squashed_indices:
+        The filtered means and the indices that were zeroed.
+    """
+    means = np.asarray(bit_means, dtype=np.float64).copy()
+    thresholds = np.broadcast_to(np.asarray(threshold, dtype=np.float64), means.shape)
+    quiet = (thresholds > 0) & (means < thresholds)
+    means[quiet] = 0.0
+    if clip_to_unit:
+        means = np.clip(means, 0.0, 1.0)
+    return means, np.flatnonzero(quiet)
+
+
+def rr_noise_std(epsilon: float, count: float) -> float:
+    """Std. dev. of an unbiased randomized-response bit-mean estimate.
+
+    For randomized response with ``p = e^eps / (1 + e^eps)`` over ``count``
+    reports, the debiased estimator's standard deviation is at most
+    ``1 / (2 (2p - 1) sqrt(count))`` (worst case over the true bit mean,
+    attained near reported-mean 1/2).  This is the natural noise unit for
+    the squash threshold: Figure 4a sweeps the threshold in multiples of it.
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if count <= 0:
+        return float("inf")
+    p = math.exp(epsilon) / (1.0 + math.exp(epsilon))
+    return 1.0 / (2.0 * (2.0 * p - 1.0) * math.sqrt(count))
+
+
+def threshold_from_noise_multiple(
+    multiple: float,
+    epsilon: float,
+    counts: np.ndarray,
+) -> float:
+    """Turn a noise multiple into an absolute squash threshold.
+
+    Uses the *median* per-bit report count so a handful of barely-sampled
+    bits do not blow up the threshold for everyone.  ``multiple = 0``
+    disables squashing.
+    """
+    if multiple < 0:
+        raise ValueError(f"noise multiple must be >= 0, got {multiple}")
+    if multiple == 0:
+        return 0.0
+    counts = np.asarray(counts, dtype=np.float64)
+    sampled = counts[counts > 0]
+    if sampled.size == 0:
+        return 0.0
+    return multiple * rr_noise_std(epsilon, float(np.median(sampled)))
+
+
+def per_bit_squash_thresholds(
+    multiple: float,
+    epsilon: float,
+    counts: np.ndarray,
+) -> np.ndarray:
+    """Count-aware squash thresholds: ``tau_j = multiple * noise_std(c_j)``.
+
+    A bit's debiased mean estimate fluctuates with std ~ ``1/sqrt(c_j)``, so
+    a single population-wide threshold (calibrated to the typical count)
+    lets barely-sampled noise bits through -- and at weight ``2**j`` a single
+    escapee dominates the estimate.  Scaling the threshold per bit by its
+    own report count closes that hole.  Zero-count bits get threshold 0
+    (their mean is identically 0; nothing to squash).  ``multiple = 0``
+    disables squashing everywhere.
+    """
+    if multiple < 0:
+        raise ValueError(f"noise multiple must be >= 0, got {multiple}")
+    counts = np.asarray(counts, dtype=np.float64)
+    thresholds = np.zeros_like(counts)
+    if multiple == 0:
+        return thresholds
+    sampled = counts > 0
+    thresholds[sampled] = [
+        multiple * rr_noise_std(epsilon, c) for c in counts[sampled]
+    ]
+    return thresholds

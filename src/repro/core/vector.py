@@ -1,0 +1,187 @@
+"""Vector (multi-dimensional) mean estimation -- the federated-learning case.
+
+The paper's opening motivation is that "federated learning computes sample
+means for gradient updates" (Section 1), and its discussion of
+communication efficiency targets "multi-dimensional data" (Section 2).
+:class:`VectorMeanEstimator` extends bit-pushing to that setting while
+preserving the worst-case promise: each client reveals **one bit of one
+coordinate** of its vector (or ``dims_per_client`` coordinates, each one
+bit, when the budget allows).
+
+Protocol: the server partitions the cohort uniformly across coordinates
+(central randomness, so per-coordinate cohort sizes are deterministic and a
+poisoner cannot crowd a coordinate), then runs an independent bit-pushing
+mean estimation inside each coordinate group.  Signed data -- gradients --
+is handled the library's standard way: an offset encoder over
+``[-clip, +clip]`` (signed binary expansions are not linear in the sign
+bit; paper footnote 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.adaptive import AdaptiveBitPushing
+from repro.core.basic import BasicBitPushing
+from repro.core.encoding import FixedPointEncoder
+from repro.core.protocol import BitPerturbation
+from repro.core.results import MeanEstimate
+from repro.exceptions import ConfigurationError
+from repro.rng import ensure_rng
+
+__all__ = ["VectorMeanEstimate", "VectorMeanEstimator"]
+
+_MODES = ("basic", "adaptive")
+
+
+@dataclass(frozen=True)
+class VectorMeanEstimate:
+    """A d-dimensional mean estimate with per-coordinate diagnostics."""
+
+    values: np.ndarray
+    per_dim: tuple[MeanEstimate, ...]
+    n_clients: int
+    n_dims: int
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def reports_per_dim(self) -> np.ndarray:
+        """How many clients served each coordinate."""
+        return np.array([est.n_clients for est in self.per_dim])
+
+    def l2_error(self, truth: np.ndarray) -> float:
+        """Euclidean distance to a reference vector (for evaluation)."""
+        truth = np.asarray(truth, dtype=np.float64)
+        if truth.shape != self.values.shape:
+            raise ConfigurationError(
+                f"truth shape {truth.shape} != estimate shape {self.values.shape}"
+            )
+        return float(np.linalg.norm(self.values - truth))
+
+
+class VectorMeanEstimator:
+    """Estimate the mean of d-dimensional client vectors, one bit per client.
+
+    Parameters
+    ----------
+    encoder:
+        Fixed-point encoding shared by all coordinates.  For gradients use
+        ``FixedPointEncoder.for_range(-clip, clip, n_bits)`` -- values are
+        clipped coordinate-wise, which doubles as the usual gradient
+        clipping.
+    n_dims:
+        Vector dimensionality ``d``.
+    mode:
+        ``"basic"`` (one round; the right choice inside an FL round loop)
+        or ``"adaptive"`` (two rounds per coordinate).
+    dims_per_client:
+        Coordinates each client reports on (one bit each).  The default 1
+        keeps the strictest promise; FL deployments trading privacy for
+        round efficiency can raise it.
+    perturbation:
+        Optional local DP mechanism applied to every transmitted bit.
+    estimator_kwargs:
+        Extra arguments for the per-coordinate estimators.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> gradients = rng.normal(0.1, 0.05, size=(40_000, 4))
+    >>> encoder = FixedPointEncoder.for_range(-1.0, 1.0, n_bits=10)
+    >>> est = VectorMeanEstimator(encoder, n_dims=4)
+    >>> result = est.estimate(gradients, rng)
+    >>> bool(result.l2_error(gradients.mean(axis=0)) < 0.02)
+    True
+    """
+
+    def __init__(
+        self,
+        encoder: FixedPointEncoder,
+        n_dims: int,
+        mode: str = "basic",
+        dims_per_client: int = 1,
+        perturbation: BitPerturbation | None = None,
+        estimator_kwargs: dict[str, Any] | None = None,
+    ) -> None:
+        if n_dims < 1:
+            raise ConfigurationError(f"n_dims must be >= 1, got {n_dims}")
+        if mode not in _MODES:
+            raise ConfigurationError(f"mode must be one of {_MODES}, got {mode!r}")
+        if not 1 <= dims_per_client <= n_dims:
+            raise ConfigurationError(
+                f"dims_per_client must be in [1, {n_dims}], got {dims_per_client}"
+            )
+        self.encoder = encoder
+        self.n_dims = n_dims
+        self.mode = mode
+        self.dims_per_client = dims_per_client
+        self.perturbation = perturbation
+        self.estimator_kwargs = dict(estimator_kwargs or {})
+
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        vectors: np.ndarray,
+        rng: np.random.Generator | int | None = None,
+    ) -> VectorMeanEstimate:
+        """Estimate ``vectors.mean(axis=0)`` from one bit per client (per dim slot)."""
+        gen = ensure_rng(rng)
+        matrix = np.asarray(vectors, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.n_dims:
+            raise ConfigurationError(
+                f"expected an (n, {self.n_dims}) matrix, got shape {matrix.shape}"
+            )
+        n_clients = matrix.shape[0]
+        min_needed = (2 if self.mode == "adaptive" else 1) * self.n_dims
+        if n_clients * self.dims_per_client < min_needed:
+            raise ConfigurationError(
+                f"{n_clients} clients x {self.dims_per_client} dims/client cannot "
+                f"cover {self.n_dims} coordinates in {self.mode} mode"
+            )
+
+        # Deal clients to coordinate groups round-robin after a shuffle:
+        # deterministic, balanced group sizes (central randomness).  With
+        # dims_per_client = k > 1, shuffled position p serves coordinates
+        # (p + j * offset) mod d for j < k with offset = d // k -- k
+        # distinct coordinates per client, every group the same size.
+        order = gen.permutation(n_clients)
+        offset = max(1, self.n_dims // self.dims_per_client)
+        groups: list[list[int]] = [[] for _ in range(self.n_dims)]
+        for position, client in enumerate(order):
+            for j in range(self.dims_per_client):
+                groups[(position + j * offset) % self.n_dims].append(int(client))
+
+        per_dim_estimates: list[MeanEstimate] = []
+        values = np.empty(self.n_dims)
+        for dim in range(self.n_dims):
+            group = matrix[groups[dim], dim]
+            estimator = self._make_estimator()
+            result = estimator.estimate(group, gen)
+            per_dim_estimates.append(result)
+            values[dim] = result.value
+
+        return VectorMeanEstimate(
+            values=values,
+            per_dim=tuple(per_dim_estimates),
+            n_clients=n_clients,
+            n_dims=self.n_dims,
+            metadata={
+                "mode": self.mode,
+                "dims_per_client": self.dims_per_client,
+                "ldp": self.perturbation is not None,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _make_estimator(self):
+        if self.mode == "basic":
+            return BasicBitPushing(
+                self.encoder, perturbation=self.perturbation, **self.estimator_kwargs
+            )
+        return AdaptiveBitPushing(
+            self.encoder, perturbation=self.perturbation, **self.estimator_kwargs
+        )

@@ -1,0 +1,39 @@
+"""Workload generators: synthetic distributions, census-style ages, telemetry."""
+
+from repro.data.census import AGE_BRACKETS, population_age_stats, sample_ages
+from repro.data.synthetic import (
+    GENERATORS,
+    bimodal,
+    constant,
+    exponential,
+    lognormal,
+    normal,
+    uniform,
+    zipf,
+)
+from repro.data.telemetry import (
+    METRIC_CATALOG,
+    MetricSpec,
+    binary_with_outliers,
+    drifting_latency,
+    pareto_latency,
+)
+
+__all__ = [
+    "AGE_BRACKETS",
+    "GENERATORS",
+    "METRIC_CATALOG",
+    "MetricSpec",
+    "bimodal",
+    "binary_with_outliers",
+    "constant",
+    "drifting_latency",
+    "exponential",
+    "lognormal",
+    "normal",
+    "pareto_latency",
+    "population_age_stats",
+    "sample_ages",
+    "uniform",
+    "zipf",
+]

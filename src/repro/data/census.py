@@ -1,0 +1,99 @@
+"""Census-style age workload.
+
+The paper's "human-generated data" is the age column of the UCI
+Census-Income (KDD) dataset, used only through its empirical mean and
+variance (Section 4: "We only compute the mean age and the variance of
+ages").  This environment has no network access, so we substitute a
+synthetic sampler over a 1990s-US-style age pyramid: a piecewise-constant
+density over 5-year brackets for ages 0-94.  See DESIGN.md for the
+substitution rationale -- the experiments exercise bit occupancy, adaptivity
+and squashing, all of which depend only on the distribution's shape
+(skewed bell, ~7 occupied bits, mean ~35, std ~22), which this sampler
+matches.
+
+Ages are integers, so the natural encoder is ``FixedPointEncoder.for_integers``
+with ``n_bits >= 7``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataGenerationError
+from repro.rng import ensure_rng
+
+__all__ = ["AGE_BRACKETS", "sample_ages", "population_age_stats"]
+
+#: (low_age, high_age_inclusive, relative_weight) per 5-year bracket,
+#: approximating the 1990s US resident population pyramid.
+AGE_BRACKETS: tuple[tuple[int, int, float], ...] = (
+    (0, 4, 7.3),
+    (5, 9, 7.3),
+    (10, 14, 7.0),
+    (15, 19, 7.0),
+    (20, 24, 7.2),
+    (25, 29, 8.1),
+    (30, 34, 8.8),
+    (35, 39, 8.0),
+    (40, 44, 7.1),
+    (45, 49, 5.5),
+    (50, 54, 4.5),
+    (55, 59, 4.2),
+    (60, 64, 4.2),
+    (65, 69, 4.0),
+    (70, 74, 3.2),
+    (75, 79, 2.7),
+    (80, 84, 1.8),
+    (85, 89, 1.0),
+    (90, 94, 0.4),
+)
+
+
+def _bracket_probabilities() -> np.ndarray:
+    weights = np.array([w for _, _, w in AGE_BRACKETS], dtype=np.float64)
+    return weights / weights.sum()
+
+
+def sample_ages(
+    n_clients: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Draw ``n_clients`` integer ages from the census-style pyramid.
+
+    Each draw picks a 5-year bracket with its population weight, then an
+    integer age uniformly within the bracket.
+
+    Examples
+    --------
+    >>> ages = sample_ages(10_000, rng=0)
+    >>> bool(30.0 < ages.mean() < 40.0)
+    True
+    >>> bool(int(ages.min()) >= 0 and int(ages.max()) <= 94)
+    True
+    """
+    if n_clients <= 0:
+        raise DataGenerationError(f"n_clients must be positive, got {n_clients}")
+    gen = ensure_rng(rng)
+    probs = _bracket_probabilities()
+    bracket_idx = gen.choice(len(AGE_BRACKETS), size=n_clients, p=probs)
+    lows = np.array([lo for lo, _, _ in AGE_BRACKETS])[bracket_idx]
+    highs = np.array([hi for _, hi, _ in AGE_BRACKETS])[bracket_idx]
+    return gen.integers(lows, highs + 1).astype(np.float64)
+
+
+def population_age_stats() -> tuple[float, float]:
+    """Exact (mean, variance) of the sampling distribution.
+
+    Computed analytically over the discrete age distribution, useful as the
+    asymptotic ground truth in tests (per-sample experiments still use each
+    sample's empirical mean, matching the paper's protocol).
+    """
+    probs = _bracket_probabilities()
+    mean = 0.0
+    second = 0.0
+    for (low, high, _), p in zip(AGE_BRACKETS, probs):
+        ages = np.arange(low, high + 1, dtype=np.float64)
+        per_age = p / ages.size
+        mean += per_age * ages.sum()
+        second += per_age * (ages**2).sum()
+    return mean, second - mean**2

@@ -1,0 +1,159 @@
+"""Synthetic workload generators for the offline experiments.
+
+Section 4 of the paper generates synthetic data "by drawing values from
+Normal, uniform and exponential distributions with varying parameters".
+These helpers produce exactly those populations (plus a lognormal heavy-tail
+variant used in our extended ablations), always as float arrays of one value
+per client, always from an explicit RNG.
+
+All generators return raw real values; encoding/clipping to ``b`` bits is
+the estimator's job, mirroring the deployment pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataGenerationError
+from repro.rng import ensure_rng
+
+__all__ = [
+    "normal",
+    "uniform",
+    "exponential",
+    "lognormal",
+    "zipf",
+    "constant",
+    "bimodal",
+    "GENERATORS",
+]
+
+
+def _check_n(n_clients: int) -> None:
+    if n_clients <= 0:
+        raise DataGenerationError(f"n_clients must be positive, got {n_clients}")
+
+
+def normal(
+    n_clients: int,
+    mean: float,
+    std: float,
+    rng: np.random.Generator | int | None = None,
+    clip_negative: bool = True,
+) -> np.ndarray:
+    """Normal(mean, std) values, optionally clipped at zero.
+
+    The paper's figures use Normal data with ``std = 100`` and a swept mean;
+    values are conceptually non-negative quantities, so negative draws are
+    clipped (they would be clipped by the encoder anyway).
+    """
+    _check_n(n_clients)
+    if std <= 0:
+        raise DataGenerationError(f"std must be positive, got {std}")
+    gen = ensure_rng(rng)
+    values = gen.normal(mean, std, size=n_clients)
+    return np.clip(values, 0.0, None) if clip_negative else values
+
+
+def uniform(
+    n_clients: int,
+    low: float,
+    high: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Uniform values on ``[low, high)``."""
+    _check_n(n_clients)
+    if high <= low:
+        raise DataGenerationError(f"need low < high, got [{low}, {high})")
+    gen = ensure_rng(rng)
+    return gen.uniform(low, high, size=n_clients)
+
+
+def exponential(
+    n_clients: int,
+    scale: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Exponential values with the given scale (mean = scale)."""
+    _check_n(n_clients)
+    if scale <= 0:
+        raise DataGenerationError(f"scale must be positive, got {scale}")
+    gen = ensure_rng(rng)
+    return gen.exponential(scale, size=n_clients)
+
+
+def lognormal(
+    n_clients: int,
+    log_mean: float,
+    log_sigma: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Lognormal values -- a controllable heavy tail for robustness studies."""
+    _check_n(n_clients)
+    if log_sigma <= 0:
+        raise DataGenerationError(f"log_sigma must be positive, got {log_sigma}")
+    gen = ensure_rng(rng)
+    return gen.lognormal(log_mean, log_sigma, size=n_clients)
+
+
+def zipf(
+    n_clients: int,
+    exponent: float = 2.0,
+    cap: float | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Zipf-distributed counts -- popularity/frequency metrics.
+
+    A classic heavy tail for event counts (app opens, item views).  With
+    ``exponent <= 2`` the distribution has infinite variance, so ``cap``
+    (winsorization before the encoder even sees the data) keeps experiment
+    ground truths finite; ``None`` leaves the tail raw.
+    """
+    _check_n(n_clients)
+    if exponent <= 1.0:
+        raise DataGenerationError(f"zipf exponent must exceed 1, got {exponent}")
+    if cap is not None and cap <= 0:
+        raise DataGenerationError(f"cap must be positive, got {cap}")
+    gen = ensure_rng(rng)
+    values = gen.zipf(exponent, size=n_clients).astype(np.float64)
+    return np.minimum(values, cap) if cap is not None else values
+
+
+def constant(n_clients: int, value: float) -> np.ndarray:
+    """Every client holds the same value (a degenerate metric; Section 4.3
+    notes some deployed features turn out constant, making mean estimation
+    moot -- but the protocol must still behave)."""
+    _check_n(n_clients)
+    return np.full(n_clients, float(value))
+
+
+def bimodal(
+    n_clients: int,
+    low_mode: float,
+    high_mode: float,
+    high_fraction: float,
+    std: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Two-population mixture (e.g. two device generations reporting latency)."""
+    _check_n(n_clients)
+    if not 0.0 <= high_fraction <= 1.0:
+        raise DataGenerationError(f"high_fraction must be in [0, 1], got {high_fraction}")
+    if std <= 0:
+        raise DataGenerationError(f"std must be positive, got {std}")
+    gen = ensure_rng(rng)
+    is_high = gen.random(n_clients) < high_fraction
+    centers = np.where(is_high, high_mode, low_mode)
+    return np.clip(gen.normal(centers, std), 0.0, None)
+
+
+#: Name -> callable registry used by the CLI and the telemetry example.
+GENERATORS = {
+    "normal": normal,
+    "uniform": uniform,
+    "exponential": exponential,
+    "lognormal": lognormal,
+    "zipf": zipf,
+    "constant": constant,
+    "bimodal": bimodal,
+}

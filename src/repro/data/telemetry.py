@@ -1,0 +1,140 @@
+"""Device-telemetry workloads mirroring the deployment findings (Section 4.3).
+
+The paper's online deployment aggregated "device health and performance
+metrics" whose distributions were "extremely heterogeneous ... very
+different from analytically-modeled statistical distributions":
+
+* features whose typical values are 0 and 1 but where "some rare clients
+  report values that are orders of magnitude higher";
+* metrics that "turn out to be constant";
+* distributions that drift over time (motivating the upper-bound monitor).
+
+These generators synthesize each of those behaviours so the examples and
+benches can demonstrate the corresponding mitigations (clipping to ``b``
+bits, offline constant checks, :class:`~repro.core.monitor.HighBitMonitor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataGenerationError
+from repro.rng import ensure_rng
+
+__all__ = [
+    "binary_with_outliers",
+    "pareto_latency",
+    "drifting_latency",
+    "MetricSpec",
+    "METRIC_CATALOG",
+]
+
+
+def binary_with_outliers(
+    n_clients: int,
+    p_one: float = 0.3,
+    outlier_rate: float = 1e-3,
+    outlier_magnitude: float = 1e5,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Mostly-0/1 feature with rare, enormous outliers.
+
+    This is the paper's flagship pathological case: any untrimmed mean is
+    hostage to which outlier clients happen to respond.  Clipping the
+    encoding to 8-16 bits (winsorization) restores a stable, meaningful
+    statistic.
+    """
+    if n_clients <= 0:
+        raise DataGenerationError(f"n_clients must be positive, got {n_clients}")
+    if not 0.0 <= p_one <= 1.0:
+        raise DataGenerationError(f"p_one must be in [0, 1], got {p_one}")
+    if not 0.0 <= outlier_rate < 1.0:
+        raise DataGenerationError(f"outlier_rate must be in [0, 1), got {outlier_rate}")
+    gen = ensure_rng(rng)
+    values = (gen.random(n_clients) < p_one).astype(np.float64)
+    outliers = gen.random(n_clients) < outlier_rate
+    values[outliers] = gen.uniform(0.1 * outlier_magnitude, outlier_magnitude, outliers.sum())
+    return values
+
+
+def pareto_latency(
+    n_clients: int,
+    median_ms: float = 120.0,
+    tail_index: float = 1.5,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Heavy-tailed latency samples (Pareto tail over a fixed median).
+
+    ``tail_index <= 1`` would have an infinite mean; we require > 1 but note
+    that even then the sample mean converges slowly -- exactly the regime
+    where the paper recommends bounds + clipping over raw means.
+    """
+    if n_clients <= 0:
+        raise DataGenerationError(f"n_clients must be positive, got {n_clients}")
+    if median_ms <= 0:
+        raise DataGenerationError(f"median_ms must be positive, got {median_ms}")
+    if tail_index <= 1.0:
+        raise DataGenerationError(f"tail_index must exceed 1 for a finite mean, got {tail_index}")
+    gen = ensure_rng(rng)
+    # Pareto with scale chosen so the median lands at median_ms.
+    scale = median_ms / 2.0 ** (1.0 / tail_index)
+    return scale * (1.0 + gen.pareto(tail_index, size=n_clients))
+
+
+def drifting_latency(
+    n_clients: int,
+    round_index: int,
+    base_ms: float = 100.0,
+    drift_per_round: float = 0.0,
+    shift_round: int | None = None,
+    shift_factor: float = 8.0,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Latency metric that drifts (and optionally jumps) across rounds.
+
+    Feed successive rounds to :class:`~repro.core.monitor.HighBitMonitor`:
+    the gradual ``drift_per_round`` stays under the radar while the
+    ``shift_round`` jump (a regression shipping at time ``shift_round``)
+    moves the top occupied bit and triggers an alert.
+    """
+    if round_index < 0:
+        raise DataGenerationError(f"round_index must be >= 0, got {round_index}")
+    gen = ensure_rng(rng)
+    level = base_ms * (1.0 + drift_per_round) ** round_index
+    if shift_round is not None and round_index >= shift_round:
+        level *= shift_factor
+    return np.clip(gen.normal(level, level * 0.15, size=n_clients), 0.0, None)
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """A named telemetry metric: generator + recommended encoding width."""
+
+    name: str
+    description: str
+    recommended_bits: int
+
+    def sample(self, n_clients: int, rng: np.random.Generator | int | None = None) -> np.ndarray:
+        gen = ensure_rng(rng)
+        if self.name == "crash_flag":
+            return binary_with_outliers(n_clients, p_one=0.02, outlier_rate=0.0, rng=gen)
+        if self.name == "retry_count":
+            return binary_with_outliers(
+                n_clients, p_one=0.3, outlier_rate=5e-4, outlier_magnitude=1e5, rng=gen
+            )
+        if self.name == "latency_ms":
+            return pareto_latency(n_clients, median_ms=120.0, tail_index=1.8, rng=gen)
+        if self.name == "build_number":
+            return np.full(n_clients, 4217.0)
+        raise DataGenerationError(f"unknown metric {self.name!r}")
+
+
+#: The deployment-style metric mix used by the telemetry example.
+METRIC_CATALOG: tuple[MetricSpec, ...] = (
+    MetricSpec("crash_flag", "did the app crash today (0/1)", 1),
+    MetricSpec("retry_count", "network retries; mostly 0/1, rare huge outliers", 8),
+    MetricSpec("latency_ms", "request latency; heavy Pareto tail", 12),
+    MetricSpec("build_number", "constant across the fleet (degenerate)", 13),
+)

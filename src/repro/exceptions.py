@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError`, so callers
+can catch a single base class at API boundaries.  Subclasses are deliberately
+fine-grained: the federated simulator, the privacy layer, and the core
+protocol each signal failures that a caller may want to handle differently
+(for example, retrying a round after :class:`CohortTooSmallError` but treating
+:class:`PrivacyBudgetExceeded` as fatal).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An estimator, schedule, or protocol was configured inconsistently.
+
+    Raised eagerly at construction time whenever possible, so that
+    misconfiguration surfaces before any client data is touched.
+    """
+
+
+class EncodingError(ReproError):
+    """A value could not be represented in the configured fixed-point grid."""
+
+
+class ProtocolError(ReproError):
+    """A bit-pushing round produced structurally invalid data.
+
+    Examples: report counts that disagree with the assignment plan, or a
+    reported bit outside ``{0, 1}``.
+    """
+
+
+class PrivacyBudgetExceeded(ReproError):
+    """An operation would exceed a configured privacy budget.
+
+    This covers both the formal epsilon ledger and the worst-case *bit meter*
+    (at most one private bit per value; a bounded number of private bits per
+    client).
+    """
+
+
+class CohortTooSmallError(ReproError):
+    """An eligible cohort is below the configured minimum size.
+
+    The paper (Section 4.3) requires enforcing a minimum cohort size for
+    privacy; queries against too-small cohorts must not run at all.
+    """
+
+
+class SecureAggregationError(ReproError):
+    """The secure-aggregation protocol could not complete.
+
+    Raised when too many clients dropped out for mask recovery, when shares
+    fail to reconstruct, or when a masked sum fails a consistency check.
+    """
+
+
+class DataGenerationError(ReproError):
+    """A workload generator received parameters it cannot satisfy."""

@@ -1,0 +1,56 @@
+"""Experiment definitions: one function per paper figure panel, plus ablations."""
+
+from repro.experiments.ablations import (
+    alpha_sweep,
+    b_send_sweep,
+    caching_ablation,
+    delta_sweep,
+    distributed_dp_comparison,
+    dropout_adjustment,
+    gamma_sweep,
+    poisoning_sweep,
+    schedule_sensitivity,
+    variance_decomposition,
+)
+from repro.experiments.figure1 import figure_1a, figure_1b, figure_1c
+from repro.experiments.figure2 import figure_2a, figure_2b, figure_2c
+from repro.experiments.figure3 import figure_3a, figure_3b
+from repro.experiments.figure4 import BitMeansSnapshot, figure_4a, figure_4b, figure_4c
+from repro.experiments.methods import (
+    PAPER_MEAN_METHODS,
+    distributed_mean_estimate,
+    mean_methods,
+    variance_methods,
+)
+from repro.experiments.report import render_series_table, render_snapshot
+
+__all__ = [
+    "BitMeansSnapshot",
+    "PAPER_MEAN_METHODS",
+    "alpha_sweep",
+    "b_send_sweep",
+    "caching_ablation",
+    "delta_sweep",
+    "distributed_dp_comparison",
+    "distributed_mean_estimate",
+    "dropout_adjustment",
+    "figure_1a",
+    "figure_1b",
+    "figure_1c",
+    "figure_2a",
+    "figure_2b",
+    "figure_2c",
+    "figure_3a",
+    "figure_3b",
+    "figure_4a",
+    "figure_4b",
+    "figure_4c",
+    "gamma_sweep",
+    "mean_methods",
+    "poisoning_sweep",
+    "render_series_table",
+    "render_snapshot",
+    "schedule_sensitivity",
+    "variance_decomposition",
+    "variance_methods",
+]

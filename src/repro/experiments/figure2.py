@@ -1,0 +1,91 @@
+"""Figure 2: accuracy on census-style age data -- paper Section 4.1.
+
+Three panels over the human-generated workload (our synthetic census-age
+stand-in; see DESIGN.md):
+
+* **2a** mean NRMSE as the cohort size n grows (expected ~n^-1/2 decay;
+  a few thousand clients reach ~3% at 10 bits, 10k is comfortably < 1%);
+* **2b** variance NRMSE over the same sweep;
+* **2c** mean NRMSE as the bit depth grows past the 7 bits ages occupy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.census import sample_ages
+from repro.experiments.methods import (
+    PAPER_MEAN_METHODS,
+    mean_methods,
+    variance_methods,
+)
+from repro.metrics.experiment import SeriesResult, sweep
+
+__all__ = ["figure_2a", "figure_2b", "figure_2c", "DEFAULT_COHORTS", "DEFAULT_BIT_DEPTHS"]
+
+#: Cohort-size sweep (paper: "default number of clients -- 10K").
+DEFAULT_COHORTS = (1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000)
+#: Bit-depth sweep; ages need 7 bits, the rest is slack.
+DEFAULT_BIT_DEPTHS = (7, 8, 10, 12, 14, 16, 18, 20)
+#: The paper quotes its census accuracy numbers "for a 10-bit quantity".
+CENSUS_BITS = 10
+
+
+def figure_2a(
+    cohorts: tuple[int, ...] = DEFAULT_COHORTS,
+    n_bits: int = CENSUS_BITS,
+    n_reps: int = 100,
+    seed: int = 201,
+) -> dict[str, SeriesResult]:
+    """Census mean NRMSE vs number of clients (Figure 2a)."""
+    results: dict[str, SeriesResult] = {}
+    for label in PAPER_MEAN_METHODS:
+        def cell(n_clients: float, label: str = label):
+            method = mean_methods(n_bits, include=[label])[label]
+            def make(rng: np.random.Generator) -> np.ndarray:
+                return sample_ages(int(n_clients), rng)
+            return make, method
+
+        results[label] = sweep(label, cohorts, cell, n_reps=n_reps, seed=seed)
+    return results
+
+
+def figure_2b(
+    cohorts: tuple[int, ...] = DEFAULT_COHORTS,
+    n_bits: int = CENSUS_BITS,
+    n_reps: int = 100,
+    seed: int = 202,
+) -> dict[str, SeriesResult]:
+    """Census variance NRMSE vs number of clients (Figure 2b)."""
+    results: dict[str, SeriesResult] = {}
+    for label in PAPER_MEAN_METHODS:
+        def cell(n_clients: float, label: str = label):
+            method = variance_methods(n_bits, include=[label])[label]
+            def make(rng: np.random.Generator) -> np.ndarray:
+                return sample_ages(int(n_clients), rng)
+            return make, method
+
+        results[label] = sweep(
+            label, cohorts, cell, n_reps=n_reps, seed=seed,
+            truth_fn=lambda values: float(np.var(values)),
+        )
+    return results
+
+
+def figure_2c(
+    n_clients: int = 10_000,
+    bit_depths: tuple[int, ...] = DEFAULT_BIT_DEPTHS,
+    n_reps: int = 100,
+    seed: int = 203,
+) -> dict[str, SeriesResult]:
+    """Census mean NRMSE vs bit depth (Figure 2c)."""
+    results: dict[str, SeriesResult] = {}
+    for label in PAPER_MEAN_METHODS:
+        def cell(n_bits: float, label: str = label):
+            method = mean_methods(int(n_bits), include=[label])[label]
+            def make(rng: np.random.Generator) -> np.ndarray:
+                return sample_ages(n_clients, rng)
+            return make, method
+
+        results[label] = sweep(label, bit_depths, cell, n_reps=n_reps, seed=seed)
+    return results

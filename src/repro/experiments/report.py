@@ -1,0 +1,89 @@
+"""Rendering experiment results as the paper-style tables.
+
+The paper presents line plots; headless reproduction prints the same series
+as markdown tables -- one row per x-value, one column per method, each cell
+``value +/- stderr``.  These renderers are shared by the CLI, the benchmark
+harness, and the EXPERIMENTS.md generator, so every surface reports
+identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figure4 import BitMeansSnapshot
+from repro.metrics.experiment import SeriesResult
+
+__all__ = ["render_series_table", "render_snapshot", "format_measure"]
+
+
+def format_measure(value: float, stderr: float) -> str:
+    """Compact ``value +/- stderr`` with sensible significant figures."""
+    if not np.isfinite(value):
+        return "inf"
+    return f"{value:.4g} ± {stderr:.2g}"
+
+
+def render_series_table(
+    title: str,
+    results: dict[str, SeriesResult],
+    metric: str = "nrmse",
+    x_name: str = "x",
+) -> str:
+    """Render a figure's series as one markdown table.
+
+    All series must share their x-grid (they do by construction: every
+    method sweeps the same parameter values).
+    """
+    if not results:
+        raise ValueError("no series to render")
+    labels = list(results)
+    xs = results[labels[0]].x
+    for label in labels[1:]:
+        if results[label].x != xs:
+            raise ValueError(f"series {label!r} has a different x-grid")
+
+    lines = [f"### {title}", ""]
+    lines.append("| " + " | ".join([x_name] + labels) + " |")
+    lines.append("|" + "---|" * (len(labels) + 1))
+    rows_by_label = {label: results[label].rows(metric) for label in labels}
+    for i, x in enumerate(xs):
+        cells = [_format_x(x)]
+        for label in labels:
+            _, value, stderr = rows_by_label[label][i]
+            cells.append(format_measure(value, stderr))
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _format_x(x: float) -> str:
+    if float(x).is_integer():
+        return str(int(x))
+    return f"{x:g}"
+
+
+def render_snapshot(snapshot: BitMeansSnapshot, title: str = "Figure 4b") -> str:
+    """Render the Figure 4b bit-means diagnostic as a table.
+
+    Columns: bit index, report count, true bit mean, noisy estimate, and
+    whether the squash threshold would silence it.
+    """
+    lines = [f"### {title} (epsilon={snapshot.epsilon:g}, threshold={snapshot.threshold:g})", ""]
+    lines.append("| bit | reports | true mean | estimated mean | squashed? |")
+    lines.append("|---|---|---|---|---|")
+    for j, (count, true_m, est_m) in enumerate(
+        zip(snapshot.counts, snapshot.true_bit_means, snapshot.bit_means)
+    ):
+        squashed = "yes" if est_m < snapshot.threshold else ""
+        flag = " (!)" if est_m < 0.0 or est_m > 1.0 else ""
+        lines.append(
+            f"| {j} | {int(count)} | {true_m:.4f} | {est_m:+.4f}{flag} | {squashed} |"
+        )
+    lines.append("")
+    lines.append(
+        f"Bits outside [0, 1]: {snapshot.out_of_unit_bits.tolist()}; "
+        f"bits below threshold: {snapshot.noisy_bits.tolist()}."
+    )
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Federated simulation substrate: clients, cohorts, dropout, network, server,
+and the secure-aggregation protocol (paper Sections 3.3 and 4.3)."""
+
+from repro.federated.campaign import CampaignRecord, MonitoringCampaign
+from repro.federated.client import BitReport, ClientDevice
+from repro.federated.cohort import CohortSelector, attribute_equals
+from repro.federated.multifeature import MultiFeatureQuery
+from repro.federated.dropout import DropoutModel, DropoutRateTracker
+from repro.federated.multivalue import (
+    ELICITATION_STRATEGIES,
+    elicit_single_value,
+    ground_truth_mean,
+)
+from repro.federated.network import DeliveryOutcome, NetworkModel
+from repro.federated.secure_agg import (
+    PrimeField,
+    SecureAggregationSession,
+    secure_sum,
+)
+from repro.federated.server import FederatedMeanQuery, RoundOutcome
+from repro.federated.streaming import StreamingAggregator
+from repro.federated.wire import (
+    REPORT_SIZE,
+    decode_batch,
+    decode_report,
+    encode_batch,
+    encode_report,
+    payload_efficiency,
+)
+
+__all__ = [
+    "ELICITATION_STRATEGIES",
+    "BitReport",
+    "CampaignRecord",
+    "ClientDevice",
+    "CohortSelector",
+    "MonitoringCampaign",
+    "MultiFeatureQuery",
+    "DeliveryOutcome",
+    "DropoutModel",
+    "DropoutRateTracker",
+    "FederatedMeanQuery",
+    "NetworkModel",
+    "PrimeField",
+    "REPORT_SIZE",
+    "RoundOutcome",
+    "SecureAggregationSession",
+    "StreamingAggregator",
+    "attribute_equals",
+    "decode_batch",
+    "decode_report",
+    "elicit_single_value",
+    "encode_batch",
+    "encode_report",
+    "ground_truth_mean",
+    "payload_efficiency",
+    "secure_sum",
+]

@@ -1,0 +1,105 @@
+"""Client-side device model for the federated simulator.
+
+A :class:`ClientDevice` owns one or more private values per metric (the
+paper's deployment observes "most clients hold several values ... while a
+small subset may hold up to millions", Section 4.3), an availability flag,
+and the client half of the bit-pushing protocol: elicit a single value for
+this query, extract the requested bit, optionally perturb it with
+randomized response, and never reveal more than the metered bit budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.encoding import FixedPointEncoder
+from repro.core.protocol import BitPerturbation
+from repro.exceptions import ConfigurationError
+from repro.federated.multivalue import elicit_single_value
+from repro.privacy.accountant import BitMeter
+from repro.rng import ensure_rng
+
+__all__ = ["ClientDevice", "BitReport"]
+
+
+@dataclass(frozen=True)
+class BitReport:
+    """One client's wire message: which bit index, and its (noisy) value.
+
+    This is the *entire* private payload the protocol ever sends per value
+    -- a single binary digit plus its position.
+    """
+
+    client_id: int
+    bit_index: int
+    bit: int
+
+
+@dataclass
+class ClientDevice:
+    """One edge device participating in federated aggregation.
+
+    Parameters
+    ----------
+    client_id:
+        Stable integer identity.
+    values:
+        The device's local observations for the queried metric (>= 1).
+    attributes:
+        Free-form eligibility attributes (region, OS version, ...), matched
+        by cohort predicates.
+    """
+
+    client_id: int
+    values: np.ndarray
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        values = np.atleast_1d(np.asarray(self.values, dtype=np.float64))
+        if values.size == 0:
+            raise ConfigurationError(f"client {self.client_id} has no local values")
+        self.values = values
+
+    # ------------------------------------------------------------------
+    @property
+    def n_values(self) -> int:
+        return int(self.values.size)
+
+    def local_mean(self) -> float:
+        """The device-local aggregate (one multi-value elicitation option)."""
+        return float(self.values.mean())
+
+    # ------------------------------------------------------------------
+    def elicit(self, strategy: str, rng: np.random.Generator | int | None = None) -> float:
+        """Reduce this device's local multiset to the single queried value."""
+        return elicit_single_value(self.values, strategy, rng)
+
+    def report_bit(
+        self,
+        bit_index: int,
+        encoder: FixedPointEncoder,
+        strategy: str = "sample",
+        perturbation: BitPerturbation | None = None,
+        meter: BitMeter | None = None,
+        value_id: str = "metric",
+        rng: np.random.Generator | int | None = None,
+    ) -> BitReport:
+        """Produce this client's one-bit report for the requested bit index.
+
+        Order of operations mirrors the deployment pipeline: elicit one
+        value, clip/encode it, extract the assigned bit, meter the
+        disclosure, then apply randomized response so what leaves the device
+        is already privatized.
+        """
+        gen = ensure_rng(rng)
+        value = self.elicit(strategy, gen)
+        encoded = encoder.encode(np.array([value]))
+        bit = int(encoder.bit(encoded, bit_index)[0])
+        if meter is not None:
+            meter.record(self.client_id, value_id)
+        if perturbation is not None:
+            bit = int(perturbation.perturb_bits(np.array([bit], dtype=np.uint8), gen)[0])
+        return BitReport(client_id=self.client_id, bit_index=bit_index, bit=bit)

@@ -1,0 +1,93 @@
+"""Cohort selection: eligibility filtering and minimum-size enforcement.
+
+Selective queries ("restricting eligibility to clients in a particular
+geography", Section 4.3) filter the device population by attribute
+predicates, and privacy policy requires "a minimum cohort size": a query
+whose eligible population is too small must not run.
+:class:`CohortSelector` implements both, plus uniform sub-sampling when a
+target cohort size is requested.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import CohortTooSmallError, ConfigurationError
+from repro.federated.client import ClientDevice
+from repro.rng import ensure_rng
+
+__all__ = ["CohortSelector", "attribute_equals"]
+
+#: Eligibility predicate signature.
+Eligibility = Callable[[ClientDevice], bool]
+
+
+def attribute_equals(key: str, value: object) -> Eligibility:
+    """Predicate factory: ``client.attributes[key] == value``.
+
+    Missing attributes make a client ineligible rather than erroring -- a
+    fleet always contains devices that never reported the attribute.
+    """
+    def predicate(client: ClientDevice) -> bool:
+        return client.attributes.get(key) == value
+
+    return predicate
+
+
+class CohortSelector:
+    """Select a query cohort from the device population.
+
+    Parameters
+    ----------
+    min_cohort_size:
+        Queries whose *eligible* population (or requested cohort) is below
+        this bound raise :class:`CohortTooSmallError`.
+
+    Examples
+    --------
+    >>> pop = [ClientDevice(i, [float(i)], {"geo": "us" if i % 2 else "eu"}) for i in range(10)]
+    >>> selector = CohortSelector(min_cohort_size=3)
+    >>> cohort = selector.select(pop, eligibility=attribute_equals("geo", "us"))
+    >>> len(cohort)
+    5
+    """
+
+    def __init__(self, min_cohort_size: int = 1) -> None:
+        if min_cohort_size < 1:
+            raise ConfigurationError(f"min_cohort_size must be >= 1, got {min_cohort_size}")
+        self.min_cohort_size = min_cohort_size
+
+    def select(
+        self,
+        population: Sequence[ClientDevice],
+        eligibility: Eligibility | None = None,
+        cohort_size: int | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> list[ClientDevice]:
+        """Filter by eligibility, enforce the minimum, optionally subsample.
+
+        Returns the eligible clients (all of them, or a uniform sample of
+        ``cohort_size``).  Raises :class:`CohortTooSmallError` if either
+        the eligible population or the requested cohort would violate the
+        minimum size.
+        """
+        eligible = [c for c in population if eligibility is None or eligibility(c)]
+        if len(eligible) < self.min_cohort_size:
+            raise CohortTooSmallError(
+                f"only {len(eligible)} eligible clients; minimum cohort size is "
+                f"{self.min_cohort_size}"
+            )
+        if cohort_size is None:
+            return eligible
+        if cohort_size < self.min_cohort_size:
+            raise CohortTooSmallError(
+                f"requested cohort of {cohort_size} is below the minimum "
+                f"{self.min_cohort_size}"
+            )
+        if cohort_size >= len(eligible):
+            return eligible
+        gen = ensure_rng(rng)
+        picked = gen.choice(len(eligible), size=cohort_size, replace=False)
+        return [eligible[i] for i in picked]

@@ -1,0 +1,102 @@
+"""Dropout modelling and online dropout-rate tracking.
+
+Client devices "can drop out at any point of the federated protocol"
+(Section 4.3); the deployed system auto-adjusts bit sampling probabilities
+based on the observed dropout rate.  :class:`DropoutModel` simulates the
+phenomenon (a base rate with per-round variability), and
+:class:`DropoutRateTracker` is the server-side estimator the adjustment
+feeds on -- an exponentially weighted average of per-round survival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng import ensure_rng
+
+__all__ = ["DropoutModel", "DropoutRateTracker"]
+
+
+@dataclass(frozen=True)
+class DropoutModel:
+    """Per-round client dropout with a jittered base rate.
+
+    Each round draws an effective rate ``~ Normal(rate, jitter)`` clipped to
+    ``[0, 0.95]``, then drops each client independently with it.  Jitter
+    models diurnal/network variability in device availability.
+    """
+
+    rate: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise ConfigurationError(f"dropout rate must be in [0, 1), got {self.rate}")
+        if self.jitter < 0.0:
+            raise ConfigurationError(f"jitter must be >= 0, got {self.jitter}")
+
+    def draw_survivors(
+        self, n_clients: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Boolean survival mask for one round (True = client completed)."""
+        if n_clients < 0:
+            raise ConfigurationError(f"n_clients must be >= 0, got {n_clients}")
+        gen = ensure_rng(rng)
+        effective = self.rate if self.jitter == 0 else float(gen.normal(self.rate, self.jitter))
+        effective = min(max(effective, 0.0), 0.95)
+        return gen.random(n_clients) >= effective
+
+
+class DropoutRateTracker:
+    """EWMA estimate of the dropout rate from per-round outcomes.
+
+    Parameters
+    ----------
+    smoothing:
+        EWMA weight on the newest observation (0 < smoothing <= 1).
+    prior_rate:
+        Estimate used before any round has been observed.
+
+    Examples
+    --------
+    >>> tracker = DropoutRateTracker(smoothing=0.5, prior_rate=0.0)
+    >>> tracker.update(planned=100, survived=80)
+    >>> tracker.update(planned=100, survived=60)
+    >>> round(tracker.rate, 3)
+    0.25
+    """
+
+    def __init__(self, smoothing: float = 0.3, prior_rate: float = 0.0) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigurationError(f"smoothing must be in (0, 1], got {smoothing}")
+        if not 0.0 <= prior_rate < 1.0:
+            raise ConfigurationError(f"prior_rate must be in [0, 1), got {prior_rate}")
+        self.smoothing = smoothing
+        self._rate = prior_rate
+        self._rounds = 0
+
+    def update(self, planned: int, survived: int) -> None:
+        """Fold in one round's outcome."""
+        if planned <= 0 or not 0 <= survived <= planned:
+            raise ConfigurationError(
+                f"invalid round outcome: planned={planned}, survived={survived}"
+            )
+        observed = 1.0 - survived / planned
+        self._rate = (1.0 - self.smoothing) * self._rate + self.smoothing * observed
+        self._rounds += 1
+
+    @property
+    def rate(self) -> float:
+        """Current dropout-rate estimate."""
+        return self._rate
+
+    @property
+    def expected_survival(self) -> float:
+        return 1.0 - self._rate
+
+    @property
+    def rounds_observed(self) -> int:
+        return self._rounds

@@ -1,0 +1,142 @@
+"""Multi-feature queries under a shared per-client bit budget.
+
+Real rollouts query many metrics against one device population, and the
+worst-case promise must hold *across* them: a bounded number of private bits
+per client in total (paper Section 1.1, "limit subsequent bits per value and
+per client").  :class:`MultiFeatureQuery` partitions the population so each
+client contributes to at most ``features_per_client`` of the configured
+feature queries, shares one :class:`~repro.privacy.accountant.BitMeter`
+across all of them, and raises before any client would exceed its budget.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.results import MeanEstimate
+from repro.exceptions import ConfigurationError
+from repro.federated.client import ClientDevice
+from repro.federated.server import FederatedMeanQuery
+from repro.privacy.accountant import BitMeter
+from repro.rng import ensure_rng
+
+__all__ = ["MultiFeatureQuery"]
+
+
+class MultiFeatureQuery:
+    """Run several federated mean queries against one population.
+
+    Parameters
+    ----------
+    queries:
+        ``feature name -> FederatedMeanQuery``.  Each query's
+        ``metric_name`` is overridden to the feature name and its meter to
+        the shared one, so the budget is enforced uniformly.  Client values
+        for feature ``f`` are read from ``client.attributes["features"][f]``
+        (an array of one or more local observations).
+    features_per_client:
+        How many features a single client may serve this campaign.  With
+        one bit per feature query, this equals the client's total private
+        bits -- the shared meter is configured accordingly.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import FixedPointEncoder
+    >>> rng = np.random.default_rng(0)
+    >>> pop = []
+    >>> for i in range(4000):
+    ...     pop.append(ClientDevice(i, [0.0], {"features": {
+    ...         "latency": np.clip(rng.normal(200, 30, 1), 0, None),
+    ...         "memory": np.clip(rng.normal(60, 10, 1), 0, None),
+    ...     }}))
+    >>> mfq = MultiFeatureQuery({
+    ...     "latency": FederatedMeanQuery(FixedPointEncoder.for_integers(9)),
+    ...     "memory": FederatedMeanQuery(FixedPointEncoder.for_integers(7)),
+    ... })
+    >>> results = mfq.run(pop, rng=1)
+    >>> abs(results["latency"].value - 200) < 10 and abs(results["memory"].value - 60) < 4
+    True
+    """
+
+    def __init__(
+        self,
+        queries: dict[str, FederatedMeanQuery],
+        features_per_client: int = 1,
+    ) -> None:
+        if not queries:
+            raise ConfigurationError("need at least one feature query")
+        if features_per_client < 1:
+            raise ConfigurationError(
+                f"features_per_client must be >= 1, got {features_per_client}"
+            )
+        if features_per_client > len(queries):
+            raise ConfigurationError(
+                f"features_per_client={features_per_client} exceeds the "
+                f"{len(queries)} configured features"
+            )
+        self.queries = dict(queries)
+        self.features_per_client = features_per_client
+        self.meter = BitMeter(
+            max_bits_per_value=1, max_bits_per_client=features_per_client
+        )
+        for name, query in self.queries.items():
+            query.meter = self.meter
+            query.metric_name = name
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        population: Sequence[ClientDevice],
+        rng: np.random.Generator | int | None = None,
+    ) -> dict[str, MeanEstimate]:
+        """Run every feature query on its share of the population.
+
+        The population is shuffled and dealt round-robin into
+        ``ceil(n_features / features_per_client)`` disjoint groups; each
+        group serves ``features_per_client`` features, so no client ever
+        answers more.  Clients missing a feature's data are skipped for
+        that feature.
+        """
+        gen = ensure_rng(rng)
+        names = list(self.queries)
+        n_groups = -(-len(names) // self.features_per_client)   # ceil division
+        order = gen.permutation(len(population))
+        groups = [
+            [population[i] for i in order[g::n_groups]] for g in range(n_groups)
+        ]
+
+        results: dict[str, MeanEstimate] = {}
+        for feature_idx, name in enumerate(names):
+            group = groups[feature_idx % n_groups]
+            cohort = [
+                self._feature_view(client, name)
+                for client in group
+                if self._has_feature(client, name)
+            ]
+            if not cohort:
+                raise ConfigurationError(f"no client holds data for feature {name!r}")
+            results[name] = self.queries[name].run(cohort, rng=gen)
+        return results
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _has_feature(client: ClientDevice, name: str) -> bool:
+        features = client.attributes.get("features", {})
+        return name in features and np.atleast_1d(features[name]).size > 0
+
+    @staticmethod
+    def _feature_view(client: ClientDevice, name: str) -> ClientDevice:
+        """A per-feature facade keeping the client's identity (for metering)."""
+        return ClientDevice(
+            client.client_id,
+            np.atleast_1d(client.attributes["features"][name]),
+            client.attributes,
+        )
+
+    @property
+    def total_private_bits(self) -> int:
+        """Private bits disclosed across the whole campaign so far."""
+        return self.meter.total_bits

@@ -1,0 +1,19 @@
+"""Secure aggregation substrate: prime field, Shamir sharing, masking, protocol."""
+
+from repro.federated.secure_agg.field import DEFAULT_PRIME, PrimeField
+from repro.federated.secure_agg.masking import apply_masks, expand_mask, pairwise_mask_sign
+from repro.federated.secure_agg.protocol import SecureAggregationSession, secure_sum
+from repro.federated.secure_agg.shamir import Share, reconstruct_secret, split_secret
+
+__all__ = [
+    "DEFAULT_PRIME",
+    "PrimeField",
+    "SecureAggregationSession",
+    "Share",
+    "apply_masks",
+    "expand_mask",
+    "pairwise_mask_sign",
+    "reconstruct_secret",
+    "secure_sum",
+    "split_secret",
+]

@@ -1,0 +1,124 @@
+"""Prime-field arithmetic for secure aggregation.
+
+Secure aggregation sums client vectors modulo a public prime: masks drawn
+uniformly from the field perfectly hide individual contributions, and
+Shamir secret sharing (used for dropout recovery) needs field arithmetic
+with invertible non-zero elements.
+
+We default to the Mersenne prime ``2**61 - 1``: large enough that sums of
+millions of 16-bit bit-report vectors never wrap, small enough that Python
+integers stay single-word-ish and numpy can hold raw values before
+reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng import ensure_rng
+
+__all__ = ["PrimeField", "DEFAULT_PRIME"]
+
+#: Mersenne prime 2**61 - 1.
+DEFAULT_PRIME = (1 << 61) - 1
+
+# Deterministic Miller-Rabin witnesses valid for all n < 3.3 * 10**24.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    for p in _MR_WITNESSES:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class PrimeField:
+    """Arithmetic modulo a prime ``modulus``.
+
+    Examples
+    --------
+    >>> f = PrimeField(97)
+    >>> f.mul(50, 2)
+    3
+    >>> f.mul(f.inv(13), 13)
+    1
+    """
+
+    modulus: int = DEFAULT_PRIME
+
+    def __post_init__(self) -> None:
+        if not _is_prime(self.modulus):
+            raise ConfigurationError(f"field modulus must be prime, got {self.modulus}")
+
+    # ------------------------------------------------------------------
+    def reduce(self, x: int) -> int:
+        return int(x) % self.modulus
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.modulus
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) % self.modulus
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.modulus
+
+    def neg(self, a: int) -> int:
+        return (-a) % self.modulus
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse via Fermat's little theorem."""
+        a = a % self.modulus
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in a prime field")
+        return pow(a, self.modulus - 2, self.modulus)
+
+    # ------------------------------------------------------------------
+    def random_element(self, rng: np.random.Generator | int | None = None) -> int:
+        """Uniform field element."""
+        gen = ensure_rng(rng)
+        return int(gen.integers(0, self.modulus))
+
+    def random_vector(self, length: int, rng: np.random.Generator | int | None = None) -> list[int]:
+        """Uniform field vector, returned as Python ints (exact arithmetic)."""
+        gen = ensure_rng(rng)
+        return [int(v) for v in gen.integers(0, self.modulus, size=length)]
+
+    def add_vectors(self, a: list[int], b: list[int]) -> list[int]:
+        if len(a) != len(b):
+            raise ConfigurationError(f"vector lengths differ: {len(a)} vs {len(b)}")
+        return [(x + y) % self.modulus for x, y in zip(a, b)]
+
+    def sub_vectors(self, a: list[int], b: list[int]) -> list[int]:
+        if len(a) != len(b):
+            raise ConfigurationError(f"vector lengths differ: {len(a)} vs {len(b)}")
+        return [(x - y) % self.modulus for x, y in zip(a, b)]
+
+    def centered(self, x: int) -> int:
+        """Map a field element to the centered range ``(-p/2, p/2]``.
+
+        Lets callers recover small *signed* integers after modular sums.
+        """
+        x = x % self.modulus
+        return x - self.modulus if x > self.modulus // 2 else x

@@ -1,0 +1,78 @@
+"""Mask generation for pairwise-masked secure aggregation.
+
+Each client ``i`` submits ``x_i + b_i + sum_{j>i} m_ij - sum_{j<i} m_ji``
+(mod p), where ``b_i`` is a self-mask expanded from a private seed and
+``m_ij`` is a pairwise mask expanded from a seed shared by clients ``i`` and
+``j``.  Summed over all clients, the pairwise masks cancel exactly; the
+self-masks are removed by the server after share-based seed recovery.
+
+Masks are expanded deterministically from integer seeds with numpy's
+``Philox`` bit generator (counter-based, so seed -> stream is stable across
+platforms), truncated into the field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.federated.secure_agg.field import PrimeField
+
+__all__ = ["expand_mask", "apply_masks", "pairwise_mask_sign"]
+
+
+def expand_mask(seed: int, length: int, field: PrimeField) -> list[int]:
+    """Deterministically expand ``seed`` into a uniform field vector.
+
+    Both endpoints of a pairwise seed must derive the *same* vector, so the
+    expansion depends only on the seed value.
+    """
+    if length < 0:
+        raise ConfigurationError(f"mask length must be >= 0, got {length}")
+    gen = np.random.Generator(np.random.Philox(seed))
+    return [int(v) for v in gen.integers(0, field.modulus, size=length)]
+
+
+def pairwise_mask_sign(my_id: int, other_id: int) -> int:
+    """Sign convention making pairwise masks cancel: +1 if ``my_id < other_id``.
+
+    Client ``i`` *adds* ``m_ij`` for peers with larger ids and *subtracts*
+    it for peers with smaller ids, so each pair contributes ``+m - m = 0``
+    to the total.
+    """
+    if my_id == other_id:
+        raise ConfigurationError("a client has no pairwise mask with itself")
+    return 1 if my_id < other_id else -1
+
+
+def apply_masks(
+    values: list[int],
+    self_seed: int,
+    pairwise_seeds: dict[int, int],
+    my_id: int,
+    field: PrimeField,
+) -> list[int]:
+    """Mask a client's value vector for submission.
+
+    Parameters
+    ----------
+    values:
+        The client's plaintext contribution (field elements).
+    self_seed:
+        Seed of the client's self-mask ``b_i``.
+    pairwise_seeds:
+        ``other_id -> shared seed`` for every *live* peer.
+    my_id:
+        This client's id (determines mask signs).
+    field:
+        The aggregation field.
+    """
+    masked = [field.reduce(v) for v in values]
+    masked = field.add_vectors(masked, expand_mask(self_seed, len(values), field))
+    for other_id, seed in pairwise_seeds.items():
+        mask = expand_mask(seed, len(values), field)
+        if pairwise_mask_sign(my_id, other_id) > 0:
+            masked = field.add_vectors(masked, mask)
+        else:
+            masked = field.sub_vectors(masked, mask)
+    return masked

@@ -1,0 +1,97 @@
+"""Shamir secret sharing over a prime field.
+
+Secure aggregation survives client dropout by having every client
+secret-share two things with its peers before submitting anything: the seed
+of its self-mask and its pairwise key material.  When a client disappears
+mid-round, any ``threshold`` surviving peers can reconstruct what the server
+needs to cancel that client's masks (Segal et al. 2017).
+
+This is a textbook ``(threshold, n)`` Shamir implementation: the secret is
+the constant term of a random degree-``threshold - 1`` polynomial, shares
+are evaluations at distinct non-zero points, reconstruction is Lagrange
+interpolation at zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SecureAggregationError
+from repro.federated.secure_agg.field import PrimeField
+from repro.rng import ensure_rng
+
+__all__ = ["Share", "split_secret", "reconstruct_secret"]
+
+
+@dataclass(frozen=True)
+class Share:
+    """One Shamir share: the evaluation point ``x`` and value ``y``."""
+
+    x: int
+    y: int
+
+
+def split_secret(
+    secret: int,
+    n_shares: int,
+    threshold: int,
+    field: PrimeField,
+    rng: np.random.Generator | int | None = None,
+) -> list[Share]:
+    """Split ``secret`` into ``n_shares`` shares, any ``threshold`` of which reconstruct it.
+
+    Examples
+    --------
+    >>> field = PrimeField(2**61 - 1)
+    >>> shares = split_secret(12345, n_shares=5, threshold=3, field=field, rng=0)
+    >>> reconstruct_secret(shares[1:4], field)
+    12345
+    """
+    if not 1 <= threshold <= n_shares:
+        raise ConfigurationError(
+            f"need 1 <= threshold <= n_shares, got threshold={threshold}, n_shares={n_shares}"
+        )
+    if n_shares >= field.modulus:
+        raise ConfigurationError("more shares requested than distinct field points")
+    gen = ensure_rng(rng)
+    secret = field.reduce(secret)
+    # Random polynomial with constant term = secret.
+    coefficients = [secret] + [field.random_element(gen) for _ in range(threshold - 1)]
+    shares = []
+    for x in range(1, n_shares + 1):
+        # Horner evaluation at x.
+        y = 0
+        for coeff in reversed(coefficients):
+            y = field.add(field.mul(y, x), coeff)
+        shares.append(Share(x=x, y=y))
+    return shares
+
+
+def reconstruct_secret(shares: list[Share], field: PrimeField) -> int:
+    """Reconstruct the secret from at least ``threshold`` distinct shares.
+
+    Lagrange interpolation at ``x = 0``.  Raises
+    :class:`SecureAggregationError` on duplicate evaluation points (a sign
+    of protocol corruption); supplying *fewer* than ``threshold`` shares is
+    undetectable here and simply yields garbage, which is why the session
+    layer tracks survivor counts explicitly.
+    """
+    if not shares:
+        raise SecureAggregationError("cannot reconstruct from zero shares")
+    xs = [s.x for s in shares]
+    if len(set(xs)) != len(xs):
+        raise SecureAggregationError(f"duplicate share points: {sorted(xs)}")
+    secret = 0
+    for i, share_i in enumerate(shares):
+        # Lagrange basis polynomial evaluated at 0.
+        numerator, denominator = 1, 1
+        for j, share_j in enumerate(shares):
+            if i == j:
+                continue
+            numerator = field.mul(numerator, field.neg(share_j.x))
+            denominator = field.mul(denominator, field.sub(share_i.x, share_j.x))
+        basis = field.mul(numerator, field.inv(denominator))
+        secret = field.add(secret, field.mul(share_i.y, basis))
+    return secret

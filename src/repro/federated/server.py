@@ -1,0 +1,387 @@
+"""Server-side orchestration of federated bit-pushing queries.
+
+:class:`FederatedMeanQuery` glues every substrate together the way the
+deployed system does (Section 4.3): select an eligible cohort (minimum-size
+enforced), plan a central-randomness bit assignment, adjust sampling
+probabilities for the expected dropout rate, collect one-bit reports over a
+lossy network from clients that may vanish mid-round, meter each disclosure,
+optionally route the per-bit counters through secure aggregation, and
+reconstruct the mean -- in one round (basic) or two (adaptive).
+
+The arithmetic is exactly :mod:`repro.core`'s; this layer adds the systems
+behaviour around it, so core tests guarantee correctness and federated tests
+guarantee robustness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.encoding import FixedPointEncoder
+from repro.core.protocol import (
+    BitPerturbation,
+    bit_means_from_stats,
+    collect_bit_reports,
+    combine_round_stats,
+)
+from repro.core.results import MeanEstimate, RoundSummary
+from repro.core.sampling import BitSamplingSchedule, central_assignment
+from repro.core.squashing import per_bit_squash_thresholds, squash_bit_means
+from repro.exceptions import ConfigurationError
+from repro.federated.client import ClientDevice
+from repro.federated.cohort import CohortSelector, Eligibility
+from repro.federated.dropout import DropoutModel, DropoutRateTracker
+from repro.federated.network import NetworkModel
+from repro.federated.secure_agg.protocol import SecureAggregationSession
+from repro.privacy.accountant import BitMeter
+from repro.rng import ensure_rng
+
+__all__ = ["RoundOutcome", "FederatedMeanQuery"]
+
+_MODES = ("basic", "adaptive")
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """Operational record of one collection round."""
+
+    summary: RoundSummary
+    planned_clients: int
+    surviving_clients: int
+    round_duration_s: float
+
+    @property
+    def dropout_rate(self) -> float:
+        if self.planned_clients == 0:
+            return 0.0
+        return 1.0 - self.surviving_clients / self.planned_clients
+
+
+class FederatedMeanQuery:
+    """A configurable federated mean query over a device population.
+
+    Parameters
+    ----------
+    encoder:
+        Fixed-point encoding (clipping included) for the queried metric.
+    mode:
+        ``"adaptive"`` (two rounds, default) or ``"basic"`` (one round).
+    schedule:
+        Basic-mode sampling schedule (default: the Eq. 7 ``p_j \\propto 2**j``,
+        i.e. weighted ``alpha = 1.0``).
+    gamma, alpha, delta, caching:
+        Adaptive-mode parameters, as in
+        :class:`~repro.core.adaptive.AdaptiveBitPushing`.
+    perturbation:
+        Optional local-DP bit perturbation (randomized response).
+    squash_multiple:
+        Bit-squash threshold in expected-DP-noise multiples (needs a
+        perturbation).
+    dropout, network:
+        Failure models; ``None`` disables each.
+    selector:
+        Cohort policy (default: no eligibility filter, minimum size 1).
+    meter:
+        Optional :class:`BitMeter`; every surviving client's disclosure is
+        recorded (and over-disclosure raises).
+    elicitation:
+        Multi-value reduction strategy (``"sample"`` by default).
+    metric_name:
+        Value identity used for metering.
+    min_reports_per_bit:
+        Dropout-aware floor: sampled bits are guaranteed this many expected
+        reports by mixing the schedule toward them ("sampling probabilities
+        were auto-adjusted based on the dropout rate").
+    secure_aggregation:
+        Route per-bit counters through sharded pairwise-masked secure
+        aggregation instead of plaintext summation.
+    shard_size:
+        Clients per secure-aggregation shard (sessions are O(shard**2)).
+    """
+
+    def __init__(
+        self,
+        encoder: FixedPointEncoder,
+        mode: str = "adaptive",
+        schedule: BitSamplingSchedule | None = None,
+        gamma: float | None = None,
+        alpha: float = 0.5,
+        delta: float = 1.0 / 3.0,
+        caching: bool = True,
+        perturbation: BitPerturbation | None = None,
+        squash_multiple: float = 0.0,
+        dropout: DropoutModel | None = None,
+        network: NetworkModel | None = None,
+        selector: CohortSelector | None = None,
+        meter: BitMeter | None = None,
+        elicitation: str = "sample",
+        metric_name: str = "metric",
+        min_reports_per_bit: int = 0,
+        secure_aggregation: bool = False,
+        shard_size: int = 32,
+    ) -> None:
+        if mode not in _MODES:
+            raise ConfigurationError(f"mode must be one of {_MODES}, got {mode!r}")
+        if not 0.0 < delta < 1.0:
+            raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+        if min_reports_per_bit < 0:
+            raise ConfigurationError(f"min_reports_per_bit must be >= 0, got {min_reports_per_bit}")
+        if squash_multiple < 0:
+            raise ConfigurationError(f"squash_multiple must be >= 0, got {squash_multiple}")
+        if squash_multiple > 0 and perturbation is None:
+            raise ConfigurationError("squash_multiple requires a perturbation")
+        if shard_size < 2:
+            raise ConfigurationError(f"shard_size must be >= 2, got {shard_size}")
+        if schedule is not None and schedule.n_bits != encoder.n_bits:
+            raise ConfigurationError(
+                f"schedule covers {schedule.n_bits} bits but encoder has {encoder.n_bits}"
+            )
+        self.encoder = encoder
+        self.mode = mode
+        self.schedule = schedule or BitSamplingSchedule.weighted(encoder.n_bits, alpha=1.0)
+        # Under LDP the exploratory round defaults to uniform sampling; see
+        # AdaptiveBitPushing for the rationale.
+        self.gamma = gamma if gamma is not None else (0.0 if perturbation is not None else 0.5)
+        self.alpha = alpha
+        self.delta = delta
+        self.caching = caching
+        self.perturbation = perturbation
+        self.squash_multiple = squash_multiple
+        self.dropout = dropout
+        self.network = network
+        self.selector = selector or CohortSelector(min_cohort_size=1)
+        self.meter = meter
+        self.elicitation = elicitation
+        self.metric_name = metric_name
+        self.min_reports_per_bit = min_reports_per_bit
+        self.secure_aggregation = secure_aggregation
+        self.shard_size = shard_size
+        self.dropout_tracker = DropoutRateTracker(
+            prior_rate=dropout.rate if dropout is not None else 0.0
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        population: Sequence[ClientDevice],
+        rng: np.random.Generator | int | None = None,
+        eligibility: Eligibility | None = None,
+        cohort_size: int | None = None,
+    ) -> MeanEstimate:
+        """Execute the query end-to-end and return the mean estimate."""
+        gen = ensure_rng(rng)
+        cohort = self.selector.select(population, eligibility, cohort_size, gen)
+
+        if self.mode == "basic":
+            outcome = self._run_round(cohort, self.schedule, gen)
+            outcomes = [outcome]
+            pooled_means = outcome.summary.bit_means
+            pooled_counts = outcome.summary.counts
+        else:
+            n_round1 = min(max(int(round(self.delta * len(cohort))), 1), len(cohort) - 1)
+            order = gen.permutation(len(cohort))
+            cohort1 = [cohort[i] for i in order[:n_round1]]
+            cohort2 = [cohort[i] for i in order[n_round1:]]
+
+            schedule1 = BitSamplingSchedule.geometric(self.encoder.n_bits, gamma=self.gamma)
+            outcome1 = self._run_round(cohort1, schedule1, gen)
+            round1_means = outcome1.summary.bit_means
+            if self.squash_multiple > 0 and self.perturbation is not None:
+                threshold = self._squash_threshold(outcome1.summary.counts)
+                round1_means, _ = squash_bit_means(round1_means, threshold)
+
+            schedule2 = BitSamplingSchedule.from_bit_means(round1_means, alpha=self.alpha)
+            outcome2 = self._run_round(cohort2, schedule2, gen)
+            outcomes = [outcome1, outcome2]
+
+            if self.caching:
+                pooled_means, pooled_counts = combine_round_stats(
+                    [outcome1.summary.bit_means, outcome2.summary.bit_means],
+                    [outcome1.summary.counts, outcome2.summary.counts],
+                )
+            else:
+                have2 = outcome2.summary.counts > 0
+                pooled_means = np.where(have2, outcome2.summary.bit_means, outcome1.summary.bit_means)
+                pooled_counts = np.where(have2, outcome2.summary.counts, outcome1.summary.counts)
+
+        squashed: tuple[int, ...] = ()
+        if self.perturbation is not None:
+            threshold = (
+                self._squash_threshold(pooled_counts)
+                if self.squash_multiple > 0
+                else np.zeros_like(pooled_means)
+            )
+            pooled_means, squashed_idx = squash_bit_means(pooled_means, threshold)
+            squashed = tuple(int(j) for j in squashed_idx)
+
+        encoded_mean = float(np.exp2(np.arange(self.encoder.n_bits)) @ pooled_means)
+        total_duration = sum(o.round_duration_s for o in outcomes)
+        return MeanEstimate(
+            value=self.encoder.decode_scalar(encoded_mean),
+            encoded_value=encoded_mean,
+            bit_means=pooled_means,
+            counts=pooled_counts,
+            n_clients=len(cohort),
+            n_bits=self.encoder.n_bits,
+            method=f"federated-{self.mode}",
+            rounds=tuple(o.summary for o in outcomes),
+            squashed_bits=squashed,
+            metadata={
+                "cohort_size": len(cohort),
+                "dropout_rates": [o.dropout_rate for o in outcomes],
+                "round_durations_s": [o.round_duration_s for o in outcomes],
+                "total_duration_s": total_duration,
+                "secure_aggregation": self.secure_aggregation,
+                "elicitation": self.elicitation,
+                "ldp": self.perturbation is not None,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _run_round(
+        self,
+        clients: Sequence[ClientDevice],
+        schedule: BitSamplingSchedule,
+        gen: np.random.Generator,
+    ) -> RoundOutcome:
+        n = len(clients)
+        if n == 0:
+            raise ConfigurationError("round planned with zero clients")
+        schedule = self._adjust_schedule(schedule, n)
+        assignment = central_assignment(n, schedule, gen)
+
+        # Failure simulation: device dropout, then network delivery.
+        alive = (
+            self.dropout.draw_survivors(n, gen)
+            if self.dropout is not None
+            else np.ones(n, dtype=bool)
+        )
+        duration = 0.0
+        if self.network is not None:
+            outcome = self.network.transmit(int(alive.sum()), gen)
+            delivered = np.zeros(n, dtype=bool)
+            delivered[np.flatnonzero(alive)] = outcome.delivered
+            duration = outcome.round_duration_s
+            alive = delivered
+        survivors = np.flatnonzero(alive)
+        self.dropout_tracker.update(planned=n, survived=int(survivors.size))
+        if survivors.size == 0:
+            raise ConfigurationError("every client dropped out of the round")
+
+        # Client-side: elicit one value each, meter the single-bit disclosure.
+        values = np.array(
+            [clients[i].elicit(self.elicitation, gen) for i in survivors], dtype=np.float64
+        )
+        if self.meter is not None:
+            for i in survivors:
+                self.meter.record(clients[i].client_id, self.metric_name)
+        encoded = self.encoder.encode(values)
+        live_assignment = assignment[survivors]
+
+        if self.secure_aggregation:
+            sums, counts = self._secure_collect(encoded, live_assignment, gen)
+        else:
+            sums, counts = collect_bit_reports(
+                encoded, self.encoder.n_bits, live_assignment, self.perturbation, gen
+            )
+        means = bit_means_from_stats(sums, counts, self.perturbation)
+        summary = RoundSummary(
+            probabilities=schedule.probabilities,
+            counts=counts,
+            sums=means * counts,
+            bit_means=means,
+            n_clients=int(survivors.size),
+        )
+        return RoundOutcome(
+            summary=summary,
+            planned_clients=n,
+            surviving_clients=int(survivors.size),
+            round_duration_s=duration,
+        )
+
+    # ------------------------------------------------------------------
+    def _adjust_schedule(
+        self, schedule: BitSamplingSchedule, n_planned: int
+    ) -> BitSamplingSchedule:
+        """Dropout-aware floor on sampled bits' probabilities.
+
+        With an expected survival fraction ``s``, a bit needs probability
+        ``>= min_reports / (s * n)`` to expect ``min_reports`` reports.  We
+        raise sampled bits to that floor and renormalize; unsampled bits
+        (probability 0) stay unsampled.
+        """
+        if self.min_reports_per_bit == 0:
+            return schedule
+        expected_survivors = max(n_planned * self.dropout_tracker.expected_survival, 1.0)
+        floor = self.min_reports_per_bit / expected_survivors
+        probs = schedule.probabilities.copy()
+        support = probs > 0
+        k = int(support.sum())
+        if floor * k >= 1.0:
+            # Floor infeasible: fall back to uniform over the support.
+            probs[support] = 1.0 / k
+            return BitSamplingSchedule(probs)
+        # Mix toward the floor so every sampled bit keeps >= floor *after*
+        # normalization: p' = (1 - floor k) p + floor on the support.
+        probs[support] = (1.0 - floor * k) * probs[support] + floor
+        return BitSamplingSchedule(probs)
+
+    # ------------------------------------------------------------------
+    def _secure_collect(
+        self,
+        encoded: np.ndarray,
+        assignment: np.ndarray,
+        gen: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Aggregate per-bit counters through sharded secure aggregation.
+
+        Each client contributes a ``2 * n_bits`` integer vector: a one-hot
+        report-count half and a bit-value half.  Shards of ``shard_size``
+        clients run independent masking sessions; the server only ever sees
+        per-shard sums.  Clients that reach this point have already
+        "survived", so intra-session dropout is zero and the threshold is a
+        formality -- dropout resilience itself is tested at the session level.
+        """
+        n_bits = self.encoder.n_bits
+        bits = ((encoded >> assignment.astype(np.uint64)) & np.uint64(1)).astype(np.uint8)
+        if self.perturbation is not None:
+            bits = self.perturbation.perturb_bits(bits, gen)
+        sums = np.zeros(n_bits, dtype=np.float64)
+        counts = np.zeros(n_bits, dtype=np.int64)
+        n = int(encoded.size)
+        for start in range(0, n, self.shard_size):
+            shard = slice(start, min(start + self.shard_size, n))
+            shard_bits = bits[shard]
+            shard_assign = assignment[shard]
+            shard_n = int(shard_bits.size)
+            if shard_n == 1:
+                # A lone client cannot be masked against peers; its counter
+                # still joins the global (already large) aggregate.
+                sums[shard_assign[0]] += float(shard_bits[0])
+                counts[shard_assign[0]] += 1
+                continue
+            threshold = max(2, math.ceil(2 * shard_n / 3))
+            session = SecureAggregationSession(
+                n_clients=shard_n, vector_length=2 * n_bits, threshold=threshold, rng=gen
+            )
+            for i in range(shard_n):
+                vector = [0] * (2 * n_bits)
+                vector[int(shard_assign[i])] = 1
+                vector[n_bits + int(shard_assign[i])] = int(shard_bits[i])
+                session.submit(i, vector)
+            total = session.finalize()
+            counts += np.array(total[:n_bits], dtype=np.int64)
+            sums += np.array(total[n_bits:], dtype=np.float64)
+        return sums, counts
+
+    def _squash_threshold(self, counts: np.ndarray) -> np.ndarray:
+        epsilon = getattr(self.perturbation, "epsilon", None)
+        if epsilon is None:
+            raise ConfigurationError(
+                "squash_multiple needs a perturbation exposing an `epsilon` attribute"
+            )
+        return per_bit_squash_thresholds(self.squash_multiple, float(epsilon), counts)

@@ -1,0 +1,22 @@
+"""Accuracy metrics and the repetition/sweep experiment harness."""
+
+from repro.metrics.errors import (
+    bias,
+    nrmse,
+    nrmse_standard_error,
+    rmse,
+    standard_error,
+)
+from repro.metrics.experiment import SeriesResult, TrialStats, run_trials, sweep
+
+__all__ = [
+    "SeriesResult",
+    "TrialStats",
+    "bias",
+    "nrmse",
+    "nrmse_standard_error",
+    "rmse",
+    "run_trials",
+    "standard_error",
+    "sweep",
+]

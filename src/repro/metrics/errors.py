@@ -1,0 +1,73 @@
+"""Error metrics used throughout the evaluation.
+
+The paper's headline metric (Section 4) is the normalized root-mean-squared
+error: squared differences between estimate and the true (empirical) mean,
+averaged over 100 independent repetitions, rooted, and divided by the true
+mean.  We implement that exactly, plus plain RMSE (Figure 3 reports
+unnormalized RMSE), bias, and the standard errors used for error bars.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rmse", "nrmse", "bias", "standard_error", "nrmse_standard_error"]
+
+
+def _paired(estimates: np.ndarray, truths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    est = np.asarray(estimates, dtype=np.float64)
+    tru = np.asarray(truths, dtype=np.float64)
+    if tru.size == 1:
+        tru = np.full_like(est, tru.item())
+    if est.shape != tru.shape or est.size == 0:
+        raise ValueError(f"need matching non-empty arrays, got {est.shape} vs {tru.shape}")
+    return est, tru
+
+
+def rmse(estimates: np.ndarray, truths: np.ndarray) -> float:
+    """Root-mean-squared error over repetitions.
+
+    ``truths`` may be a scalar (shared ground truth) or one truth per
+    repetition (the paper's per-sample empirical mean).
+    """
+    est, tru = _paired(estimates, truths)
+    return float(np.sqrt(np.mean((est - tru) ** 2)))
+
+
+def nrmse(estimates: np.ndarray, truths: np.ndarray) -> float:
+    """RMSE divided by the (mean of the) true value -- the paper's NRMSE."""
+    est, tru = _paired(estimates, truths)
+    denom = float(np.mean(tru))
+    if denom == 0.0:
+        raise ValueError("NRMSE undefined for a zero true mean")
+    return rmse(est, tru) / abs(denom)
+
+
+def bias(estimates: np.ndarray, truths: np.ndarray) -> float:
+    """Mean signed error -- near zero for the unbiased protocols."""
+    est, tru = _paired(estimates, truths)
+    return float(np.mean(est - tru))
+
+
+def standard_error(samples: np.ndarray) -> float:
+    """Standard error of the mean of ``samples``."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size < 2:
+        return float("nan")
+    return float(samples.std(ddof=1) / np.sqrt(samples.size))
+
+
+def nrmse_standard_error(estimates: np.ndarray, truths: np.ndarray) -> float:
+    """Delta-method standard error of the NRMSE point estimate.
+
+    With ``s = mean(e^2)`` over per-repetition squared relative errors
+    ``e``, NRMSE = sqrt(s), so ``se(NRMSE) ~= se(s) / (2 sqrt(s))``.  Used
+    for the error bars on every figure (paper: "Error bars on our plots
+    indicate the standard error").
+    """
+    est, tru = _paired(estimates, truths)
+    rel_sq = ((est - tru) / np.mean(tru)) ** 2
+    point = float(np.sqrt(np.mean(rel_sq)))
+    if point == 0.0 or rel_sq.size < 2:
+        return 0.0
+    return standard_error(rel_sq) / (2.0 * point)

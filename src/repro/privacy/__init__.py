@@ -1,0 +1,35 @@
+"""Privacy mechanisms and accounting (paper Section 3.3).
+
+* :class:`RandomizedResponse` -- the epsilon-LDP bit perturbation that plugs
+  into every bit-pushing estimator;
+* :class:`LaplaceMechanism` -- the classical additive-noise baseline;
+* :class:`BernoulliNoiseAggregator`, :class:`SampleAndThreshold` --
+  distributed-DP histogram mechanisms with better n-dependence than LDP;
+* :class:`PrivacyAccountant`, :class:`BitMeter` -- the formal epsilon ledger
+  and the worst-case one-bit-per-value meter.
+"""
+
+from repro.privacy.accountant import BitMeter, LedgerEntry, PrivacyAccountant
+from repro.privacy.amplification import (
+    amplified_epsilon_by_sampling,
+    required_epsilon_for_sampling,
+    shuffle_amplification_valid,
+    shuffle_amplified_epsilon,
+)
+from repro.privacy.distributed import BernoulliNoiseAggregator, SampleAndThreshold
+from repro.privacy.laplace import LaplaceMechanism
+from repro.privacy.randomized_response import RandomizedResponse
+
+__all__ = [
+    "BernoulliNoiseAggregator",
+    "BitMeter",
+    "LaplaceMechanism",
+    "LedgerEntry",
+    "PrivacyAccountant",
+    "RandomizedResponse",
+    "SampleAndThreshold",
+    "amplified_epsilon_by_sampling",
+    "required_epsilon_for_sampling",
+    "shuffle_amplification_valid",
+    "shuffle_amplified_epsilon",
+]

@@ -1,0 +1,196 @@
+"""Privacy accounting: a formal epsilon ledger and a worst-case bit meter.
+
+The paper argues (Sections 1, 1.1) that two complementary controls are
+needed in practice:
+
+* a **formal** guarantee -- differential privacy, tracked here by
+  :class:`PrivacyAccountant` as a simple sequential-composition epsilon
+  ledger with an optional (epsilon, delta) budget; and
+* an **intuitive, worst-case** guarantee -- data minimization at the bit
+  level: at most one bit is transmitted per private value, and a bounded
+  number of private bits per client overall.  :class:`BitMeter` enforces
+  exactly that promise and raises :class:`PrivacyBudgetExceeded` when any
+  component tries to elicit more.
+
+Deployed privacy metering (surfacing these counters to end users) is beyond
+the paper's scope, but the enforcement layer is the substrate it would sit
+on, and the federated simulator routes every elicited bit through it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.exceptions import ConfigurationError, PrivacyBudgetExceeded
+
+__all__ = ["LedgerEntry", "PrivacyAccountant", "BitMeter"]
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One recorded privacy expenditure."""
+
+    epsilon: float
+    delta: float
+    note: str
+
+
+class PrivacyAccountant:
+    """Sequential-composition (epsilon, delta) ledger.
+
+    Parameters
+    ----------
+    epsilon_budget:
+        Total epsilon that may be spent; ``None`` means unlimited (the
+        accountant still records spending for audit).
+    delta_budget:
+        Total delta that may be spent; ``None`` means unlimited.
+
+    Examples
+    --------
+    >>> acct = PrivacyAccountant(epsilon_budget=2.0)
+    >>> acct.spend(0.5, note="round 1")
+    >>> acct.spend(0.5, note="round 2")
+    >>> acct.remaining_epsilon
+    1.0
+    >>> acct.spend(1.5, note="round 3")
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.PrivacyBudgetExceeded: spending eps=1.5 would exceed budget 2.0 (already spent 1.0)
+    """
+
+    def __init__(
+        self,
+        epsilon_budget: float | None = None,
+        delta_budget: float | None = None,
+    ) -> None:
+        if epsilon_budget is not None and epsilon_budget <= 0:
+            raise ConfigurationError(f"epsilon_budget must be positive, got {epsilon_budget}")
+        if delta_budget is not None and not 0 < delta_budget < 1:
+            raise ConfigurationError(f"delta_budget must be in (0, 1), got {delta_budget}")
+        self.epsilon_budget = epsilon_budget
+        self.delta_budget = delta_budget
+        self._entries: list[LedgerEntry] = []
+
+    # ------------------------------------------------------------------
+    def spend(self, epsilon: float, delta: float = 0.0, note: str = "") -> None:
+        """Record an expenditure, raising if it would exceed the budget."""
+        if epsilon < 0 or delta < 0:
+            raise ConfigurationError("cannot spend negative privacy")
+        if self.epsilon_budget is not None and self.spent_epsilon + epsilon > self.epsilon_budget + 1e-12:
+            raise PrivacyBudgetExceeded(
+                f"spending eps={epsilon} would exceed budget {self.epsilon_budget} "
+                f"(already spent {self.spent_epsilon})"
+            )
+        if self.delta_budget is not None and self.spent_delta + delta > self.delta_budget + 1e-15:
+            raise PrivacyBudgetExceeded(
+                f"spending delta={delta} would exceed budget {self.delta_budget} "
+                f"(already spent {self.spent_delta})"
+            )
+        self._entries.append(LedgerEntry(epsilon=float(epsilon), delta=float(delta), note=note))
+
+    # ------------------------------------------------------------------
+    @property
+    def spent_epsilon(self) -> float:
+        return sum(entry.epsilon for entry in self._entries)
+
+    @property
+    def spent_delta(self) -> float:
+        return sum(entry.delta for entry in self._entries)
+
+    @property
+    def remaining_epsilon(self) -> float:
+        if self.epsilon_budget is None:
+            return float("inf")
+        return self.epsilon_budget - self.spent_epsilon
+
+    @property
+    def entries(self) -> tuple[LedgerEntry, ...]:
+        return tuple(self._entries)
+
+    def can_spend(self, epsilon: float, delta: float = 0.0) -> bool:
+        """Check without recording."""
+        eps_ok = self.epsilon_budget is None or self.spent_epsilon + epsilon <= self.epsilon_budget + 1e-12
+        delta_ok = self.delta_budget is None or self.spent_delta + delta <= self.delta_budget + 1e-15
+        return eps_ok and delta_ok
+
+
+@dataclass
+class BitMeter:
+    """Enforce the worst-case promise: bounded private bits per value/client.
+
+    Parameters
+    ----------
+    max_bits_per_value:
+        Bits that may ever be disclosed about one ``(client, value)`` pair.
+        The paper's headline promise is 1.
+    max_bits_per_client:
+        Optional cap on total private bits disclosed by one client across
+        all values and rounds (``None`` = uncapped).
+
+    Examples
+    --------
+    >>> meter = BitMeter(max_bits_per_value=1)
+    >>> meter.record("device-7", "latency@t0")
+    >>> meter.record("device-7", "latency@t0")
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.PrivacyBudgetExceeded: client 'device-7' would disclose 2 bits of value 'latency@t0' (cap 1)
+    """
+
+    max_bits_per_value: int = 1
+    max_bits_per_client: int | None = None
+    _per_value: dict[tuple[Hashable, Hashable], int] = field(default_factory=lambda: defaultdict(int))
+    _per_client: dict[Hashable, int] = field(default_factory=lambda: defaultdict(int))
+
+    def __post_init__(self) -> None:
+        if self.max_bits_per_value < 1:
+            raise ConfigurationError(
+                f"max_bits_per_value must be >= 1, got {self.max_bits_per_value}"
+            )
+        if self.max_bits_per_client is not None and self.max_bits_per_client < 1:
+            raise ConfigurationError(
+                f"max_bits_per_client must be >= 1, got {self.max_bits_per_client}"
+            )
+
+    # ------------------------------------------------------------------
+    def record(self, client_id: Hashable, value_id: Hashable, n_bits: int = 1) -> None:
+        """Record disclosure of ``n_bits`` of ``value_id`` by ``client_id``.
+
+        Raises :class:`PrivacyBudgetExceeded` *before* updating any counter
+        if either cap would be violated, so a rejected disclosure leaves the
+        meter unchanged.
+        """
+        if n_bits < 1:
+            raise ConfigurationError(f"n_bits must be >= 1, got {n_bits}")
+        value_key = (client_id, value_id)
+        new_value_total = self._per_value[value_key] + n_bits
+        if new_value_total > self.max_bits_per_value:
+            raise PrivacyBudgetExceeded(
+                f"client {client_id!r} would disclose {new_value_total} bits of value "
+                f"{value_id!r} (cap {self.max_bits_per_value})"
+            )
+        new_client_total = self._per_client[client_id] + n_bits
+        if self.max_bits_per_client is not None and new_client_total > self.max_bits_per_client:
+            raise PrivacyBudgetExceeded(
+                f"client {client_id!r} would disclose {new_client_total} private bits in "
+                f"total (cap {self.max_bits_per_client})"
+            )
+        self._per_value[value_key] = new_value_total
+        self._per_client[client_id] = new_client_total
+
+    # ------------------------------------------------------------------
+    def bits_disclosed_by(self, client_id: Hashable) -> int:
+        """Total private bits disclosed by ``client_id`` so far."""
+        return self._per_client.get(client_id, 0)
+
+    def bits_disclosed_for(self, client_id: Hashable, value_id: Hashable) -> int:
+        """Private bits disclosed about a specific value so far."""
+        return self._per_value.get((client_id, value_id), 0)
+
+    @property
+    def total_bits(self) -> int:
+        """Private bits disclosed across the whole population."""
+        return sum(self._per_client.values())

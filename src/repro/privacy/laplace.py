@@ -1,0 +1,58 @@
+"""Laplace mechanism, used as a DP baseline.
+
+The paper's evaluation omits Laplace-noise results from the plots because
+"the observed error was considerably higher than others, as expected"
+(Section 4.2).  We include the mechanism anyway so that claim is checkable:
+:mod:`repro.baselines.laplace_mean` builds a mean estimator on top of it, and
+the Figure 3 bench reports it alongside the plotted methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng import ensure_rng
+
+__all__ = ["LaplaceMechanism"]
+
+
+class LaplaceMechanism:
+    """Additive Laplace noise calibrated to sensitivity / epsilon.
+
+    For a query with L1 sensitivity ``sensitivity``, adding
+    ``Laplace(0, sensitivity / epsilon)`` noise yields epsilon-DP.  Applied
+    per client to their own value, the guarantee is local (each client's
+    report is epsilon-LDP with sensitivity = the value range).
+
+    Examples
+    --------
+    >>> mech = LaplaceMechanism(epsilon=1.0, sensitivity=2.0)
+    >>> mech.scale
+    2.0
+    """
+
+    def __init__(self, epsilon: float, sensitivity: float) -> None:
+        if not np.isfinite(epsilon) or epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be a positive finite float, got {epsilon}")
+        if not np.isfinite(sensitivity) or sensitivity <= 0:
+            raise ConfigurationError(f"sensitivity must be positive and finite, got {sensitivity}")
+        self.epsilon = float(epsilon)
+        self.sensitivity = float(sensitivity)
+
+    @property
+    def scale(self) -> float:
+        """Laplace scale parameter ``b = sensitivity / epsilon``."""
+        return self.sensitivity / self.epsilon
+
+    def privatize(
+        self, values: np.ndarray, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Return ``values`` plus i.i.d. Laplace(0, scale) noise."""
+        gen = ensure_rng(rng)
+        vals = np.asarray(values, dtype=np.float64)
+        return vals + gen.laplace(0.0, self.scale, size=vals.shape)
+
+    def per_value_variance(self) -> float:
+        """Noise variance added per value: ``2 * scale**2``."""
+        return 2.0 * self.scale**2

@@ -1,0 +1,61 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic entry point in this library accepts either a
+:class:`numpy.random.Generator`, an integer seed, or ``None``.  This module
+centralises the conversion (:func:`ensure_rng`) and the derivation of
+statistically independent child streams (:func:`spawn`), so that experiment
+sweeps are exactly reproducible: the harness spawns one child generator per
+repetition and per method, and no component ever consults global numpy state.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["RngLike", "ensure_rng", "spawn", "child_seeds"]
+
+# Anything accepted where randomness is needed.
+RngLike = "np.random.Generator | int | np.random.SeedSequence | None"
+
+
+def ensure_rng(rng: np.random.Generator | int | np.random.SeedSequence | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    ``None`` yields a fresh, OS-entropy-seeded generator; an ``int`` or
+    :class:`~numpy.random.SeedSequence` seeds a new PCG64 generator; an
+    existing generator is returned unchanged (not copied), so callers share
+    and advance a single stream when they pass one in.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer, np.random.SeedSequence)):
+        return np.random.default_rng(rng)
+    raise TypeError(f"expected Generator, int, SeedSequence, or None; got {type(rng)!r}")
+
+
+def spawn(rng: np.random.Generator | int | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``.
+
+    Children are independent of each other *and* of the parent's future
+    output, which makes them safe to hand to parallel repetitions of an
+    experiment.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of generators: {n}")
+    parent = ensure_rng(rng)
+    return list(parent.spawn(n))
+
+
+def child_seeds(seed: int, n: int) -> Sequence[np.random.SeedSequence]:
+    """Spawn ``n`` child :class:`~numpy.random.SeedSequence` objects of ``seed``.
+
+    Useful when the seeds must be stored or shipped (e.g., in an experiment
+    manifest) rather than used immediately.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of seeds: {n}")
+    return np.random.SeedSequence(seed).spawn(n)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FixedPointEncoder
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def encoder8() -> FixedPointEncoder:
+    """An 8-bit integer encoder (values 0..255)."""
+    return FixedPointEncoder.for_integers(8)
+
+
+@pytest.fixture
+def encoder10() -> FixedPointEncoder:
+    """A 10-bit integer encoder (values 0..1023)."""
+    return FixedPointEncoder.for_integers(10)
+
+
+@pytest.fixture
+def normal_values(rng) -> np.ndarray:
+    """A 10k-client Normal(600, 100) population, clipped non-negative."""
+    return np.clip(rng.normal(600.0, 100.0, size=10_000), 0.0, None)

@@ -1,0 +1,77 @@
+"""Smoke tests for the ablation experiment functions (tiny scale).
+
+The benches exercise these at meaningful scale with claim assertions; here
+we verify structure, labels and determinism cheaply, so a broken ablation
+fails in the unit suite rather than only at bench time.
+"""
+
+import pytest
+
+from repro.experiments import (
+    alpha_sweep,
+    b_send_sweep,
+    caching_ablation,
+    delta_sweep,
+    distributed_dp_comparison,
+    dropout_adjustment,
+    gamma_sweep,
+    poisoning_sweep,
+    variance_decomposition,
+)
+
+TINY = {"n_clients": 400, "n_reps": 2}
+
+
+class TestParameterSweeps:
+    def test_delta_sweep(self):
+        results = delta_sweep(deltas=(0.25, 0.5), **TINY)
+        assert list(results) == ["adaptive"]
+        assert results["adaptive"].x == [0.25, 0.5]
+
+    def test_gamma_sweep(self):
+        results = gamma_sweep(gammas=(0.0, 1.0), **TINY)
+        assert results["adaptive"].x == [0.0, 1.0]
+
+    def test_alpha_sweep(self):
+        results = alpha_sweep(alphas=(0.5,), **TINY)
+        assert results["adaptive"].x == [0.5]
+
+    def test_b_send_sweep(self):
+        results = b_send_sweep(b_sends=(1, 2), **TINY)
+        assert results["basic"].x == [1.0, 2.0]
+
+    def test_caching_ablation(self):
+        results = caching_ablation(cohorts=(300,), n_reps=2)
+        assert set(results) == {"caching", "round-2 only"}
+
+    def test_variance_decomposition(self):
+        results = variance_decomposition(cohorts=(2_000,), n_reps=2)
+        assert set(results) == {"centered", "moments"}
+        for series in results.values():
+            assert all(v >= 0 for v in series.nrmse)
+
+
+class TestAdversarialAndSystems:
+    def test_poisoning_sweep(self):
+        results = poisoning_sweep(fractions=(0.0, 0.01), n_clients=400, n_reps=2)
+        assert set(results) == {"local", "central"}
+        for series in results.values():
+            assert series.nrmse[0] == 0.0     # zero adversaries, zero shift
+
+    def test_distributed_dp_comparison(self):
+        results = distributed_dp_comparison(
+            epsilons=(1.0,), n_clients=5_000, n_reps=2
+        )
+        assert set(results) == {"local RR", "bernoulli noise", "sample+threshold"}
+
+    def test_dropout_adjustment(self):
+        results = dropout_adjustment(
+            dropout_rates=(0.0, 0.3), n_clients=300, n_reps=2
+        )
+        assert set(results) == {"adjusted", "unadjusted"}
+        assert results["adjusted"].x == [0.0, 0.3]
+
+    def test_determinism(self):
+        a = delta_sweep(deltas=(0.5,), n_clients=300, n_reps=2, seed=9)
+        b = delta_sweep(deltas=(0.5,), n_clients=300, n_reps=2, seed=9)
+        assert a["adaptive"].nrmse == b["adaptive"].nrmse

@@ -1,0 +1,123 @@
+"""Privacy accounting: the epsilon ledger and the bit meter."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, PrivacyBudgetExceeded
+from repro.privacy import BitMeter, PrivacyAccountant
+
+
+class TestPrivacyAccountant:
+    def test_spending_within_budget(self):
+        acct = PrivacyAccountant(epsilon_budget=2.0)
+        acct.spend(0.5)
+        acct.spend(1.0)
+        assert acct.spent_epsilon == pytest.approx(1.5)
+        assert acct.remaining_epsilon == pytest.approx(0.5)
+
+    def test_exceeding_epsilon_raises(self):
+        acct = PrivacyAccountant(epsilon_budget=1.0)
+        acct.spend(0.8)
+        with pytest.raises(PrivacyBudgetExceeded):
+            acct.spend(0.3)
+
+    def test_rejected_spend_leaves_ledger_unchanged(self):
+        acct = PrivacyAccountant(epsilon_budget=1.0)
+        acct.spend(0.8)
+        with pytest.raises(PrivacyBudgetExceeded):
+            acct.spend(0.5)
+        assert acct.spent_epsilon == pytest.approx(0.8)
+
+    def test_delta_budget_enforced(self):
+        acct = PrivacyAccountant(delta_budget=1e-6)
+        acct.spend(0.1, delta=5e-7)
+        with pytest.raises(PrivacyBudgetExceeded):
+            acct.spend(0.1, delta=6e-7)
+
+    def test_unlimited_budget_records_but_never_raises(self):
+        acct = PrivacyAccountant()
+        for _ in range(100):
+            acct.spend(10.0)
+        assert acct.spent_epsilon == pytest.approx(1000.0)
+        assert acct.remaining_epsilon == float("inf")
+
+    def test_exact_budget_spend_allowed(self):
+        acct = PrivacyAccountant(epsilon_budget=1.0)
+        acct.spend(0.5)
+        acct.spend(0.5)   # exactly exhausts
+        assert acct.remaining_epsilon == pytest.approx(0.0)
+
+    def test_can_spend_does_not_record(self):
+        acct = PrivacyAccountant(epsilon_budget=1.0)
+        assert acct.can_spend(1.0)
+        assert not acct.can_spend(1.1)
+        assert acct.spent_epsilon == 0.0
+
+    def test_entries_carry_notes(self):
+        acct = PrivacyAccountant()
+        acct.spend(0.3, note="round 1")
+        assert acct.entries[0].note == "round 1"
+
+    def test_negative_spend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyAccountant().spend(-0.1)
+
+    def test_invalid_budgets(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyAccountant(epsilon_budget=0.0)
+        with pytest.raises(ConfigurationError):
+            PrivacyAccountant(delta_budget=1.5)
+
+
+class TestBitMeter:
+    def test_single_bit_per_value_default(self):
+        meter = BitMeter()
+        meter.record("c1", "metric")
+        with pytest.raises(PrivacyBudgetExceeded):
+            meter.record("c1", "metric")
+
+    def test_different_values_independent(self):
+        meter = BitMeter()
+        meter.record("c1", "metric-a")
+        meter.record("c1", "metric-b")
+        assert meter.bits_disclosed_by("c1") == 2
+
+    def test_different_clients_independent(self):
+        meter = BitMeter()
+        meter.record("c1", "m")
+        meter.record("c2", "m")
+        assert meter.total_bits == 2
+
+    def test_per_client_cap(self):
+        meter = BitMeter(max_bits_per_value=1, max_bits_per_client=2)
+        meter.record("c1", "a")
+        meter.record("c1", "b")
+        with pytest.raises(PrivacyBudgetExceeded):
+            meter.record("c1", "c")
+
+    def test_rejected_record_leaves_counters_unchanged(self):
+        meter = BitMeter(max_bits_per_value=1)
+        meter.record("c1", "m")
+        with pytest.raises(PrivacyBudgetExceeded):
+            meter.record("c1", "m")
+        assert meter.bits_disclosed_for("c1", "m") == 1
+        assert meter.bits_disclosed_by("c1") == 1
+
+    def test_multi_bit_disclosure(self):
+        meter = BitMeter(max_bits_per_value=4)
+        meter.record("c1", "m", n_bits=3)
+        assert meter.bits_disclosed_for("c1", "m") == 3
+        with pytest.raises(PrivacyBudgetExceeded):
+            meter.record("c1", "m", n_bits=2)
+
+    def test_unknown_client_has_zero(self):
+        meter = BitMeter()
+        assert meter.bits_disclosed_by("nobody") == 0
+        assert meter.bits_disclosed_for("nobody", "m") == 0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            BitMeter(max_bits_per_value=0)
+        with pytest.raises(ConfigurationError):
+            BitMeter(max_bits_per_client=0)
+        with pytest.raises(ConfigurationError):
+            BitMeter().record("c", "m", n_bits=0)

@@ -1,0 +1,153 @@
+"""Extended aggregates: higher moments, geometric means (Section 3.4 extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FixedPointEncoder,
+    GeometricMeanEstimator,
+    MomentEstimator,
+    kurtosis,
+    skewness,
+)
+from repro.exceptions import ConfigurationError
+from repro.privacy import RandomizedResponse
+
+
+class TestMomentConstruction:
+    def test_invalid_order(self, encoder8):
+        with pytest.raises(ConfigurationError):
+            MomentEstimator(encoder8, order=0)
+
+    def test_order_times_bits_bounded(self):
+        with pytest.raises(ConfigurationError):
+            MomentEstimator(FixedPointEncoder.for_integers(20), order=4)
+
+    def test_invalid_inner(self, encoder8):
+        with pytest.raises(ConfigurationError):
+            MomentEstimator(encoder8, order=2, inner="magic")
+
+    def test_invalid_fraction(self, encoder8):
+        with pytest.raises(ConfigurationError):
+            MomentEstimator(encoder8, order=2, mean_fraction=1.0)
+
+    def test_too_few_clients(self, encoder8, rng):
+        with pytest.raises(ConfigurationError):
+            MomentEstimator(encoder8, order=2).estimate(np.array([1.0, 2.0]), rng)
+
+
+class TestMomentAccuracy:
+    def test_second_central_moment_is_variance(self, encoder8):
+        rng = np.random.default_rng(80)
+        values = np.clip(rng.normal(100, 20, 200_000), 0, None)
+        est = MomentEstimator(encoder8, order=2).estimate(values, rng)
+        assert est.value == pytest.approx(values.var(), rel=0.25)
+        assert est.order == 2 and est.centered
+
+    def test_third_central_moment_on_skewed_data(self, encoder8):
+        """Exponential data has a large positive third central moment
+        (2 * scale^3), unlike symmetric data where it hides in the noise."""
+        rng = np.random.default_rng(81)
+        values = rng.exponential(30.0, 300_000)
+        truth = float(np.mean((values - values.mean()) ** 3))
+        est = MomentEstimator(encoder8, order=3).estimate(values, rng)
+        assert est.value == pytest.approx(truth, rel=0.4)
+        assert est.value > 0
+
+    def test_fourth_central_moment(self, encoder8):
+        rng = np.random.default_rng(82)
+        values = np.clip(rng.normal(100, 20, 300_000), 0, None)
+        truth = float(np.mean((values - values.mean()) ** 4))
+        est = MomentEstimator(encoder8, order=4).estimate(values, rng)
+        assert est.value == pytest.approx(truth, rel=0.5)
+
+    def test_raw_moment(self, encoder8):
+        rng = np.random.default_rng(83)
+        values = np.clip(rng.normal(100, 20, 100_000), 0, None)
+        est = MomentEstimator(encoder8, order=2, centered=False).estimate(values, rng)
+        assert est.value == pytest.approx(np.mean(values**2), rel=0.1)
+        assert not est.centered
+        assert np.isnan(est.mean_estimate)
+
+    def test_first_central_moment_near_zero(self, encoder8):
+        rng = np.random.default_rng(84)
+        values = np.clip(rng.normal(100, 20, 100_000), 0, None)
+        est = MomentEstimator(encoder8, order=1).estimate(values, rng)
+        assert abs(est.value) < 2.0   # sigma = 20; mean error ~ fraction of it
+
+    def test_scaled_encoder_rescales_moment(self):
+        rng = np.random.default_rng(85)
+        values = rng.uniform(0.0, 1.0, 200_000)
+        encoder = FixedPointEncoder.for_range(0.0, 1.0, 10)
+        est = MomentEstimator(encoder, order=2).estimate(values, rng)
+        assert est.value == pytest.approx(values.var(), rel=0.3)
+
+    def test_ldp_moment_still_reasonable(self, encoder8):
+        rng = np.random.default_rng(86)
+        values = np.clip(rng.normal(100, 20, 300_000), 0, None)
+        est = MomentEstimator(
+            encoder8, order=2, perturbation=RandomizedResponse(epsilon=4.0)
+        ).estimate(values, rng)
+        assert est.value == pytest.approx(values.var(), rel=0.8)
+
+
+class TestStandardizedMoments:
+    def test_skewness_of_exponential(self, encoder8):
+        """Exponential skewness is exactly 2."""
+        rng = np.random.default_rng(87)
+        values = rng.exponential(25.0, 400_000)
+        estimate = skewness(values, encoder8, rng)
+        assert estimate == pytest.approx(2.0, abs=0.8)
+
+    def test_skewness_sign_symmetric_vs_skewed(self, encoder8):
+        rng = np.random.default_rng(88)
+        skewed = rng.exponential(25.0, 300_000)
+        assert skewness(skewed, encoder8, rng) > 0.5
+
+    def test_kurtosis_of_normal_near_zero(self, encoder8):
+        rng = np.random.default_rng(89)
+        values = np.clip(rng.normal(128, 20, 400_000), 0, None)
+        estimate = kurtosis(values, encoder8, rng)
+        assert abs(estimate) < 1.0
+
+
+class TestGeometricMean:
+    def test_lognormal_geometric_mean(self):
+        rng = np.random.default_rng(90)
+        values = rng.lognormal(3.0, 0.5, 200_000)
+        truth = float(np.exp(np.log(values).mean()))
+        est = GeometricMeanEstimator(0.0, 10.0).estimate(values, rng)
+        assert est.value == pytest.approx(truth, rel=0.05)
+        assert est.log2_mean == pytest.approx(np.log2(values).mean(), abs=0.1)
+
+    def test_constant_values(self):
+        est = GeometricMeanEstimator(0.0, 8.0).estimate(np.full(20_000, 16.0), rng=0)
+        assert est.value == pytest.approx(16.0, rel=0.01)
+
+    def test_log_product(self):
+        values = np.full(1_000, 2.0)
+        est = GeometricMeanEstimator(0.0, 4.0, n_bits=10).estimate(values, rng=0)
+        # product = 2^1000 -> log2 product = 1000.
+        assert est.log2_product == pytest.approx(1_000.0, rel=0.02)
+
+    def test_nonpositive_values_clipped_not_crashing(self, rng):
+        values = np.array([0.0, -3.0] + [8.0] * 5_000)
+        est = GeometricMeanEstimator(0.0, 6.0).estimate(values, rng)
+        assert np.isfinite(est.value)
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            GeometricMeanEstimator(0.0, 4.0).estimate(np.array([]), rng)
+
+    def test_invalid_inner(self):
+        with pytest.raises(ConfigurationError):
+            GeometricMeanEstimator(0.0, 4.0, inner="turbo")
+
+    def test_ldp_variant(self):
+        rng = np.random.default_rng(91)
+        values = rng.lognormal(3.0, 0.4, 200_000)
+        truth = float(np.exp(np.log(values).mean()))
+        est = GeometricMeanEstimator(
+            0.0, 8.0, perturbation=RandomizedResponse(epsilon=4.0)
+        ).estimate(values, rng)
+        assert est.value == pytest.approx(truth, rel=0.3)

@@ -1,0 +1,81 @@
+"""Poisoning attacks and the central-randomness mitigation."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import poisoned_estimate
+from repro.core import BitSamplingSchedule, FixedPointEncoder
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def encoder():
+    return FixedPointEncoder.for_integers(12)
+
+
+@pytest.fixture
+def values(rng):
+    return np.clip(rng.normal(500.0, 80.0, 10_000), 0, None)
+
+
+class TestMechanics:
+    def test_zero_adversaries_no_shift(self, values, encoder):
+        outcome = poisoned_estimate(values, encoder, 0.0, rng=0)
+        assert outcome.attack_shift == 0.0
+        assert outcome.n_adversaries == 0
+
+    def test_honest_estimate_near_truth(self, values, encoder):
+        outcome = poisoned_estimate(values, encoder, 0.01, rng=1)
+        assert outcome.honest_estimate == pytest.approx(outcome.true_mean, rel=0.1)
+
+    def test_msb_ones_biases_upward(self, values, encoder):
+        outcome = poisoned_estimate(values, encoder, 0.02, randomness="local", rng=2)
+        assert outcome.attack_shift > 0
+
+    def test_assigned_zeros_biases_downward(self, values, encoder):
+        outcome = poisoned_estimate(
+            values, encoder, 0.05, strategy="assigned_zeros", rng=3
+        )
+        assert outcome.attack_shift < 0
+
+    def test_shift_grows_with_fraction(self, values, encoder):
+        small = poisoned_estimate(values, encoder, 0.005, randomness="local", rng=4)
+        large = poisoned_estimate(values, encoder, 0.05, randomness="local", rng=4)
+        assert abs(large.attack_shift) > abs(small.attack_shift)
+
+    def test_validation(self, values, encoder):
+        with pytest.raises(ConfigurationError):
+            poisoned_estimate(values, encoder, 1.0)
+        with pytest.raises(ConfigurationError):
+            poisoned_estimate(values, encoder, 0.1, randomness="astral")
+        with pytest.raises(ConfigurationError):
+            poisoned_estimate(values, encoder, 0.1, strategy="nuke")
+        with pytest.raises(ConfigurationError):
+            poisoned_estimate(np.array([]), encoder, 0.1)
+        with pytest.raises(ConfigurationError):
+            poisoned_estimate(
+                values, encoder, 0.1, schedule=BitSamplingSchedule.uniform(4)
+            )
+
+
+class TestCentralVsLocal:
+    def test_central_randomness_reduces_attack_leverage(self, encoder):
+        """Section 5: with a uniform schedule, letting clients pick their own
+        bit amplifies MSB-forcing attacks by roughly the bit depth."""
+        rng = np.random.default_rng(60)
+        schedule = BitSamplingSchedule.uniform(12)
+        shifts = {"local": [], "central": []}
+        for _ in range(20):
+            values = np.clip(rng.normal(500.0, 80.0, 10_000), 0, None)
+            for mode in shifts:
+                outcome = poisoned_estimate(
+                    values, encoder, 0.01, randomness=mode, schedule=schedule, rng=rng
+                )
+                shifts[mode].append(outcome.attack_shift)
+        assert np.mean(shifts["local"]) > 3 * np.mean(shifts["central"])
+
+    def test_outcome_records_configuration(self, values, encoder):
+        outcome = poisoned_estimate(values, encoder, 0.02, randomness="central", rng=5)
+        assert outcome.randomness == "central"
+        assert outcome.strategy == "msb_ones"
+        assert outcome.n_adversaries == 200

@@ -1,0 +1,188 @@
+"""Baseline mean estimators: dithering, piecewise, Duchi, rounding, Laplace."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DuchiMechanism,
+    LaplaceMean,
+    PiecewiseMechanism,
+    RandomizedRounding,
+    SubtractiveDithering,
+)
+from repro.baselines.base import RangeMeanEstimator, ScalarEstimate
+from repro.exceptions import ConfigurationError
+
+ALL_PRIVATE = [
+    lambda: SubtractiveDithering(0.0, 1000.0, epsilon=2.0),
+    lambda: PiecewiseMechanism(0.0, 1000.0, epsilon=2.0),
+    lambda: DuchiMechanism(0.0, 1000.0, epsilon=2.0),
+    lambda: RandomizedRounding(0.0, 1000.0, epsilon=2.0),
+    lambda: LaplaceMean(0.0, 1000.0, epsilon=2.0),
+]
+
+
+class TestRangeValidation:
+    def test_invalid_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            SubtractiveDithering(5.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            SubtractiveDithering(10.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            SubtractiveDithering(0.0, float("inf"))
+
+    def test_unit_scaling_roundtrip(self):
+        est = SubtractiveDithering(100.0, 300.0)
+        unit = est.to_unit(np.array([100.0, 200.0, 300.0]))
+        np.testing.assert_allclose(unit, [0.0, 0.5, 1.0])
+        assert est.from_unit(0.5) == pytest.approx(200.0)
+
+    def test_out_of_range_clipped(self):
+        est = SubtractiveDithering(0.0, 10.0)
+        unit = est.to_unit(np.array([-5.0, 20.0]))
+        np.testing.assert_allclose(unit, [0.0, 1.0])
+
+    def test_empty_input_raises(self, rng):
+        with pytest.raises(ConfigurationError):
+            SubtractiveDithering(0.0, 10.0).estimate(np.array([]), rng)
+
+
+class TestUnbiasednessAll:
+    @pytest.mark.parametrize("factory", ALL_PRIVATE)
+    def test_unbiased_on_fixed_population(self, factory):
+        rng = np.random.default_rng(50)
+        values = np.full(20_000, 321.0)
+        est = factory()
+        estimates = [est.estimate(values, rng).value for _ in range(60)]
+        stderr = np.std(estimates) / np.sqrt(len(estimates))
+        assert abs(np.mean(estimates) - 321.0) < 4 * stderr + 1e-9
+
+    @pytest.mark.parametrize("factory", ALL_PRIVATE)
+    def test_returns_scalar_estimate(self, factory, rng):
+        result = factory().estimate(np.full(100, 500.0), rng)
+        assert isinstance(result, ScalarEstimate)
+        assert result.n_clients == 100
+        assert result.metadata["epsilon"] == 2.0
+        assert float(result) == result.value
+
+
+class TestSubtractiveDithering:
+    def test_non_private_accuracy(self, rng):
+        values = rng.uniform(0, 1000, 50_000)
+        est = SubtractiveDithering(0.0, 1000.0)
+        assert est.estimate(values, rng).value == pytest.approx(values.mean(), abs=10.0)
+
+    def test_variance_scales_with_range_width(self):
+        """The paper's criticism: loose bounds hurt; variance ~ (H - L)^2."""
+        rng = np.random.default_rng(51)
+        values = np.full(5_000, 100.0)
+
+        def std(high):
+            est = SubtractiveDithering(0.0, high)
+            return np.std([est.estimate(values, rng).value for _ in range(100)])
+
+        # Quadrupling the range should roughly quadruple the error.
+        ratio = std(4000.0) / std(1000.0)
+        assert 2.5 < ratio < 6.0
+
+    def test_rr_variant_noisier(self):
+        rng = np.random.default_rng(52)
+        values = np.full(5_000, 400.0)
+        plain = SubtractiveDithering(0.0, 1000.0)
+        private = SubtractiveDithering(0.0, 1000.0, epsilon=1.0)
+        std_plain = np.std([plain.estimate(values, rng).value for _ in range(80)])
+        std_priv = np.std([private.estimate(values, rng).value for _ in range(80)])
+        assert std_priv > std_plain
+
+    def test_per_client_variance_bound(self):
+        assert SubtractiveDithering.per_client_variance_bound() == 0.25
+
+
+class TestPiecewise:
+    def test_constants(self):
+        mech = PiecewiseMechanism(0.0, 1.0, epsilon=2.0)
+        half = math.exp(1.0)
+        assert mech.C == pytest.approx((half + 1) / (half - 1))
+        assert mech.p_window == pytest.approx(half / (half + 1))
+
+    def test_output_range_bounded(self, rng):
+        mech = PiecewiseMechanism(0.0, 1.0, epsilon=1.0)
+        t = rng.uniform(-1, 1, 10_000)
+        out = mech.perturb(t, rng)
+        assert np.all(np.abs(out) <= mech.C + 1e-9)
+
+    def test_perturb_unbiased_per_input(self, rng):
+        mech = PiecewiseMechanism(0.0, 1.0, epsilon=2.0)
+        for t in (-0.8, 0.0, 0.6):
+            outs = mech.perturb(np.full(200_000, t), rng)
+            assert outs.mean() == pytest.approx(t, abs=0.02)
+
+    def test_input_range_validated(self, rng):
+        mech = PiecewiseMechanism(0.0, 1.0, epsilon=1.0)
+        with pytest.raises(ConfigurationError):
+            mech.perturb(np.array([1.5]), rng)
+
+    def test_per_report_variance_matches_simulation(self, rng):
+        mech = PiecewiseMechanism(0.0, 1.0, epsilon=2.0)
+        outs = mech.perturb(np.zeros(300_000), rng)
+        assert outs.var() == pytest.approx(mech.per_report_variance(0.0), rel=0.05)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseMechanism(0.0, 1.0, epsilon=0.0)
+
+
+class TestDuchi:
+    def test_output_is_plus_minus_b(self, rng):
+        mech = DuchiMechanism(0.0, 1.0, epsilon=1.0)
+        outs = mech.perturb(rng.uniform(-1, 1, 1000), rng)
+        assert set(np.unique(outs)) <= {-mech.B, mech.B}
+
+    def test_perturb_unbiased_per_input(self, rng):
+        mech = DuchiMechanism(0.0, 1.0, epsilon=2.0)
+        for t in (-0.5, 0.0, 0.9):
+            outs = mech.perturb(np.full(300_000, t), rng)
+            assert outs.mean() == pytest.approx(t, abs=0.02)
+
+    def test_per_report_variance(self, rng):
+        mech = DuchiMechanism(0.0, 1.0, epsilon=2.0)
+        outs = mech.perturb(np.zeros(300_000), rng)
+        assert outs.var() == pytest.approx(mech.per_report_variance(0.0), rel=0.02)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            DuchiMechanism(0.0, 1.0, epsilon=-1.0)
+
+
+class TestRandomizedRounding:
+    def test_non_private_unbiased(self, rng):
+        values = rng.uniform(0, 100, 100_000)
+        est = RandomizedRounding(0.0, 100.0)
+        assert est.estimate(values, rng).value == pytest.approx(values.mean(), abs=1.0)
+
+    def test_metadata_epsilon_none_without_rr(self, rng):
+        result = RandomizedRounding(0.0, 100.0).estimate(np.full(10, 5.0), rng)
+        assert result.metadata["epsilon"] is None
+
+
+class TestLaplaceMean:
+    def test_worse_than_one_bit_methods_at_low_epsilon(self):
+        """Paper omits Laplace from plots because its error is much higher."""
+        rng = np.random.default_rng(53)
+        values = np.full(10_000, 400.0)
+        lap = LaplaceMean(0.0, 1023.0, epsilon=0.5)
+        dith = SubtractiveDithering(0.0, 1023.0, epsilon=0.5)
+        lap_err = np.std([lap.estimate(values, rng).value for _ in range(60)])
+        dith_err = np.std([dith.estimate(values, rng).value for _ in range(60)])
+        assert lap_err > dith_err
+
+    def test_epsilon_property(self):
+        assert LaplaceMean(0.0, 1.0, epsilon=2.0).epsilon == 2.0
+
+
+class TestAbstractBase:
+    def test_cannot_instantiate(self):
+        with pytest.raises(TypeError):
+            RangeMeanEstimator(0.0, 1.0)

@@ -1,0 +1,113 @@
+"""Covariance / correlation estimation via bit-pushing products."""
+
+import numpy as np
+import pytest
+
+from repro.core import CovarianceEstimator, FixedPointEncoder, VarianceEstimator
+from repro.exceptions import ConfigurationError
+from repro.privacy import RandomizedResponse
+
+
+@pytest.fixture
+def encoders():
+    return FixedPointEncoder.for_integers(8), FixedPointEncoder.for_integers(8)
+
+
+def correlated_pair(rng, n, slope=0.5, noise=10.0):
+    x = np.clip(rng.normal(100, 20, n), 0, None)
+    y = np.clip(slope * x + rng.normal(0, noise, n) + 20, 0, None)
+    return x, y
+
+
+class TestConstruction:
+    def test_requires_unit_scale_encoders(self):
+        good = FixedPointEncoder.for_integers(8)
+        bad = FixedPointEncoder.for_range(0.0, 1.0, 8)
+        with pytest.raises(ConfigurationError):
+            CovarianceEstimator(bad, good)
+        with pytest.raises(ConfigurationError):
+            CovarianceEstimator(good, bad)
+
+    def test_product_width_bounded(self):
+        wide = FixedPointEncoder.for_integers(32)
+        with pytest.raises(ConfigurationError):
+            CovarianceEstimator(wide, wide)
+
+    def test_invalid_inner(self, encoders):
+        with pytest.raises(ConfigurationError):
+            CovarianceEstimator(*encoders, inner="psychic")
+
+    def test_shape_validation(self, encoders, rng):
+        est = CovarianceEstimator(*encoders)
+        with pytest.raises(ConfigurationError):
+            est.estimate(np.zeros(10), np.zeros(11), rng)
+        with pytest.raises(ConfigurationError):
+            est.estimate(np.zeros(3), np.zeros(3), rng)
+
+
+class TestAccuracy:
+    def test_positive_covariance_recovered(self, encoders):
+        rng = np.random.default_rng(0)
+        x, y = correlated_pair(rng, 600_000)
+        truth = float(np.cov(x, y)[0, 1])
+        est = CovarianceEstimator(*encoders).estimate(x, y, rng)
+        assert est.value == pytest.approx(truth, rel=0.5)
+        assert est.value > 0
+
+    def test_independent_metrics_near_zero(self, encoders):
+        rng = np.random.default_rng(1)
+        x = np.clip(rng.normal(100, 20, 600_000), 0, None)
+        y = np.clip(rng.normal(100, 20, 600_000), 0, None)
+        est = CovarianceEstimator(*encoders).estimate(x, y, rng)
+        # Zero covariance; the estimate's noise scale is set by the product
+        # phase (~E[XY] ~ 1e4), so "near zero" means small relative to it.
+        assert abs(est.value) < 0.05 * float(np.mean(x) * np.mean(y))
+
+    def test_negative_covariance_sign(self, encoders):
+        rng = np.random.default_rng(2)
+        x = np.clip(rng.normal(128, 20, 600_000), 0, None)
+        y = np.clip(255 - x + rng.normal(0, 5, x.size), 0, None)
+        est = CovarianceEstimator(*encoders).estimate(x, y, rng)
+        assert est.value < 0
+
+    def test_phase_means_recorded(self, encoders):
+        rng = np.random.default_rng(3)
+        x, y = correlated_pair(rng, 100_000)
+        est = CovarianceEstimator(*encoders).estimate(x, y, rng)
+        assert est.mean_x == pytest.approx(np.clip(x, 0, 255).mean(), rel=0.1)
+        assert est.mean_y == pytest.approx(np.clip(y, 0, 255).mean(), rel=0.1)
+        assert est.n_clients == 100_000
+
+    def test_ldp_variant_runs(self, encoders):
+        rng = np.random.default_rng(4)
+        x, y = correlated_pair(rng, 400_000)
+        est = CovarianceEstimator(
+            *encoders, perturbation=RandomizedResponse(epsilon=4.0)
+        ).estimate(x, y, rng)
+        assert np.isfinite(est.value)
+        assert est.metadata["ldp"] is True
+
+
+class TestCorrelation:
+    def test_correlation_pipeline(self, encoders):
+        """Covariance + two variance estimates give a usable correlation."""
+        rng = np.random.default_rng(5)
+        x, y = correlated_pair(rng, 600_000, slope=0.8, noise=8.0)
+        truth = float(np.corrcoef(x, y)[0, 1])
+        cov = CovarianceEstimator(*encoders).estimate(x, y, rng)
+        var_x = VarianceEstimator(encoders[0]).estimate(x, rng).value
+        var_y = VarianceEstimator(encoders[1]).estimate(y, rng).value
+        estimate = cov.correlation(var_x, var_y)
+        assert estimate == pytest.approx(truth, abs=0.35)
+        assert estimate > 0.3
+
+    def test_correlation_clipped_to_unit(self, encoders, rng):
+        x, y = correlated_pair(np.random.default_rng(6), 50_000)
+        cov = CovarianceEstimator(*encoders).estimate(x, y, rng)
+        assert -1.0 <= cov.correlation(1.0, 1.0) <= 1.0
+
+    def test_correlation_validation(self, encoders, rng):
+        x, y = correlated_pair(np.random.default_rng(7), 10_000)
+        cov = CovarianceEstimator(*encoders).estimate(x, y, rng)
+        with pytest.raises(ConfigurationError):
+            cov.correlation(0.0, 1.0)

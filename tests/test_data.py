@@ -1,0 +1,180 @@
+"""Workload generators: synthetic, census, telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    AGE_BRACKETS,
+    METRIC_CATALOG,
+    bimodal,
+    binary_with_outliers,
+    constant,
+    drifting_latency,
+    exponential,
+    lognormal,
+    normal,
+    pareto_latency,
+    population_age_stats,
+    sample_ages,
+    uniform,
+    zipf,
+)
+from repro.exceptions import DataGenerationError
+
+
+class TestSynthetic:
+    def test_normal_moments(self, rng):
+        values = normal(200_000, 1000.0, 50.0, rng)
+        assert values.mean() == pytest.approx(1000.0, rel=0.01)
+        assert values.std() == pytest.approx(50.0, rel=0.05)
+
+    def test_normal_clipping(self, rng):
+        values = normal(10_000, 10.0, 100.0, rng)
+        assert values.min() >= 0.0
+
+    def test_normal_unclipped(self, rng):
+        values = normal(10_000, 0.0, 100.0, rng, clip_negative=False)
+        assert values.min() < 0.0
+
+    def test_uniform_range(self, rng):
+        values = uniform(10_000, 5.0, 10.0, rng)
+        assert values.min() >= 5.0 and values.max() < 10.0
+
+    def test_exponential_mean(self, rng):
+        assert exponential(200_000, 7.0, rng).mean() == pytest.approx(7.0, rel=0.02)
+
+    def test_lognormal_heavy_tail(self, rng):
+        values = lognormal(100_000, 0.0, 2.0, rng)
+        assert values.max() / np.median(values) > 100
+
+    def test_constant(self):
+        values = constant(100, 3.5)
+        assert (values == 3.5).all()
+
+    def test_zipf_heavy_tail(self, rng):
+        values = zipf(200_000, exponent=2.0, rng=rng)
+        assert np.median(values) == 1.0
+        assert values.max() > 1_000
+
+    def test_zipf_cap_winsorizes(self, rng):
+        values = zipf(50_000, exponent=2.0, cap=255.0, rng=rng)
+        assert values.max() <= 255.0
+        assert values.min() >= 1.0
+
+    def test_zipf_validation(self):
+        with pytest.raises(DataGenerationError):
+            zipf(100, exponent=1.0)
+        with pytest.raises(DataGenerationError):
+            zipf(100, cap=0.0)
+
+    def test_bimodal_modes(self, rng):
+        values = bimodal(100_000, 10.0, 100.0, 0.5, 1.0, rng)
+        assert values.mean() == pytest.approx(55.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(DataGenerationError):
+            normal(0, 1.0, 1.0)
+        with pytest.raises(DataGenerationError):
+            normal(10, 1.0, 0.0)
+        with pytest.raises(DataGenerationError):
+            uniform(10, 5.0, 5.0)
+        with pytest.raises(DataGenerationError):
+            exponential(10, -1.0)
+        with pytest.raises(DataGenerationError):
+            lognormal(10, 0.0, 0.0)
+        with pytest.raises(DataGenerationError):
+            bimodal(10, 0.0, 1.0, 2.0, 1.0)
+
+
+class TestCensus:
+    def test_age_range(self):
+        ages = sample_ages(50_000, rng=0)
+        assert ages.min() >= 0 and ages.max() <= 94
+
+    def test_ages_are_integers(self):
+        ages = sample_ages(1_000, rng=1)
+        np.testing.assert_array_equal(ages, np.round(ages))
+
+    def test_sample_moments_match_population(self):
+        ages = sample_ages(500_000, rng=2)
+        mean, var = population_age_stats()
+        assert ages.mean() == pytest.approx(mean, rel=0.01)
+        assert ages.var() == pytest.approx(var, rel=0.02)
+
+    def test_population_stats_plausible(self):
+        mean, var = population_age_stats()
+        assert 30.0 < mean < 40.0
+        assert 400.0 < var < 650.0
+
+    def test_brackets_cover_0_to_94(self):
+        lows = [lo for lo, _, _ in AGE_BRACKETS]
+        highs = [hi for _, hi, _ in AGE_BRACKETS]
+        assert lows[0] == 0 and highs[-1] == 94
+        for (lo, hi), nxt in zip(zip(lows, highs), lows[1:]):
+            assert nxt == hi + 1
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(sample_ages(100, rng=7), sample_ages(100, rng=7))
+
+    def test_invalid_n(self):
+        with pytest.raises(DataGenerationError):
+            sample_ages(0)
+
+
+class TestTelemetry:
+    def test_binary_with_outliers_shape(self, rng):
+        values = binary_with_outliers(100_000, p_one=0.3, outlier_rate=1e-3, rng=rng)
+        core = values[values <= 1.0]
+        assert core.size > 99_000
+        assert values.max() > 1_000
+
+    def test_no_outliers_option(self, rng):
+        values = binary_with_outliers(10_000, p_one=0.5, outlier_rate=0.0, rng=rng)
+        assert set(np.unique(values)) <= {0.0, 1.0}
+
+    def test_outliers_destabilize_mean_but_clipping_fixes_it(self, rng):
+        """The deployment story: winsorization restores a stable statistic."""
+        values = binary_with_outliers(
+            50_000, p_one=0.3, outlier_rate=1e-3, outlier_magnitude=1e6, rng=rng
+        )
+        raw_mean = values.mean()
+        clipped_mean = np.clip(values, 0, 255).mean()
+        assert raw_mean > 10 * clipped_mean
+
+    def test_pareto_latency_median(self, rng):
+        values = pareto_latency(200_000, median_ms=120.0, tail_index=1.8, rng=rng)
+        assert np.median(values) == pytest.approx(120.0, rel=0.02)
+
+    def test_pareto_requires_finite_mean(self):
+        with pytest.raises(DataGenerationError):
+            pareto_latency(10, tail_index=1.0)
+
+    def test_drifting_latency_shift(self, rng):
+        before = drifting_latency(10_000, 5, shift_round=6, shift_factor=8.0, rng=rng)
+        after = drifting_latency(10_000, 6, shift_round=6, shift_factor=8.0, rng=rng)
+        assert after.mean() > 6 * before.mean()
+
+    def test_drift_compounds(self, rng):
+        flat = drifting_latency(10_000, 10, drift_per_round=0.0, rng=rng)
+        drifted = drifting_latency(10_000, 10, drift_per_round=0.05, rng=rng)
+        assert drifted.mean() > 1.3 * flat.mean()
+
+    def test_metric_catalog_samples(self, rng):
+        for spec in METRIC_CATALOG:
+            values = spec.sample(100, rng)
+            assert values.shape == (100,)
+            assert spec.recommended_bits >= 1
+
+    def test_unknown_metric_rejected(self, rng):
+        from repro.data.telemetry import MetricSpec
+
+        with pytest.raises(DataGenerationError):
+            MetricSpec("bogus", "", 8).sample(10, rng)
+
+    def test_validation(self):
+        with pytest.raises(DataGenerationError):
+            binary_with_outliers(0)
+        with pytest.raises(DataGenerationError):
+            binary_with_outliers(10, p_one=1.5)
+        with pytest.raises(DataGenerationError):
+            drifting_latency(10, -1)

@@ -1,0 +1,118 @@
+"""Distributed DP histogram mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.privacy import BernoulliNoiseAggregator, SampleAndThreshold
+
+
+class TestBernoulliNoiseAggregator:
+    def test_noise_volume_scales(self):
+        low_eps = BernoulliNoiseAggregator(epsilon=0.5, delta=1e-6)
+        high_eps = BernoulliNoiseAggregator(epsilon=2.0, delta=1e-6)
+        assert low_eps.noise_bits_per_index > high_eps.noise_bits_per_index
+
+    def test_noise_volume_grows_with_smaller_delta(self):
+        loose = BernoulliNoiseAggregator(epsilon=1.0, delta=1e-3)
+        tight = BernoulliNoiseAggregator(epsilon=1.0, delta=1e-9)
+        assert tight.noise_bits_per_index > loose.noise_bits_per_index
+
+    def test_unbiased(self, rng):
+        agg = BernoulliNoiseAggregator(epsilon=1.0, delta=1e-6)
+        counts = np.full(4, 100_000.0)
+        sums = counts * np.array([0.1, 0.4, 0.7, 0.0])
+        estimates = np.array(
+            [agg.privatize_bit_means(sums, counts, rng) for _ in range(300)]
+        )
+        np.testing.assert_allclose(estimates.mean(axis=0), [0.1, 0.4, 0.7, 0.0], atol=0.005)
+
+    def test_unsampled_bits_stay_zero(self, rng):
+        agg = BernoulliNoiseAggregator(epsilon=1.0, delta=1e-6)
+        means = agg.privatize_bit_means(np.zeros(3), np.zeros(3), rng)
+        assert means.tolist() == [0.0, 0.0, 0.0]
+
+    def test_noise_std_formula(self, rng):
+        agg = BernoulliNoiseAggregator(epsilon=1.0, delta=1e-6)
+        count = 10_000.0
+        sums = np.array([5_000.0])
+        draws = [
+            float(agg.privatize_bit_means(sums, np.array([count]), rng)[0])
+            for _ in range(500)
+        ]
+        assert np.std(draws) == pytest.approx(agg.expected_mean_noise_std(count), rel=0.2)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliNoiseAggregator(epsilon=0.0, delta=1e-6)
+        with pytest.raises(ConfigurationError):
+            BernoulliNoiseAggregator(epsilon=1.0, delta=0.0)
+        with pytest.raises(ConfigurationError):
+            BernoulliNoiseAggregator(epsilon=1.0, delta=1e-6, noise_constant=0.0)
+
+    def test_shape_mismatch_raises(self, rng):
+        agg = BernoulliNoiseAggregator(epsilon=1.0, delta=1e-6)
+        with pytest.raises(ConfigurationError):
+            agg.privatize_bit_means(np.zeros(2), np.zeros(3), rng)
+
+
+class TestSampleAndThreshold:
+    def test_parameters(self):
+        mech = SampleAndThreshold(epsilon=1.0, delta=1e-6)
+        assert mech.sample_rate == pytest.approx(1 - np.exp(-1.0))
+        assert mech.threshold == 14
+
+    def test_higher_epsilon_keeps_more(self):
+        assert (
+            SampleAndThreshold(2.0, 1e-6).sample_rate
+            > SampleAndThreshold(0.5, 1e-6).sample_rate
+        )
+
+    def test_large_counts_unbiased(self, rng):
+        mech = SampleAndThreshold(epsilon=1.0, delta=1e-6)
+        counts = np.full(3, 50_000.0)
+        sums = counts * np.array([0.2, 0.5, 0.9])
+        estimates = np.array(
+            [mech.privatize_bit_means(sums, counts, rng) for _ in range(200)]
+        )
+        np.testing.assert_allclose(estimates.mean(axis=0), [0.2, 0.5, 0.9], atol=0.01)
+
+    def test_small_counts_suppressed(self, rng):
+        mech = SampleAndThreshold(epsilon=1.0, delta=1e-6)
+        # 5 one-reports can never clear a threshold of 14.
+        means = mech.privatize_bit_means(np.array([5.0]), np.array([1000.0]), rng)
+        assert means[0] == 0.0
+
+    def test_requires_raw_counts(self, rng):
+        mech = SampleAndThreshold(epsilon=1.0, delta=1e-6)
+        with pytest.raises(ConfigurationError):
+            mech.privatize_bit_means(np.array([-1.0]), np.array([10.0]), rng)
+        with pytest.raises(ConfigurationError):
+            mech.privatize_bit_means(np.array([20.0]), np.array([10.0]), rng)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            SampleAndThreshold(epsilon=-1.0, delta=1e-6)
+        with pytest.raises(ConfigurationError):
+            SampleAndThreshold(epsilon=1.0, delta=1.0)
+
+
+class TestDistributedVsLocalError:
+    def test_distributed_beats_local_rr_at_scale(self, rng):
+        """Section 3.3: distributed DP has a better n-dependence than LDP."""
+        from repro.experiments.methods import distributed_mean_estimate, mean_methods
+        from repro.data.census import sample_ages
+
+        n, n_bits, eps = 50_000, 8, 0.5
+        values = sample_ages(n, rng)
+        truth = values.mean()
+
+        local = mean_methods(n_bits, epsilon=eps, include=["weighted a=0.5"])["weighted a=0.5"]
+        local_errs, dist_errs = [], []
+        agg = BernoulliNoiseAggregator(epsilon=eps, delta=1e-6)
+        for _ in range(20):
+            local_errs.append(abs(local(values, rng) - truth))
+            dist_errs.append(
+                abs(distributed_mean_estimate(values, n_bits, agg, rng) - truth)
+            )
+        assert np.mean(dist_errs) < np.mean(local_errs)

@@ -1,0 +1,35 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro import exceptions
+
+
+@pytest.mark.parametrize(
+    "subclass",
+    [
+        exceptions.ConfigurationError,
+        exceptions.EncodingError,
+        exceptions.ProtocolError,
+        exceptions.PrivacyBudgetExceeded,
+        exceptions.CohortTooSmallError,
+        exceptions.SecureAggregationError,
+        exceptions.DataGenerationError,
+    ],
+)
+def test_all_errors_derive_from_repro_error(subclass):
+    assert issubclass(subclass, exceptions.ReproError)
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(exceptions.ReproError, Exception)
+
+
+def test_catching_base_class_catches_subclass():
+    with pytest.raises(exceptions.ReproError):
+        raise exceptions.EncodingError("nope")
+
+
+def test_errors_carry_messages():
+    err = exceptions.CohortTooSmallError("only 3 eligible")
+    assert "only 3 eligible" in str(err)

@@ -1,0 +1,172 @@
+"""Experiment harness: figure functions, method registry, report rendering, CLI.
+
+Figure functions run here at drastically reduced scale -- the goal is to
+test plumbing (labels, shapes, metrics, determinism), not to re-validate
+accuracy claims (the benchmarks do that at full scale).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    figure_1a,
+    figure_1c,
+    figure_2a,
+    figure_3b,
+    figure_4a,
+    figure_4b,
+    figure_4c,
+    mean_methods,
+    render_series_table,
+    render_snapshot,
+    variance_methods,
+)
+from repro.experiments.figure1 import bits_for_normal
+
+QUICK = {"n_reps": 3}
+
+
+class TestMethodRegistry:
+    def test_paper_methods_built(self):
+        methods = mean_methods(10)
+        assert set(methods) == {"dithering", "weighted a=0.5", "weighted a=1.0", "adaptive"}
+
+    def test_all_methods_estimate(self, rng):
+        values = np.full(2_000, 300.0)
+        for label, method in mean_methods(10, epsilon=2.0, include=[
+            "dithering", "weighted a=0.5", "adaptive", "piecewise", "duchi",
+            "randomized-rounding", "laplace",
+        ]).items():
+            estimate = method(values, rng)
+            assert estimate == pytest.approx(300.0, abs=120.0), label
+
+    def test_ldp_methods_require_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            mean_methods(10, include=["piecewise"])
+        with pytest.raises(ConfigurationError):
+            mean_methods(10, include=["laplace"])
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_methods(10, include=["quantum"])
+
+    def test_variance_methods_estimate(self, rng):
+        values = np.clip(rng.normal(300, 50, 20_000), 0, None)
+        for label, method in variance_methods(10).items():
+            estimate = method(values, rng)
+            assert estimate == pytest.approx(values.var(), rel=1.5), label
+
+    def test_variance_unknown_label(self):
+        with pytest.raises(ConfigurationError):
+            variance_methods(10, include=["bogus"])
+
+
+class TestFigureFunctions:
+    def test_bits_for_normal_steps_at_powers_of_two(self):
+        assert bits_for_normal(100.0, 100.0) == 9     # 500 -> 9 bits
+        assert bits_for_normal(600.0, 100.0) == 10    # 1000 -> 10 bits
+        assert bits_for_normal(700.0, 100.0) == 11    # 1100 -> 11 bits
+
+    def test_figure_1a_structure(self):
+        results = figure_1a(n_clients=500, mus=(100.0, 400.0), **QUICK)
+        assert set(results) == {"dithering", "weighted a=0.5", "weighted a=1.0", "adaptive"}
+        for series in results.values():
+            assert series.x == [100.0, 400.0]
+            assert all(v >= 0 for v in series.nrmse)
+
+    def test_figure_1c_structure(self):
+        results = figure_1c(n_clients=500, bit_depths=(11, 14), **QUICK)
+        assert results["adaptive"].x == [11.0, 14.0]
+
+    def test_figure_2a_structure(self):
+        results = figure_2a(cohorts=(500, 1_000), **QUICK)
+        assert results["adaptive"].x == [500.0, 1000.0]
+
+    def test_figure_3b_structure(self):
+        results = figure_3b(epsilons=(2.0,), n_clients=500, **QUICK)
+        assert "piecewise" in results
+        assert results["piecewise"].x == [2.0]
+
+    def test_figure_3b_extras(self):
+        results = figure_3b(epsilons=(2.0,), n_clients=300, include_extras=True, **QUICK)
+        assert "laplace" in results and "duchi" in results
+
+    def test_figure_4a_structure(self):
+        results = figure_4a(multiples=(0.0, 2.0), n_clients=500, **QUICK)
+        assert set(results) == {"adaptive+squash", "weighted a=1.0 (no squash)"}
+
+    def test_figure_4c_structure(self):
+        results = figure_4c(bit_depths=(8, 12), n_clients=500, **QUICK)
+        assert "adaptive+squash" in results
+
+    def test_figures_deterministic(self):
+        a = figure_1a(n_clients=300, mus=(200.0,), n_reps=2, seed=7)
+        b = figure_1a(n_clients=300, mus=(200.0,), n_reps=2, seed=7)
+        assert a["adaptive"].nrmse == b["adaptive"].nrmse
+
+
+class TestFigure4b:
+    def test_snapshot_shape(self):
+        snap = figure_4b(n_clients=2_000, n_bits=12, seed=1)
+        assert snap.bit_means.shape == (12,)
+        assert snap.counts.sum() == 2_000
+        assert snap.threshold == 0.05
+
+    def test_dense_region_and_noise_region(self):
+        snap = figure_4b(n_clients=10_000, n_bits=16, seed=2)
+        # Ages occupy ~7 bits: the low bits carry real means, the top bits
+        # are pure randomized-response noise.
+        assert snap.true_bit_means[:6].min() > 0.05
+        assert snap.true_bit_means[8:].max() == 0.0
+        assert set(snap.noisy_bits) >= set(range(10, 16))
+
+
+class TestRendering:
+    def test_series_table(self):
+        results = figure_1a(n_clients=300, mus=(200.0,), n_reps=2)
+        table = render_series_table("Figure 1a", results, metric="nrmse", x_name="mu")
+        assert "### Figure 1a" in table
+        assert "| mu |" in table
+        assert "adaptive" in table
+        assert "±" in table
+
+    def test_mismatched_grids_rejected(self):
+        a = figure_1a(n_clients=300, mus=(200.0,), n_reps=2)
+        b = figure_1a(n_clients=300, mus=(400.0,), n_reps=2)
+        with pytest.raises(ValueError):
+            render_series_table("bad", {"a": a["adaptive"], "b": b["adaptive"]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_series_table("empty", {})
+
+    def test_snapshot_rendering(self):
+        snap = figure_4b(n_clients=2_000, n_bits=10, seed=3)
+        text = render_snapshot(snap)
+        assert "| bit |" in text
+        assert "epsilon=2" in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "1a" in out and "poisoning" in out
+
+    def test_figure_quick(self, capsys):
+        assert cli_main(["figure", "1c", "--quick"]) == 0
+        assert "### Figure 1c" in capsys.readouterr().out
+
+    def test_figure_4b(self, capsys):
+        assert cli_main(["figure", "4b"]) == 0
+        assert "| bit |" in capsys.readouterr().out
+
+    def test_ablation_quick(self, capsys):
+        assert cli_main(["ablation", "b-send", "--quick"]) == 0
+        assert "b_send" in capsys.readouterr().out
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["figure", "9z"])

@@ -1,0 +1,187 @@
+"""Failure injection: corrupted inputs, degenerate sizes, byzantine payloads.
+
+Production aggregation pipelines fail at the edges: a malformed report, a
+shard with one client, a cohort that all dropped, a 1-bit encoder.  These
+tests pin down the behaviour in each corner -- either a clean, typed error
+or a correct degenerate result, never silent corruption.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveBitPushing,
+    BasicBitPushing,
+    BitSamplingSchedule,
+    FederatedHistogram,
+    FixedPointEncoder,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    ProtocolError,
+    SecureAggregationError,
+)
+from repro.federated import (
+    BitReport,
+    ClientDevice,
+    FederatedMeanQuery,
+    NetworkModel,
+    SecureAggregationSession,
+    StreamingAggregator,
+)
+from repro.federated.secure_agg import PrimeField, Share, reconstruct_secret
+from repro.privacy import RandomizedResponse
+
+
+class TestDegenerateSizes:
+    def test_one_bit_encoder_works(self, rng):
+        encoder = FixedPointEncoder.for_integers(1)
+        values = np.array([0.0, 1.0] * 1_000)
+        est = BasicBitPushing(encoder).estimate(values, rng)
+        assert est.value == pytest.approx(0.5, abs=0.05)
+
+    def test_adaptive_with_two_clients(self, encoder8, rng):
+        # Smallest legal cohort: one client per round.
+        result = AdaptiveBitPushing(encoder8).estimate(np.array([10.0, 10.0]), rng)
+        assert result.rounds[0].n_clients == 1
+        assert result.rounds[1].n_clients == 1
+
+    def test_single_bucket_histogram(self, rng):
+        hist = FederatedHistogram.uniform(0.0, 10.0, 1)
+        est = hist.estimate(rng.uniform(0, 10, 100), rng)
+        assert est.frequencies[0] == pytest.approx(1.0)
+
+    def test_single_bit_schedule(self, rng):
+        sched = BitSamplingSchedule.uniform(1)
+        assert sched.probabilities.tolist() == [1.0]
+
+    def test_one_client_one_bit(self, rng):
+        encoder = FixedPointEncoder.for_integers(4)
+        est = BasicBitPushing(encoder).estimate(np.array([8.0]), rng)
+        # One client reports one bit; the estimate is whatever that bit
+        # implies -- crude but well-defined and within the encodable range.
+        assert 0.0 <= est.value <= encoder.representable_max
+
+
+class TestByzantinePayloads:
+    def test_streaming_rejects_alien_bits(self, encoder8):
+        agg = StreamingAggregator(encoder8)
+        with pytest.raises(ProtocolError):
+            agg.submit(BitReport(0, 0, 7))
+
+    def test_streaming_rejects_out_of_band_index(self, encoder8):
+        agg = StreamingAggregator(encoder8)
+        with pytest.raises(ProtocolError):
+            agg.submit(BitReport(0, 63, 1))
+
+    def test_rejected_report_leaves_counters_clean(self, encoder8):
+        agg = StreamingAggregator(encoder8)
+        agg.submit(BitReport(0, 0, 1))
+        with pytest.raises(ProtocolError):
+            agg.submit(BitReport(1, 0, 9))
+        assert agg.reports_received == 1
+        # The byzantine client did not burn its id: a valid retry works.
+        agg.submit(BitReport(1, 0, 1))
+        assert agg.reports_received == 2
+
+    def test_perturbation_shape_change_detected(self, encoder8, rng):
+        class ShapeShifter:
+            def perturb_bits(self, bits, rng):
+                return np.zeros(bits.size + 1)
+
+            def unbias_bit_means(self, means):
+                return means
+
+        est = BasicBitPushing(encoder8, perturbation=ShapeShifter())
+        with pytest.raises(ProtocolError):
+            est.estimate(np.full(100, 5.0), rng)
+
+
+class TestSecureAggregationFailures:
+    def test_corrupted_share_detected_by_duplicate_point(self):
+        field = PrimeField()
+        with pytest.raises(SecureAggregationError):
+            reconstruct_secret([Share(1, 5), Share(1, 9)], field)
+
+    def test_exactly_threshold_survivors_succeeds(self):
+        session = SecureAggregationSession(6, 2, threshold=4, rng=0)
+        for cid in range(4):
+            session.submit(cid, [1, 2])
+        assert session.finalize() == [4, 8]
+
+    def test_one_below_threshold_fails(self):
+        session = SecureAggregationSession(6, 2, threshold=4, rng=1)
+        for cid in range(3):
+            session.submit(cid, [1, 2])
+        with pytest.raises(SecureAggregationError):
+            session.finalize()
+
+    def test_negative_contributions_survive_centering(self):
+        # Debiased counters can be negative; the field's centered decode
+        # must bring them back as signed integers.
+        session = SecureAggregationSession(3, 1, threshold=2, rng=2)
+        session.submit(0, [-5])
+        session.submit(1, [2])
+        session.submit(2, [-4])
+        assert session.finalize() == [-7]
+
+
+class TestFederatedQueryFailureModes:
+    def _population(self, n=300):
+        rng = np.random.default_rng(0)
+        return [
+            ClientDevice(i, [v])
+            for i, v in enumerate(np.clip(rng.normal(100, 20, n), 0, None))
+        ]
+
+    def test_total_network_blackout_raises(self, encoder8):
+        query = FederatedMeanQuery(
+            encoder8, network=NetworkModel(loss_rate=0.95, deadline_s=0.001)
+        )
+        with pytest.raises(ConfigurationError):
+            query.run(self._population(), rng=0)
+
+    def test_lone_client_shard_still_counted(self, encoder8):
+        # 17 clients, shard size 16 -> the last shard has a single client,
+        # which cannot be pairwise-masked; its counter joins the total in
+        # the clear (documented behaviour) and nothing is lost.
+        population = self._population(17)
+        query = FederatedMeanQuery(
+            encoder8, mode="basic", secure_aggregation=True, shard_size=16
+        )
+        est = query.run(population, rng=1)
+        assert est.counts.sum() == 17
+
+    def test_meter_violation_aborts_before_partial_state_is_trusted(self, encoder8):
+        from repro.exceptions import PrivacyBudgetExceeded
+        from repro.privacy import BitMeter
+
+        population = self._population(100)
+        meter = BitMeter(max_bits_per_value=1)
+        query = FederatedMeanQuery(encoder8, mode="basic", meter=meter, metric_name="m")
+        query.run(population, rng=2)
+        with pytest.raises(PrivacyBudgetExceeded):
+            query.run(population, rng=3)
+
+    def test_extreme_dropout_jitter_clamped(self, encoder8):
+        from repro.federated import DropoutModel
+
+        # Jitter can push the effective rate above 1; the model clamps at
+        # 0.95 so some clients always survive in expectation.
+        model = DropoutModel(rate=0.9, jitter=0.5)
+        survivors = model.draw_survivors(50_000, np.random.default_rng(0))
+        assert survivors.sum() > 0
+
+    def test_rr_epsilon_extremes(self, encoder8, rng):
+        values = np.full(50_000, 100.0)
+        # Tiny epsilon: nearly coin-flip reports, estimate still unbiased
+        # but very noisy -- must not crash or produce non-finite output.
+        noisy = BasicBitPushing(
+            encoder8, perturbation=RandomizedResponse(epsilon=0.01)
+        ).estimate(values, rng)
+        assert np.isfinite(noisy.value)
+        # Huge epsilon: effectively no noise.
+        clean = BasicBitPushing(
+            encoder8, perturbation=RandomizedResponse(epsilon=20.0)
+        ).estimate(values, rng)
+        assert clean.value == pytest.approx(100.0, abs=1.0)

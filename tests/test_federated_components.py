@@ -1,0 +1,211 @@
+"""Federated substrate components: clients, multivalue, dropout, network, cohorts."""
+
+import numpy as np
+import pytest
+
+from repro.core import FixedPointEncoder
+from repro.exceptions import CohortTooSmallError, ConfigurationError, PrivacyBudgetExceeded
+from repro.federated import (
+    ClientDevice,
+    CohortSelector,
+    DropoutModel,
+    DropoutRateTracker,
+    NetworkModel,
+    attribute_equals,
+    elicit_single_value,
+    ground_truth_mean,
+)
+from repro.privacy import BitMeter, RandomizedResponse
+
+
+class TestClientDevice:
+    def test_scalar_value_promoted(self):
+        client = ClientDevice(1, 5.0)
+        assert client.n_values == 1
+        assert client.local_mean() == 5.0
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClientDevice(1, np.array([]))
+
+    def test_elicit_strategies(self, rng):
+        client = ClientDevice(1, [1.0, 2.0, 9.0])
+        assert client.elicit("mean", rng) == pytest.approx(4.0)
+        assert client.elicit("max", rng) == 9.0
+        assert client.elicit("latest", rng) == 9.0
+        assert client.elicit("sample", rng) in {1.0, 2.0, 9.0}
+
+    def test_report_bit_truthful_without_perturbation(self, encoder8, rng):
+        client = ClientDevice(3, [5.0])    # 0b101
+        assert client.report_bit(0, encoder8, rng=rng).bit == 1
+        assert client.report_bit(1, encoder8, rng=rng).bit == 0
+        assert client.report_bit(2, encoder8, rng=rng).bit == 1
+
+    def test_report_records_meter(self, encoder8, rng):
+        meter = BitMeter(max_bits_per_value=1)
+        client = ClientDevice(3, [5.0])
+        client.report_bit(0, encoder8, meter=meter, value_id="m", rng=rng)
+        with pytest.raises(PrivacyBudgetExceeded):
+            client.report_bit(1, encoder8, meter=meter, value_id="m", rng=rng)
+
+    def test_report_with_perturbation_is_binary(self, encoder8, rng):
+        client = ClientDevice(3, [5.0])
+        rr = RandomizedResponse(epsilon=1.0)
+        report = client.report_bit(0, encoder8, perturbation=rr, rng=rng)
+        assert report.bit in (0, 1)
+        assert report.client_id == 3
+        assert report.bit_index == 0
+
+
+class TestMultivalue:
+    def test_elicit_mean(self):
+        assert elicit_single_value([2.0, 4.0], "mean") == 3.0
+
+    def test_elicit_sample_deterministic_with_seed(self):
+        values = [1.0, 2.0, 3.0]
+        assert elicit_single_value(values, "sample", rng=0) == elicit_single_value(
+            values, "sample", rng=0
+        )
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            elicit_single_value([1.0], "median")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            elicit_single_value([], "mean")
+
+    def test_ground_truth_sample_weights_clients_equally(self):
+        """One chatty client must not dominate the sampling ground truth."""
+        per_client = [np.array([0.0]), np.array([10.0] * 1_000)]
+        assert ground_truth_mean(per_client, "sample") == pytest.approx(5.0)
+
+    def test_ground_truth_max(self):
+        per_client = [np.array([1.0, 5.0]), np.array([2.0])]
+        assert ground_truth_mean(per_client, "max") == pytest.approx(3.5)
+
+    def test_ground_truth_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ground_truth_mean([], "sample")
+
+
+class TestDropout:
+    def test_zero_rate_keeps_everyone(self, rng):
+        assert DropoutModel(0.0).draw_survivors(1000, rng).all()
+
+    def test_rate_respected(self, rng):
+        survivors = DropoutModel(0.3).draw_survivors(100_000, rng)
+        assert survivors.mean() == pytest.approx(0.7, abs=0.01)
+
+    def test_jitter_varies_rounds(self):
+        model = DropoutModel(0.3, jitter=0.1)
+        rates = [1 - model.draw_survivors(10_000, seed).mean() for seed in range(10)]
+        assert np.std(rates) > 0.01
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            DropoutModel(1.0)
+        with pytest.raises(ConfigurationError):
+            DropoutModel(-0.1)
+
+    def test_tracker_ewma(self):
+        tracker = DropoutRateTracker(smoothing=0.5, prior_rate=0.0)
+        tracker.update(100, 80)
+        assert tracker.rate == pytest.approx(0.1)
+        tracker.update(100, 60)
+        assert tracker.rate == pytest.approx(0.25)
+        assert tracker.expected_survival == pytest.approx(0.75)
+        assert tracker.rounds_observed == 2
+
+    def test_tracker_validation(self):
+        tracker = DropoutRateTracker()
+        with pytest.raises(ConfigurationError):
+            tracker.update(0, 0)
+        with pytest.raises(ConfigurationError):
+            tracker.update(10, 11)
+        with pytest.raises(ConfigurationError):
+            DropoutRateTracker(smoothing=0.0)
+
+
+class TestNetwork:
+    def test_lossless_default(self, rng):
+        outcome = NetworkModel().transmit(1000, rng)
+        assert outcome.delivery_rate == 1.0
+        assert outcome.round_duration_s > 0
+
+    def test_loss_rate(self, rng):
+        outcome = NetworkModel(loss_rate=0.25).transmit(100_000, rng)
+        assert outcome.delivery_rate == pytest.approx(0.75, abs=0.01)
+
+    def test_deadline_drops_late_reports(self, rng):
+        strict = NetworkModel(latency_median_s=90.0, deadline_s=90.0).transmit(50_000, rng)
+        assert strict.delivery_rate == pytest.approx(0.5, abs=0.02)
+        assert strict.round_duration_s <= 90.0
+
+    def test_round_duration_is_max_delivered_latency(self, rng):
+        outcome = NetworkModel().transmit(100, rng)
+        assert outcome.round_duration_s == pytest.approx(
+            outcome.latencies_s[outcome.delivered].max()
+        )
+
+    def test_zero_reports(self, rng):
+        outcome = NetworkModel().transmit(0, rng)
+        assert outcome.delivery_rate == 0.0
+        assert outcome.round_duration_s == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel(loss_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            NetworkModel(latency_median_s=0.0)
+        with pytest.raises(ConfigurationError):
+            NetworkModel(deadline_s=0.0)
+
+
+class TestCohortSelector:
+    def _population(self, n=100):
+        return [
+            ClientDevice(i, [float(i)], {"geo": "us" if i % 2 else "eu"})
+            for i in range(n)
+        ]
+
+    def test_no_filter_returns_everyone(self):
+        pop = self._population()
+        assert len(CohortSelector().select(pop)) == 100
+
+    def test_eligibility_filter(self):
+        pop = self._population()
+        cohort = CohortSelector().select(pop, eligibility=attribute_equals("geo", "us"))
+        assert len(cohort) == 50
+        assert all(c.attributes["geo"] == "us" for c in cohort)
+
+    def test_missing_attribute_means_ineligible(self):
+        pop = [ClientDevice(0, [1.0])]
+        with pytest.raises(CohortTooSmallError):
+            CohortSelector(min_cohort_size=1).select(
+                pop, eligibility=attribute_equals("geo", "us")
+            )
+
+    def test_minimum_size_enforced(self):
+        pop = self._population(10)
+        with pytest.raises(CohortTooSmallError):
+            CohortSelector(min_cohort_size=11).select(pop)
+
+    def test_requested_cohort_below_minimum_rejected(self):
+        pop = self._population(100)
+        with pytest.raises(CohortTooSmallError):
+            CohortSelector(min_cohort_size=10).select(pop, cohort_size=5)
+
+    def test_subsampling(self, rng):
+        pop = self._population(100)
+        cohort = CohortSelector().select(pop, cohort_size=30, rng=rng)
+        assert len(cohort) == 30
+        assert len({c.client_id for c in cohort}) == 30
+
+    def test_cohort_size_above_population_returns_all(self, rng):
+        pop = self._population(20)
+        assert len(CohortSelector().select(pop, cohort_size=50, rng=rng)) == 20
+
+    def test_invalid_min_size(self):
+        with pytest.raises(ConfigurationError):
+            CohortSelector(min_cohort_size=0)

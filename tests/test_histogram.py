@@ -1,0 +1,139 @@
+"""One-bit federated histograms."""
+
+import numpy as np
+import pytest
+
+from repro.core import FederatedHistogram
+from repro.exceptions import ConfigurationError
+from repro.privacy import BernoulliNoiseAggregator, RandomizedResponse
+
+
+class TestConstruction:
+    def test_uniform_edges(self):
+        hist = FederatedHistogram.uniform(0.0, 10.0, 5)
+        np.testing.assert_allclose(hist.edges, [0, 2, 4, 6, 8, 10])
+        assert hist.n_buckets == 5
+
+    def test_invalid_edges(self):
+        with pytest.raises(ConfigurationError):
+            FederatedHistogram(np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            FederatedHistogram(np.array([0.0, 0.0, 1.0]))
+        with pytest.raises(ConfigurationError):
+            FederatedHistogram(np.array([0.0, np.inf]))
+
+    def test_local_and_distributed_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            FederatedHistogram.uniform(
+                0, 1, 2,
+                perturbation=RandomizedResponse(epsilon=1.0),
+                distributed=BernoulliNoiseAggregator(1.0, 1e-6),
+            )
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ConfigurationError):
+            FederatedHistogram.uniform(0, 1, 0)
+
+
+class TestBucketing:
+    def test_bucket_of_clips(self):
+        hist = FederatedHistogram.uniform(0.0, 10.0, 5)
+        idx = hist.bucket_of(np.array([-5.0, 0.0, 3.0, 9.9, 10.0, 50.0]))
+        assert idx.tolist() == [0, 0, 1, 4, 4, 4]
+
+    def test_edge_values_land_right(self):
+        hist = FederatedHistogram(np.array([0.0, 1.0, 2.0]))
+        assert hist.bucket_of(np.array([1.0]))[0] == 1   # right-open buckets
+
+
+class TestEstimation:
+    def test_recovers_shape(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(50.0, 10.0, 200_000)
+        hist = FederatedHistogram.uniform(0.0, 100.0, 10)
+        est = hist.estimate(values, rng)
+        true_freq, _ = np.histogram(np.clip(values, 0, 99.99), bins=hist.edges)
+        np.testing.assert_allclose(est.frequencies, true_freq / values.size, atol=0.01)
+
+    def test_one_report_per_client(self, rng):
+        hist = FederatedHistogram.uniform(0.0, 10.0, 5)
+        est = hist.estimate(rng.uniform(0, 10, 5_000), rng)
+        assert est.counts.sum() == 5_000
+        assert est.n_clients == 5_000
+
+    def test_needs_enough_clients(self, rng):
+        hist = FederatedHistogram.uniform(0.0, 10.0, 5)
+        with pytest.raises(ConfigurationError):
+            hist.estimate(np.array([1.0, 2.0]), rng)
+
+    def test_ldp_estimate_unbiased(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0.0, 10.0, 400_000)
+        hist = FederatedHistogram.uniform(
+            0.0, 10.0, 4, perturbation=RandomizedResponse(epsilon=2.0)
+        )
+        est = hist.estimate(values, rng)
+        np.testing.assert_allclose(est.frequencies, 0.25, atol=0.02)
+        assert est.metadata["ldp"] is True
+
+    def test_distributed_estimate(self):
+        rng = np.random.default_rng(2)
+        values = rng.uniform(0.0, 10.0, 400_000)
+        hist = FederatedHistogram.uniform(
+            0.0, 10.0, 4, distributed=BernoulliNoiseAggregator(1.0, 1e-6)
+        )
+        est = hist.estimate(values, rng)
+        np.testing.assert_allclose(est.frequencies, 0.25, atol=0.02)
+        assert est.metadata["distributed"] is True
+
+    def test_frequencies_clipped_to_unit(self):
+        rng = np.random.default_rng(3)
+        values = np.full(10_000, 5.0)   # everything in one bucket
+        hist = FederatedHistogram.uniform(
+            0.0, 10.0, 10, perturbation=RandomizedResponse(epsilon=0.5)
+        )
+        est = hist.estimate(values, rng)
+        assert est.frequencies.min() >= 0.0
+        assert est.frequencies.max() <= 1.0
+
+
+class TestDerivedStatistics:
+    @pytest.fixture
+    def estimate(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(50.0, 10.0, 300_000)
+        return FederatedHistogram.uniform(0.0, 100.0, 20).estimate(values, rng), values
+
+    def test_mean_estimate(self, estimate):
+        est, values = estimate
+        assert est.mean_estimate() == pytest.approx(values.mean(), abs=2.0)
+
+    def test_median_estimate(self, estimate):
+        est, values = estimate
+        assert est.quantile_estimate(0.5) == pytest.approx(np.median(values), abs=3.0)
+
+    def test_tail_quantile(self, estimate):
+        est, values = estimate
+        assert est.quantile_estimate(0.9) == pytest.approx(
+            np.quantile(values, 0.9), abs=5.0
+        )
+
+    def test_quantile_bounds(self, estimate):
+        est, _ = estimate
+        assert est.quantile_estimate(0.0) <= est.quantile_estimate(1.0)
+        with pytest.raises(ConfigurationError):
+            est.quantile_estimate(1.5)
+
+    def test_empty_mass_rejected(self):
+        from repro.core.histogram import HistogramEstimate
+
+        empty = HistogramEstimate(
+            edges=np.array([0.0, 1.0]),
+            frequencies=np.array([0.0]),
+            counts=np.array([10]),
+            n_clients=10,
+        )
+        with pytest.raises(ConfigurationError):
+            empty.mean_estimate()
+        with pytest.raises(ConfigurationError):
+            empty.quantile_estimate(0.5)

@@ -1,0 +1,75 @@
+"""Hybrid (piecewise/Duchi mixture) baseline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import DuchiMechanism, HybridMechanism, PiecewiseMechanism
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_beta_formula(self):
+        mech = HybridMechanism(0.0, 1.0, epsilon=2.0)
+        assert mech.beta == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_beta_grows_with_epsilon(self):
+        assert HybridMechanism(0, 1, 4.0).beta > HybridMechanism(0, 1, 0.5).beta
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            HybridMechanism(0.0, 1.0, epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            HybridMechanism(0.0, 1.0, epsilon=float("nan"))
+
+
+class TestPerturbation:
+    def test_unbiased_per_input(self, rng):
+        mech = HybridMechanism(0.0, 1.0, epsilon=1.5)
+        for t in (-0.7, 0.0, 0.4):
+            outs = mech.perturb(np.full(200_000, t), rng)
+            assert outs.mean() == pytest.approx(t, abs=0.03)
+
+    def test_outputs_come_from_both_branches(self, rng):
+        mech = HybridMechanism(0.0, 1.0, epsilon=1.0)
+        outs = mech.perturb(np.zeros(10_000), rng)
+        duchi_b = DuchiMechanism(0.0, 1.0, 1.0).B
+        n_duchi = np.isin(np.abs(outs), [duchi_b]).sum()
+        assert 0 < n_duchi < outs.size
+
+    def test_variance_is_the_mixture(self, rng):
+        mech = HybridMechanism(0.0, 1.0, epsilon=2.0)
+        outs = mech.perturb(np.zeros(400_000), rng)
+        assert outs.var() == pytest.approx(mech.per_report_variance(0.0), rel=0.05)
+
+
+class TestEndToEnd:
+    def test_mean_estimation(self):
+        rng = np.random.default_rng(0)
+        mech = HybridMechanism(0.0, 100.0, epsilon=2.0)
+        values = np.full(300_000, 37.0)
+        assert mech.estimate(values, rng).value == pytest.approx(37.0, abs=1.0)
+
+    def test_dominates_components_at_moderate_epsilon(self):
+        """The mixture's analytic variance sits at or below the worse
+        component everywhere, and below both where they cross."""
+        for eps in (0.5, 1.0, 2.0, 4.0):
+            hybrid = HybridMechanism(0.0, 1.0, eps)
+            pm = PiecewiseMechanism(0.0, 1.0, eps)
+            duchi = DuchiMechanism(0.0, 1.0, eps)
+            v_h = hybrid.per_report_variance(0.3)
+            assert v_h <= max(pm.per_report_variance(0.3), duchi.per_report_variance(0.3)) + 1e-12
+
+    def test_registry_exposes_hybrid(self, rng):
+        from repro.experiments.methods import mean_methods
+
+        method = mean_methods(8, epsilon=2.0, include=["hybrid"])["hybrid"]
+        values = np.full(100_000, 100.0)
+        assert method(values, rng) == pytest.approx(100.0, abs=5.0)
+
+    def test_hybrid_requires_epsilon_in_registry(self):
+        from repro.experiments.methods import mean_methods
+
+        with pytest.raises(ConfigurationError):
+            mean_methods(8, include=["hybrid"])

@@ -1,0 +1,44 @@
+"""Laplace mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.privacy import LaplaceMechanism
+
+
+class TestConstruction:
+    def test_scale(self):
+        assert LaplaceMechanism(epsilon=2.0, sensitivity=4.0).scale == 2.0
+
+    def test_invalid_epsilon(self):
+        for eps in (0.0, -1.0, float("nan")):
+            with pytest.raises(ConfigurationError):
+                LaplaceMechanism(epsilon=eps, sensitivity=1.0)
+
+    def test_invalid_sensitivity(self):
+        for s in (0.0, -2.0, float("inf")):
+            with pytest.raises(ConfigurationError):
+                LaplaceMechanism(epsilon=1.0, sensitivity=s)
+
+
+class TestNoise:
+    def test_unbiased(self, rng):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        values = np.full(200_000, 5.0)
+        noisy = mech.privatize(values, rng)
+        assert noisy.mean() == pytest.approx(5.0, abs=0.02)
+
+    def test_variance_matches_formula(self, rng):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=2.0)
+        noisy = mech.privatize(np.zeros(200_000), rng)
+        assert noisy.var() == pytest.approx(mech.per_value_variance(), rel=0.05)
+
+    def test_shape_preserved(self, rng):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        assert mech.privatize(np.zeros((3, 4)), rng).shape == (3, 4)
+
+    def test_higher_epsilon_less_noise(self, rng):
+        low = LaplaceMechanism(epsilon=0.5, sensitivity=1.0)
+        high = LaplaceMechanism(epsilon=5.0, sensitivity=1.0)
+        assert high.per_value_variance() < low.per_value_variance()

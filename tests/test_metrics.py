@@ -1,0 +1,164 @@
+"""Error metrics and the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    SeriesResult,
+    bias,
+    nrmse,
+    nrmse_standard_error,
+    rmse,
+    run_trials,
+    standard_error,
+    sweep,
+)
+
+
+class TestErrorMetrics:
+    def test_rmse_known_value(self):
+        assert rmse(np.array([1.0, 3.0]), np.array([0.0, 0.0])) == pytest.approx(
+            np.sqrt(5.0)
+        )
+
+    def test_rmse_scalar_truth_broadcast(self):
+        assert rmse(np.array([2.0, 4.0]), np.array([3.0])) == pytest.approx(1.0)
+
+    def test_rmse_zero_for_perfect(self):
+        assert rmse(np.array([5.0, 5.0]), np.array([5.0, 5.0])) == 0.0
+
+    def test_nrmse_normalizes_by_truth(self):
+        assert nrmse(np.array([11.0]), np.array([10.0])) == pytest.approx(0.1)
+
+    def test_nrmse_zero_truth_rejected(self):
+        with pytest.raises(ValueError):
+            nrmse(np.array([1.0]), np.array([0.0]))
+
+    def test_bias_signed(self):
+        assert bias(np.array([1.0, 3.0]), np.array([2.0, 2.0])) == 0.0
+        assert bias(np.array([3.0, 3.0]), np.array([2.0, 2.0])) == 1.0
+
+    def test_standard_error(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        assert standard_error(samples) == pytest.approx(samples.std(ddof=1) / 2.0)
+
+    def test_standard_error_needs_two(self):
+        assert np.isnan(standard_error(np.array([1.0])))
+
+    def test_nrmse_stderr_shrinks_with_reps(self, rng):
+        truths = np.full(400, 10.0)
+        estimates = truths + rng.normal(0, 1, 400)
+        few = nrmse_standard_error(estimates[:20], truths[:20])
+        many = nrmse_standard_error(estimates, truths)
+        assert many < few
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            rmse(np.array([1.0, 2.0]), np.array([1.0, 2.0, 3.0]))
+        with pytest.raises(ValueError):
+            rmse(np.array([]), np.array([]))
+
+
+class TestRunTrials:
+    def test_deterministic_given_seed(self):
+        def make(rng):
+            return rng.normal(100, 10, 1000)
+
+        def estimate(values, rng):
+            return values.mean() + rng.normal(0, 1)
+
+        a = run_trials(make, estimate, n_reps=10, seed=3)
+        b = run_trials(make, estimate, n_reps=10, seed=3)
+        np.testing.assert_array_equal(a.estimates, b.estimates)
+        np.testing.assert_array_equal(a.truths, b.truths)
+
+    def test_populations_shared_across_methods(self):
+        """Two different estimators under the same seed see identical data."""
+        seen = {}
+
+        def make(rng):
+            values = rng.normal(0, 1, 100)
+            seen.setdefault("first", values.copy())
+            return values
+
+        run_trials(make, lambda v, r: 0.0, n_reps=1, seed=5)
+        first = seen.pop("first")
+        run_trials(make, lambda v, r: 1.0, n_reps=1, seed=5)
+        np.testing.assert_array_equal(seen["first"], first)
+
+    def test_truth_defaults_to_sample_mean(self):
+        stats = run_trials(
+            lambda rng: np.array([2.0, 4.0]), lambda v, r: 3.0, n_reps=3, seed=0
+        )
+        assert stats.nrmse == 0.0
+        assert stats.mean_truth == 3.0
+
+    def test_custom_truth_fn(self):
+        stats = run_trials(
+            lambda rng: np.array([1.0, 5.0]),
+            lambda v, r: 4.0,
+            n_reps=2,
+            seed=0,
+            truth_fn=lambda v: float(np.max(v)),
+        )
+        assert stats.mean_truth == 5.0
+        assert stats.rmse == pytest.approx(1.0)
+
+    def test_accessors(self, rng):
+        stats = run_trials(
+            lambda r: r.normal(10, 1, 50), lambda v, r: v.mean() + 0.1, n_reps=20, seed=1
+        )
+        assert stats.n_reps == 20
+        assert stats.bias == pytest.approx(0.1)
+        assert stats.nrmse == pytest.approx(0.01, rel=0.01)
+        assert stats.estimate_stderr > 0
+
+    def test_invalid_reps(self):
+        with pytest.raises(ValueError):
+            run_trials(lambda r: np.array([1.0]), lambda v, r: 1.0, n_reps=0)
+
+
+class TestSweep:
+    def _cell(self, x):
+        def make(rng):
+            return rng.normal(x, 1.0, 200)
+
+        def estimate(values, rng):
+            return float(values.mean())
+
+        return make, estimate
+
+    def test_series_structure(self):
+        series = sweep("m", [10.0, 20.0], self._cell, n_reps=5, seed=0)
+        assert series.label == "m"
+        assert series.x == [10.0, 20.0]
+        assert len(series.stats) == 2
+        assert len(series.nrmse) == 2
+
+    def test_rows_metrics(self):
+        series = sweep("m", [10.0], self._cell, n_reps=5, seed=0)
+        x, val, err = series.rows("nrmse")[0]
+        assert x == 10.0 and val == 0.0
+        x, val, err = series.rows("rmse")[0]
+        assert val == 0.0
+        with pytest.raises(ValueError):
+            series.rows("mape")
+
+    def test_deterministic(self):
+        a = sweep("m", [5.0, 6.0], self._cell, n_reps=5, seed=9)
+        b = sweep("m", [5.0, 6.0], self._cell, n_reps=5, seed=9)
+        assert a.nrmse == b.nrmse
+
+    def test_sweep_points_have_independent_seeds(self):
+        series = sweep("m", [5.0, 5.0], self._cell, n_reps=5, seed=9)
+        cell_a, cell_b = series.stats
+        assert not np.array_equal(cell_a.estimates, cell_b.estimates)
+
+
+class TestSeriesResult:
+    def test_append(self):
+        series = SeriesResult("x")
+        cell = run_trials(lambda r: np.array([1.0]), lambda v, r: 1.0, n_reps=2, seed=0)
+        series.append(3.0, cell)
+        assert series.x == [3.0]
+        assert series.nrmse == [0.0]

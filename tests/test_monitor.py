@@ -1,0 +1,128 @@
+"""Heavy-tail / upper-bound monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import HighBitMonitor
+from repro.exceptions import ConfigurationError
+
+
+def _means(top_bit: int, n_bits: int = 12) -> np.ndarray:
+    means = np.zeros(n_bits)
+    means[: top_bit + 1] = 0.4
+    return means
+
+
+class TestConstruction:
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            HighBitMonitor(noise_floor=-0.1)
+        with pytest.raises(ConfigurationError):
+            HighBitMonitor(shift_threshold=0)
+        with pytest.raises(ConfigurationError):
+            HighBitMonitor(window=0)
+
+
+class TestTopOccupiedBit:
+    def test_basic(self):
+        monitor = HighBitMonitor()
+        assert monitor.top_occupied_bit(_means(5)) == 5
+
+    def test_respects_noise_floor(self):
+        monitor = HighBitMonitor(noise_floor=0.05)
+        means = np.array([0.5, 0.02, 0.0])
+        assert monitor.top_occupied_bit(means) == 0
+
+    def test_all_empty_is_minus_one(self):
+        assert HighBitMonitor().top_occupied_bit(np.zeros(8)) == -1
+
+
+class TestAlerting:
+    def test_no_alert_while_stable(self):
+        monitor = HighBitMonitor(window=3)
+        for _ in range(10):
+            assert monitor.update(_means(5)) is None
+
+    def test_no_alert_before_window_fills(self):
+        monitor = HighBitMonitor(window=4, shift_threshold=1)
+        assert monitor.update(_means(2)) is None
+        assert monitor.update(_means(9)) is None   # only 1 observation in window
+
+    def test_alert_on_upward_shift(self):
+        monitor = HighBitMonitor(window=3, shift_threshold=2)
+        for _ in range(3):
+            monitor.update(_means(4))
+        alert = monitor.update(_means(8))
+        assert alert is not None
+        assert alert.shift == 4
+        assert alert.baseline_bit == 4
+        assert alert.observed_bit == 8
+        assert alert.upper_bound == 2**9 - 1
+        assert "grew" in alert.message
+
+    def test_alert_on_downward_shift(self):
+        monitor = HighBitMonitor(window=3, shift_threshold=2)
+        for _ in range(3):
+            monitor.update(_means(8))
+        alert = monitor.update(_means(3))
+        assert alert is not None and alert.shift == -5
+        assert "shrank" in alert.message
+
+    def test_small_shift_below_threshold_ignored(self):
+        monitor = HighBitMonitor(window=3, shift_threshold=3)
+        for _ in range(3):
+            monitor.update(_means(5))
+        assert monitor.update(_means(6)) is None
+
+    def test_alerts_accumulate(self):
+        monitor = HighBitMonitor(window=2, shift_threshold=2)
+        for _ in range(2):
+            monitor.update(_means(3))
+        monitor.update(_means(7))
+        monitor.update(_means(3))
+        assert len(monitor.alerts) == 2
+
+
+class TestStateAccessors:
+    def test_current_upper_bound(self):
+        monitor = HighBitMonitor()
+        assert monitor.current_upper_bound == 0.0
+        monitor.update(_means(4))
+        assert monitor.current_upper_bound == 2**5 - 1
+
+    def test_empty_data_bound_is_zero(self):
+        monitor = HighBitMonitor()
+        monitor.update(np.zeros(8))
+        assert monitor.current_upper_bound == 0.0
+
+    def test_rounds_observed(self):
+        monitor = HighBitMonitor()
+        for _ in range(5):
+            monitor.update(_means(2))
+        assert monitor.rounds_observed == 5
+
+
+class TestEndToEndWithEstimates:
+    def test_detects_telemetry_regression(self):
+        """Feed federated rounds of drifting latency; the monitor should alert
+        when a simulated regression multiplies the metric by 8x."""
+        from repro.core import AdaptiveBitPushing, FixedPointEncoder
+        from repro.data.telemetry import drifting_latency
+
+        rng = np.random.default_rng(40)
+        encoder = FixedPointEncoder.for_integers(14)
+        est = AdaptiveBitPushing(encoder)
+        monitor = HighBitMonitor(noise_floor=0.01, shift_threshold=2, window=3)
+        alerts = []
+        for round_index in range(10):
+            values = drifting_latency(
+                4_000, round_index, base_ms=100.0, shift_round=6, shift_factor=8.0, rng=rng
+            )
+            result = est.estimate(values, rng)
+            alert = monitor.update(result.bit_means)
+            if alert is not None:
+                alerts.append((round_index, alert))
+        assert alerts, "regression was never flagged"
+        first_round = alerts[0][0]
+        assert first_round == 6
+        assert alerts[0][1].shift >= 2

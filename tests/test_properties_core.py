@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) on the core data structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    BitSamplingSchedule,
+    FixedPointEncoder,
+    apportion_counts,
+    bit_matrix,
+    central_assignment,
+    mean_from_bit_means,
+    squash_bit_means,
+)
+from repro.core.protocol import bit_means_from_stats, collect_bit_reports, combine_round_stats
+
+# Bounded sizes keep hypothesis fast while covering the interesting shapes.
+bit_depths = st.integers(min_value=1, max_value=20)
+small_ints = st.integers(min_value=0, max_value=2**16 - 1)
+
+
+class TestEncodingProperties:
+    @given(values=st.lists(small_ints, min_size=1, max_size=200))
+    def test_bit_matrix_reconstructs_exactly(self, values):
+        """Binary decomposition is lossless for in-range integers."""
+        enc = np.array(values, dtype=np.uint64)
+        matrix = bit_matrix(enc, 16)
+        weights = np.exp2(np.arange(16))
+        np.testing.assert_array_equal(matrix @ weights, enc.astype(float))
+
+    @given(values=st.lists(small_ints, min_size=1, max_size=200))
+    def test_linear_decomposition_of_mean(self, values):
+        """mean(x) == sum_j 2^j bit_mean_j -- exact, for any population."""
+        enc = np.array(values, dtype=np.uint64)
+        matrix = bit_matrix(enc, 16)
+        assert mean_from_bit_means(matrix.mean(axis=0)) == pytest.approx(
+            enc.mean(), rel=1e-12, abs=1e-9
+        )
+
+    @given(
+        n_bits=st.integers(min_value=2, max_value=16),
+        values=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+    )
+    def test_encode_always_in_range(self, n_bits, values):
+        """Clipping encoder never produces out-of-range codes."""
+        enc = FixedPointEncoder.for_integers(n_bits)
+        encoded = enc.encode(np.array(values))
+        assert encoded.min() >= 0
+        assert encoded.max() <= 2**n_bits - 1
+
+    @given(
+        low=st.floats(min_value=-1e5, max_value=1e5),
+        width=st.floats(min_value=1e-3, max_value=1e5),
+        n_bits=st.integers(min_value=4, max_value=20),
+    )
+    def test_range_encoder_roundtrip_error_bounded(self, low, width, n_bits):
+        """decode(encode(x)) never deviates more than half a grid step."""
+        enc = FixedPointEncoder.for_range(low, low + width, n_bits)
+        x = np.array([low, low + width / 3, low + width])
+        err = np.abs(enc.decode(enc.encode(x)) - x)
+        assert err.max() <= enc.quantization_error_bound() * (1 + 1e-9)
+
+
+class TestScheduleProperties:
+    @given(n_bits=bit_depths, alpha=st.floats(min_value=0.0, max_value=2.0))
+    def test_weighted_schedules_normalized_and_monotone(self, n_bits, alpha):
+        sched = BitSamplingSchedule.weighted(n_bits, alpha)
+        probs = sched.probabilities
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(probs) >= -1e-15)   # non-decreasing in j
+
+    @given(
+        means=arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=16),
+            elements=st.floats(min_value=-0.5, max_value=1.5),
+        ),
+        alpha=st.floats(min_value=0.1, max_value=1.5),
+    )
+    def test_from_bit_means_always_valid(self, means, alpha):
+        """Any (possibly noisy) bit means yield a valid schedule."""
+        sched = BitSamplingSchedule.from_bit_means(means, alpha=alpha)
+        assert sched.probabilities.sum() == pytest.approx(1.0)
+        assert np.all(sched.probabilities >= 0)
+
+    @given(
+        n=st.integers(min_value=0, max_value=100_000),
+        n_bits=bit_depths,
+        alpha=st.floats(min_value=0.0, max_value=1.5),
+    )
+    def test_apportionment_exact_and_tight(self, n, n_bits, alpha):
+        sched = BitSamplingSchedule.weighted(n_bits, alpha)
+        counts = apportion_counts(n, sched)
+        assert counts.sum() == n
+        assert np.all(counts >= 0)
+        assert np.all(np.abs(counts - sched.probabilities * n) < 1.0)
+
+    @given(n=st.integers(min_value=1, max_value=2_000), n_bits=bit_depths, seed=st.integers(0, 2**16))
+    @settings(max_examples=30)
+    def test_central_assignment_is_a_permutation_of_the_plan(self, n, n_bits, seed):
+        sched = BitSamplingSchedule.weighted(n_bits, 0.5)
+        assignment = central_assignment(n, sched, seed)
+        np.testing.assert_array_equal(
+            np.bincount(assignment, minlength=n_bits), apportion_counts(n, sched)
+        )
+
+
+class TestProtocolProperties:
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=300),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=30)
+    def test_collection_conserves_reports(self, values, seed):
+        """Every client's report lands in exactly one (sums, counts) bucket."""
+        enc = np.array(values, dtype=np.uint64)
+        sched = BitSamplingSchedule.weighted(8, 0.5)
+        assignment = central_assignment(len(values), sched, seed)
+        sums, counts = collect_bit_reports(enc, 8, assignment)
+        assert counts.sum() == len(values)
+        assert np.all(sums <= counts)
+        assert np.all(sums >= 0)
+
+    @given(
+        means_a=arrays(np.float64, 6, elements=st.floats(0, 1)),
+        means_b=arrays(np.float64, 6, elements=st.floats(0, 1)),
+        counts_a=arrays(np.int64, 6, elements=st.integers(0, 1000)),
+        counts_b=arrays(np.int64, 6, elements=st.integers(0, 1000)),
+    )
+    def test_pooling_is_a_convex_combination(self, means_a, means_b, counts_a, counts_b):
+        pooled, counts = combine_round_stats([means_a, means_b], [counts_a, counts_b])
+        lower = np.minimum(means_a, means_b)
+        upper = np.maximum(means_a, means_b)
+        sampled = counts > 0
+        assert np.all(pooled[sampled] >= lower[sampled] - 1e-12)
+        assert np.all(pooled[sampled] <= upper[sampled] + 1e-12)
+        assert np.all(pooled[~sampled] == 0.0)
+
+    @given(
+        sums=arrays(np.float64, 8, elements=st.floats(0, 100)),
+        counts=arrays(np.int64, 8, elements=st.integers(0, 100)),
+    )
+    def test_bit_means_bounded_without_perturbation(self, sums, counts):
+        sums = np.minimum(sums, counts)   # raw sums can't exceed counts
+        means = bit_means_from_stats(sums, counts)
+        assert np.all(means >= 0.0)
+        assert np.all(means <= 1.0 + 1e-12)
+
+
+class TestSquashingProperties:
+    @given(
+        means=arrays(np.float64, st.integers(1, 24), elements=st.floats(-0.5, 1.5)),
+        threshold=st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_squash_output_always_valid(self, means, threshold):
+        squashed, idx = squash_bit_means(means, threshold)
+        assert np.all(squashed >= 0.0)
+        assert np.all(squashed <= 1.0)
+        # Squashed bits are exactly zero.
+        assert np.all(squashed[idx] == 0.0)
+        # Surviving bits kept their (clipped) value.
+        survivors = np.setdiff1d(np.arange(means.size), idx)
+        np.testing.assert_allclose(squashed[survivors], np.clip(means[survivors], 0, 1))
+
+    @given(
+        means=arrays(np.float64, 12, elements=st.floats(-0.5, 1.5)),
+        t1=st.floats(min_value=0.0, max_value=0.5),
+        t2=st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_squashing_monotone_in_threshold(self, means, t1, t2):
+        lo, hi = sorted((t1, t2))
+        _, idx_lo = squash_bit_means(means, lo)
+        _, idx_hi = squash_bit_means(means, hi)
+        assert set(idx_lo.tolist()) <= set(idx_hi.tolist())

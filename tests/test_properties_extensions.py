@@ -1,0 +1,115 @@
+"""Property-based tests on the extension estimators (histogram, quantile, analysis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    per_report_bit_variance,
+    plan_cohort_size,
+    predicted_nrmse,
+    predicted_variance,
+)
+from repro.core import BitSamplingSchedule, FederatedHistogram, FixedPointEncoder, QuantileEstimator
+
+
+class TestHistogramProperties:
+    @given(
+        n_buckets=st.integers(min_value=1, max_value=12),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_frequencies_are_proportions(self, n_buckets, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(0.0, 100.0, 2_000)
+        hist = FederatedHistogram.uniform(0.0, 100.0, n_buckets)
+        est = hist.estimate(values, rng)
+        assert np.all(est.frequencies >= 0.0)
+        assert np.all(est.frequencies <= 1.0)
+        assert est.counts.sum() == values.size
+
+    @given(
+        center=st.floats(min_value=10.0, max_value=90.0),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_implied_mean_within_range(self, center, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(center, 5.0, 5_000)
+        hist = FederatedHistogram.uniform(0.0, 100.0, 10)
+        est = hist.estimate(values, rng)
+        mean = est.mean_estimate()
+        assert 0.0 <= mean <= 100.0
+
+    @given(q=st.floats(min_value=0.01, max_value=0.99), seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_quantile_within_edges(self, q, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(0.0, 100.0, 3_000)
+        est = FederatedHistogram.uniform(0.0, 100.0, 8).estimate(values, rng)
+        quantile = est.quantile_estimate(q)
+        assert 0.0 <= quantile <= 100.0
+
+
+class TestQuantileProperties:
+    @given(
+        q=st.floats(min_value=0.05, max_value=0.95),
+        center=st.floats(min_value=100.0, max_value=800.0),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_estimate_within_encoder_range(self, q, center, seed):
+        rng = np.random.default_rng(seed)
+        encoder = FixedPointEncoder.for_integers(10)
+        values = np.clip(rng.normal(center, 50.0, 5_000), 0, None)
+        est = QuantileEstimator(encoder, q=q).estimate(values, rng)
+        assert 0.0 <= est.value <= encoder.representable_max
+
+    @given(value=st.integers(min_value=0, max_value=1023), seed=st.integers(0, 2**10))
+    @settings(max_examples=25, deadline=None)
+    def test_constant_population_found_exactly(self, value, seed):
+        """For a constant population the prefix descent should land within
+        one grid step of the value (the >= threshold rule rounds down)."""
+        rng = np.random.default_rng(seed)
+        encoder = FixedPointEncoder.for_integers(10)
+        est = QuantileEstimator(encoder, q=0.5).estimate(
+            np.full(5_000, float(value)), rng
+        )
+        assert abs(est.value - value) <= 1.0
+
+
+class TestAnalysisProperties:
+    @given(
+        mean=st.floats(min_value=0.0, max_value=1.0),
+        epsilon=st.floats(min_value=0.05, max_value=8.0),
+    )
+    def test_rr_variance_dominates_bernoulli(self, mean, epsilon):
+        """Randomized response can only add variance."""
+        assert per_report_bit_variance(mean, epsilon) >= per_report_bit_variance(mean) - 1e-12
+
+    @given(
+        n_bits=st.integers(min_value=2, max_value=12),
+        n=st.integers(min_value=10, max_value=100_000),
+        alpha=st.floats(min_value=0.0, max_value=1.5),
+    )
+    def test_predicted_variance_positive_and_decreasing_in_n(self, n_bits, n, alpha):
+        means = np.full(n_bits, 0.5)
+        sched = BitSamplingSchedule.weighted(n_bits, alpha)
+        v_n = predicted_variance(means, sched, n)
+        v_2n = predicted_variance(means, sched, 2 * n)
+        assert v_n > 0
+        assert v_2n == pytest.approx(v_n / 2)
+
+    @given(
+        n_bits=st.integers(min_value=2, max_value=10),
+        target=st.floats(min_value=0.005, max_value=0.2),
+    )
+    @settings(max_examples=30)
+    def test_planned_cohort_is_minimal(self, n_bits, target):
+        means = np.full(n_bits, 0.5)
+        sched = BitSamplingSchedule.weighted(n_bits, 1.0)
+        n = plan_cohort_size(target, means, sched)
+        assert predicted_nrmse(means, sched, n) <= target + 1e-12
+        if n > 1:
+            assert predicted_nrmse(means, sched, n - 1) > target - 1e-12

@@ -1,0 +1,113 @@
+"""Bitwise quantile estimation (median / percentiles)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FixedPointEncoder, QuantileEstimator
+from repro.exceptions import ConfigurationError
+from repro.privacy import RandomizedResponse
+
+
+class TestConstruction:
+    def test_invalid_q(self, encoder10):
+        for q in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                QuantileEstimator(encoder10, q=q)
+
+    def test_too_few_clients(self, encoder10, rng):
+        with pytest.raises(ConfigurationError):
+            QuantileEstimator(encoder10).estimate(np.array([1.0, 2.0]), rng)
+
+
+class TestAccuracy:
+    def test_median_of_normal(self, encoder10):
+        rng = np.random.default_rng(0)
+        values = np.clip(rng.normal(300.0, 60.0, 100_000), 0, None)
+        est = QuantileEstimator(encoder10, q=0.5).estimate(values, rng)
+        assert est.value == pytest.approx(np.median(values), abs=10.0)
+
+    def test_p90_of_skewed_data(self, encoder10):
+        rng = np.random.default_rng(1)
+        values = rng.exponential(80.0, 100_000)
+        est = QuantileEstimator(encoder10, q=0.9).estimate(values, rng)
+        assert est.value == pytest.approx(np.quantile(values, 0.9), rel=0.1)
+
+    def test_p10(self, encoder10):
+        rng = np.random.default_rng(2)
+        values = np.clip(rng.normal(500.0, 100.0, 100_000), 0, None)
+        est = QuantileEstimator(encoder10, q=0.1).estimate(values, rng)
+        assert est.value == pytest.approx(np.quantile(values, 0.1), rel=0.1)
+
+    def test_constant_population(self, encoder10, rng):
+        est = QuantileEstimator(encoder10, q=0.5).estimate(np.full(10_000, 321.0), rng)
+        assert est.value == pytest.approx(321.0, abs=1.0)
+
+    def test_median_robust_to_heavy_tail(self, encoder10):
+        """The Section 4.3 motivation: unlike the mean, the median of an
+        outlier-ridden metric stays meaningful."""
+        from repro.data.telemetry import binary_with_outliers
+
+        rng = np.random.default_rng(3)
+        values = binary_with_outliers(
+            100_000, p_one=0.4, outlier_rate=1e-3, outlier_magnitude=1e6, rng=rng
+        )
+        est = QuantileEstimator(encoder10, q=0.5).estimate(values, rng)
+        assert est.value <= 1.0      # raw mean would be in the hundreds
+        assert values.mean() > 100.0
+
+    def test_quantiles_monotone_in_q(self, encoder10):
+        rng = np.random.default_rng(4)
+        values = np.clip(rng.normal(400.0, 90.0, 120_000), 0, None)
+        qs = (0.1, 0.25, 0.5, 0.75, 0.9)
+        estimates = [
+            QuantileEstimator(encoder10, q=q).estimate(values, rng).value for q in qs
+        ]
+        assert estimates == sorted(estimates)
+
+
+class TestProtocolShape:
+    def test_one_round_per_bit(self, encoder10, rng):
+        values = np.clip(rng.normal(300, 50, 5_000), 0, None)
+        est = QuantileEstimator(encoder10).estimate(values, rng)
+        assert len(est.round_fractions) == 10
+        assert len(est.round_sizes) == 10
+        assert sum(est.round_sizes) == 5_000
+        assert est.metadata["rounds"] == 10
+
+    def test_each_client_used_once(self, encoder10, rng):
+        values = np.clip(rng.normal(300, 50, 4_999), 0, None)   # not divisible by b
+        est = QuantileEstimator(encoder10).estimate(values, rng)
+        assert sum(est.round_sizes) == 4_999
+
+    def test_encoded_value_consistent(self, encoder10, rng):
+        values = np.clip(rng.normal(300, 50, 10_000), 0, None)
+        est = QuantileEstimator(encoder10).estimate(values, rng)
+        assert est.value == encoder10.decode_scalar(est.encoded_value)
+
+    def test_scaled_encoder(self):
+        rng = np.random.default_rng(5)
+        values = rng.uniform(-1.0, 1.0, 100_000)
+        encoder = FixedPointEncoder.for_range(-1.0, 1.0, n_bits=10)
+        est = QuantileEstimator(encoder, q=0.5).estimate(values, rng)
+        assert est.value == pytest.approx(0.0, abs=0.05)
+
+
+class TestQuantileLdp:
+    def test_median_under_rr(self, encoder10):
+        rng = np.random.default_rng(6)
+        values = np.clip(rng.normal(300.0, 60.0, 300_000), 0, None)
+        est = QuantileEstimator(
+            encoder10, q=0.5, perturbation=RandomizedResponse(epsilon=3.0)
+        ).estimate(values, rng)
+        assert est.value == pytest.approx(np.median(values), rel=0.15)
+        assert est.metadata["ldp"] is True
+
+    def test_rr_fractions_debiased(self, encoder10):
+        # With a constant population, the debiased top-round fraction should
+        # sit near the true comparison proportion (0 or 1), not near RR's p.
+        rng = np.random.default_rng(7)
+        values = np.full(100_000, 700.0)   # bit 9 set (512 <= 700)
+        est = QuantileEstimator(
+            encoder10, q=0.5, perturbation=RandomizedResponse(epsilon=2.0)
+        ).estimate(values, rng)
+        assert est.round_fractions[0] == pytest.approx(1.0, abs=0.05)

@@ -1,0 +1,65 @@
+"""Result dataclasses: validation and accessors."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import MeanEstimate, RoundSummary
+
+
+def _round_summary(n_bits=4, n_clients=100):
+    return RoundSummary(
+        probabilities=np.full(n_bits, 1.0 / n_bits),
+        counts=np.full(n_bits, n_clients // n_bits, dtype=np.int64),
+        sums=np.zeros(n_bits),
+        bit_means=np.zeros(n_bits),
+        n_clients=n_clients,
+    )
+
+
+class TestRoundSummary:
+    def test_accessors(self):
+        summary = _round_summary()
+        assert summary.n_bits == 4
+        assert summary.total_reports == 100
+
+    def test_inconsistent_lengths_raise(self):
+        with pytest.raises(ValueError):
+            RoundSummary(
+                probabilities=np.zeros(4),
+                counts=np.zeros(3, dtype=np.int64),
+                sums=np.zeros(4),
+                bit_means=np.zeros(4),
+                n_clients=10,
+            )
+
+
+class TestMeanEstimate:
+    def _estimate(self, bit_means, counts=None, n_bits=None):
+        n_bits = n_bits or len(bit_means)
+        counts = counts if counts is not None else np.full(n_bits, 10, dtype=np.int64)
+        return MeanEstimate(
+            value=1.0,
+            encoded_value=1.0,
+            bit_means=np.asarray(bit_means, dtype=float),
+            counts=counts,
+            n_clients=int(counts.sum()),
+            n_bits=n_bits,
+            method="test",
+        )
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            self._estimate([0.5, 0.5], n_bits=3)
+
+    def test_total_reports(self):
+        est = self._estimate([0.5, 0.5], counts=np.array([7, 3], dtype=np.int64))
+        assert est.total_reports == 10
+
+    def test_highest_occupied_bit(self):
+        assert self._estimate([0.5, 0.0, 0.2, 0.0]).highest_occupied_bit == 2
+
+    def test_highest_occupied_bit_empty(self):
+        assert self._estimate([0.0, 0.0]).highest_occupied_bit == -1
+
+    def test_float_conversion(self):
+        assert float(self._estimate([0.5])) == 1.0

@@ -1,0 +1,68 @@
+"""Deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.rng import child_seeds, ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seeds_deterministically(self):
+        a, b = ensure_rng(42), ensure_rng(42)
+        assert a.random() == b.random()
+
+    def test_different_seeds_differ(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_generator_passthrough_is_identity(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        a = ensure_rng(seq)
+        b = np.random.default_rng(np.random.SeedSequence(7))
+        assert a.random() == b.random()
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        assert len(spawn(0, 5)) == 5
+
+    def test_children_are_independent_of_each_other(self):
+        a, b = spawn(0, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_deterministic_from_seed(self):
+        first = [g.random() for g in spawn(9, 3)]
+        second = [g.random() for g in spawn(9, 3)]
+        assert first == second
+
+    def test_spawn_zero_is_empty(self):
+        assert spawn(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)
+
+
+class TestChildSeeds:
+    def test_count_and_determinism(self):
+        a = child_seeds(5, 4)
+        b = child_seeds(5, 4)
+        assert len(a) == 4
+        assert [s.entropy for s in a] == [s.entropy for s in b]
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            child_seeds(0, -2)

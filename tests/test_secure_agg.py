@@ -1,0 +1,252 @@
+"""Secure aggregation: field, Shamir, masking, and the full protocol."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SecureAggregationError
+from repro.federated.secure_agg import (
+    DEFAULT_PRIME,
+    PrimeField,
+    SecureAggregationSession,
+    apply_masks,
+    expand_mask,
+    pairwise_mask_sign,
+    reconstruct_secret,
+    secure_sum,
+    split_secret,
+)
+
+
+class TestPrimeField:
+    def test_default_prime_is_mersenne_61(self):
+        assert DEFAULT_PRIME == 2**61 - 1
+
+    def test_composite_modulus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrimeField(100)
+        with pytest.raises(ConfigurationError):
+            PrimeField(2**61)   # not prime
+
+    def test_arithmetic(self):
+        f = PrimeField(97)
+        assert f.add(95, 5) == 3
+        assert f.sub(2, 5) == 94
+        assert f.mul(10, 10) == 3
+        assert f.neg(1) == 96
+
+    def test_inverse(self):
+        f = PrimeField(97)
+        for a in (1, 2, 50, 96):
+            assert f.mul(a, f.inv(a)) == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            PrimeField(97).inv(0)
+
+    def test_vectors(self):
+        f = PrimeField(97)
+        assert f.add_vectors([96, 1], [2, 2]) == [1, 3]
+        assert f.sub_vectors([0, 5], [1, 2]) == [96, 3]
+
+    def test_vector_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            PrimeField(97).add_vectors([1], [1, 2])
+
+    def test_centered_recovers_signed(self):
+        f = PrimeField(97)
+        assert f.centered(f.reduce(-5)) == -5
+        assert f.centered(40) == 40
+
+    def test_random_element_in_range(self, rng):
+        f = PrimeField(97)
+        for _ in range(50):
+            assert 0 <= f.random_element(rng) < 97
+
+
+class TestShamir:
+    def test_roundtrip_any_threshold_subset(self):
+        field = PrimeField()
+        shares = split_secret(987654321, n_shares=7, threshold=4, field=field, rng=0)
+        for subset in ([0, 1, 2, 3], [3, 4, 5, 6], [0, 2, 4, 6]):
+            picked = [shares[i] for i in subset]
+            assert reconstruct_secret(picked, field) == 987654321
+
+    def test_more_shares_than_threshold_still_work(self):
+        field = PrimeField()
+        shares = split_secret(42, n_shares=5, threshold=2, field=field, rng=1)
+        assert reconstruct_secret(shares, field) == 42
+
+    def test_below_threshold_gives_garbage(self):
+        field = PrimeField()
+        shares = split_secret(42, n_shares=5, threshold=3, field=field, rng=2)
+        assert reconstruct_secret(shares[:2], field) != 42
+
+    def test_single_share_with_threshold_one(self):
+        field = PrimeField()
+        shares = split_secret(7, n_shares=3, threshold=1, field=field, rng=3)
+        assert reconstruct_secret([shares[2]], field) == 7
+
+    def test_duplicate_points_rejected(self):
+        field = PrimeField()
+        shares = split_secret(7, n_shares=3, threshold=2, field=field, rng=4)
+        with pytest.raises(SecureAggregationError):
+            reconstruct_secret([shares[0], shares[0]], field)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SecureAggregationError):
+            reconstruct_secret([], PrimeField())
+
+    def test_invalid_threshold(self):
+        field = PrimeField()
+        with pytest.raises(ConfigurationError):
+            split_secret(1, n_shares=3, threshold=0, field=field)
+        with pytest.raises(ConfigurationError):
+            split_secret(1, n_shares=3, threshold=4, field=field)
+
+    def test_secret_reduced_into_field(self):
+        field = PrimeField(97)
+        shares = split_secret(200, n_shares=3, threshold=2, field=field, rng=5)
+        assert reconstruct_secret(shares[:2], field) == 200 % 97
+
+
+class TestMasking:
+    def test_expand_deterministic(self):
+        field = PrimeField()
+        assert expand_mask(123, 5, field) == expand_mask(123, 5, field)
+
+    def test_different_seeds_differ(self):
+        field = PrimeField()
+        assert expand_mask(1, 5, field) != expand_mask(2, 5, field)
+
+    def test_mask_values_in_field(self):
+        field = PrimeField(97)
+        assert all(0 <= v < 97 for v in expand_mask(9, 100, field))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_mask(1, -1, PrimeField())
+
+    def test_sign_convention_antisymmetric(self):
+        assert pairwise_mask_sign(1, 2) == -pairwise_mask_sign(2, 1)
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pairwise_mask_sign(3, 3)
+
+    def test_pairwise_masks_cancel_in_sum(self):
+        field = PrimeField()
+        seeds = {(0, 1): 11, (0, 2): 22, (1, 2): 33}
+        values = [[10, 20], [30, 40], [50, 60]]
+        total = [0, 0]
+        for me in range(3):
+            pair_seeds = {
+                other: seeds[(min(me, other), max(me, other))]
+                for other in range(3) if other != me
+            }
+            masked = apply_masks(values[me], self_seed=0, pairwise_seeds=pair_seeds,
+                                 my_id=me, field=field)
+            total = field.add_vectors(total, masked)
+        # Self-seeds were all 0 -> expand(0) identical for all three clients,
+        # so subtract it three times to isolate the data sum.
+        zero_mask = expand_mask(0, 2, field)
+        for _ in range(3):
+            total = field.sub_vectors(total, zero_mask)
+        assert total == [90, 120]
+
+
+class TestSession:
+    def test_exact_sum_no_dropout(self):
+        session = SecureAggregationSession(5, 4, threshold=3, rng=0)
+        expected = [0, 0, 0, 0]
+        for cid in range(5):
+            vec = [cid, cid * 2, 7, 1]
+            expected = [e + v for e, v in zip(expected, vec)]
+            session.submit(cid, vec)
+        assert session.finalize() == expected
+
+    @pytest.mark.parametrize("dropped", [{1}, {0, 4}, {2, 3}])
+    def test_sum_with_dropouts(self, dropped):
+        session = SecureAggregationSession(5, 3, threshold=3, rng=1)
+        expected = [0, 0, 0]
+        for cid in range(5):
+            if cid in dropped:
+                continue
+            vec = [cid + 1, 10, cid]
+            expected = [e + v for e, v in zip(expected, vec)]
+            session.submit(cid, vec)
+        assert session.finalize() == expected
+        assert session.dropout_count == len(dropped)
+
+    def test_below_threshold_fails(self):
+        session = SecureAggregationSession(5, 2, threshold=4, rng=2)
+        session.submit(0, [1, 1])
+        session.submit(1, [1, 1])
+        with pytest.raises(SecureAggregationError):
+            session.finalize()
+
+    def test_masked_submission_hides_plaintext(self):
+        session = SecureAggregationSession(3, 4, threshold=2, rng=3)
+        masked = session.submit(0, [5, 5, 5, 5])
+        # The wire message is a uniform field vector; the odds it equals the
+        # plaintext are negligible.
+        assert masked != [5, 5, 5, 5]
+
+    def test_double_submit_rejected(self):
+        session = SecureAggregationSession(3, 1, threshold=2, rng=4)
+        session.submit(0, [1])
+        with pytest.raises(SecureAggregationError):
+            session.submit(0, [1])
+
+    def test_wrong_vector_length_rejected(self):
+        session = SecureAggregationSession(3, 2, threshold=2, rng=5)
+        with pytest.raises(ConfigurationError):
+            session.submit(0, [1])
+
+    def test_unknown_client_rejected(self):
+        session = SecureAggregationSession(3, 1, threshold=2, rng=6)
+        with pytest.raises(ConfigurationError):
+            session.submit(7, [1])
+
+    def test_finalize_twice_rejected(self):
+        session = SecureAggregationSession(2, 1, threshold=2, rng=7)
+        session.submit(0, [1])
+        session.submit(1, [2])
+        assert session.finalize() == [3]
+        with pytest.raises(SecureAggregationError):
+            session.finalize()
+
+    def test_submit_after_finalize_rejected(self):
+        session = SecureAggregationSession(3, 1, threshold=2, rng=8)
+        session.submit(0, [1])
+        session.submit(1, [2])
+        session.finalize()
+        with pytest.raises(SecureAggregationError):
+            session.submit(2, [3])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            SecureAggregationSession(1, 2, threshold=1)
+        with pytest.raises(ConfigurationError):
+            SecureAggregationSession(3, 0, threshold=2)
+        with pytest.raises(ConfigurationError):
+            SecureAggregationSession(3, 2, threshold=5)
+
+
+class TestSecureSum:
+    def test_matches_plain_sum(self, rng):
+        vecs = rng.integers(0, 1000, size=(10, 6))
+        np.testing.assert_array_equal(secure_sum(vecs, rng=0), vecs.sum(axis=0))
+
+    def test_with_dropouts(self, rng):
+        vecs = rng.integers(0, 100, size=(9, 3))
+        submitted = np.ones(9, dtype=bool)
+        submitted[[2, 5]] = False
+        np.testing.assert_array_equal(
+            secure_sum(vecs, submitted, rng=1), vecs[submitted].sum(axis=0)
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            secure_sum(np.zeros(5))
+        with pytest.raises(ConfigurationError):
+            secure_sum(np.zeros((4, 2)), submitted=np.ones(3, dtype=bool))

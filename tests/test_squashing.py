@@ -1,0 +1,146 @@
+"""Bit squashing and the DP-noise threshold helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.squashing import (
+    per_bit_squash_thresholds,
+    rr_noise_std,
+    squash_bit_means,
+    threshold_from_noise_multiple,
+)
+
+
+class TestSquashBitMeans:
+    def test_zeroes_below_threshold(self):
+        means = np.array([0.5, 0.04, 0.2, -0.1])
+        squashed, idx = squash_bit_means(means, threshold=0.05)
+        assert squashed.tolist() == [0.5, 0.0, 0.2, 0.0]
+        assert idx.tolist() == [1, 3]
+
+    def test_threshold_zero_disables_squashing(self):
+        means = np.array([0.5, 0.01])
+        squashed, idx = squash_bit_means(means, threshold=0.0)
+        assert squashed.tolist() == [0.5, 0.01]
+        assert idx.size == 0
+
+    def test_clipping_above_one(self):
+        means = np.array([1.3, 0.5])
+        squashed, _ = squash_bit_means(means, threshold=0.0)
+        assert squashed.tolist() == [1.0, 0.5]
+
+    def test_clipping_can_be_disabled(self):
+        means = np.array([1.3, -0.2])
+        squashed, _ = squash_bit_means(means, threshold=0.0, clip_to_unit=False)
+        assert squashed.tolist() == [1.3, -0.2]
+
+    def test_negative_means_below_threshold_squashed(self):
+        # DP subtrahend exceeding the true mean gives negative estimates
+        # (Figure 4b); they must be squashed, not clipped into signal.
+        squashed, idx = squash_bit_means(np.array([-0.02]), threshold=0.05)
+        assert squashed[0] == 0.0 and idx.tolist() == [0]
+
+    def test_input_not_mutated(self):
+        means = np.array([0.5, 0.01])
+        squash_bit_means(means, threshold=0.05)
+        assert means.tolist() == [0.5, 0.01]
+
+    def test_vector_threshold(self):
+        means = np.array([0.1, 0.1, 0.1])
+        squashed, idx = squash_bit_means(means, np.array([0.05, 0.2, 0.0]))
+        assert squashed.tolist() == [0.1, 0.0, 0.1]
+        assert idx.tolist() == [1]
+
+
+class TestPerBitThresholds:
+    def test_sparser_bits_get_larger_thresholds(self):
+        thresholds = per_bit_squash_thresholds(2.0, 2.0, np.array([10, 1000]))
+        assert thresholds[0] > thresholds[1]
+
+    def test_matches_noise_std_scaling(self):
+        thresholds = per_bit_squash_thresholds(3.0, 1.5, np.array([400]))
+        assert thresholds[0] == pytest.approx(3.0 * rr_noise_std(1.5, 400))
+
+    def test_zero_count_bits_get_zero_threshold(self):
+        thresholds = per_bit_squash_thresholds(2.0, 2.0, np.array([0, 100]))
+        assert thresholds[0] == 0.0 and thresholds[1] > 0.0
+
+    def test_zero_multiple_disables(self):
+        thresholds = per_bit_squash_thresholds(0.0, 2.0, np.array([10, 100]))
+        assert thresholds.tolist() == [0.0, 0.0]
+
+    def test_negative_multiple_raises(self):
+        with pytest.raises(ValueError):
+            per_bit_squash_thresholds(-1.0, 2.0, np.array([10]))
+
+    def test_sparse_noise_bit_caught_where_global_threshold_fails(self):
+        """The failure mode that motivated per-bit thresholds: a noise bit
+        with few reports shows a mean above the population-wide threshold
+        but below its own count-aware one."""
+        counts = np.array([10_000, 10_000, 50])
+        means = np.array([0.5, 0.4, 0.15])    # bit 2 is noise at c=50
+        global_threshold = threshold_from_noise_multiple(2.0, 2.0, counts)
+        assert means[2] > global_threshold    # would survive
+        per_bit = per_bit_squash_thresholds(2.0, 2.0, counts)
+        _, idx = squash_bit_means(means, per_bit)
+        assert idx.tolist() == [2]            # caught
+
+
+class TestRrNoiseStd:
+    def test_decreases_with_count(self):
+        assert rr_noise_std(1.0, 1000) < rr_noise_std(1.0, 100)
+
+    def test_decreases_with_epsilon(self):
+        assert rr_noise_std(3.0, 100) < rr_noise_std(0.5, 100)
+
+    def test_scaling_in_count_is_inverse_sqrt(self):
+        assert rr_noise_std(1.0, 100) / rr_noise_std(1.0, 400) == pytest.approx(2.0)
+
+    def test_zero_count_is_infinite(self):
+        assert rr_noise_std(1.0, 0) == float("inf")
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            rr_noise_std(0.0, 100)
+
+    def test_matches_simulation(self):
+        """The worst-case bound should upper-bound observed estimator noise."""
+        from repro.privacy import RandomizedResponse
+
+        rng = np.random.default_rng(0)
+        rr = RandomizedResponse(epsilon=1.0)
+        count = 2_000
+        bits = np.zeros(count, dtype=np.uint8)
+        estimates = [
+            float(rr.unbias_bit_means(np.array([rr.perturb_bits(bits, rng).mean()]))[0])
+            for _ in range(300)
+        ]
+        assert np.std(estimates) <= rr_noise_std(1.0, count) * 1.15
+
+
+class TestThresholdFromNoiseMultiple:
+    def test_zero_multiple_gives_zero(self):
+        assert threshold_from_noise_multiple(0.0, 1.0, np.array([100, 100])) == 0.0
+
+    def test_scales_linearly_in_multiple(self):
+        counts = np.array([100, 400])
+        t1 = threshold_from_noise_multiple(1.0, 1.0, counts)
+        t3 = threshold_from_noise_multiple(3.0, 1.0, counts)
+        assert t3 == pytest.approx(3 * t1)
+
+    def test_uses_median_count(self):
+        counts = np.array([1, 10_000, 10_000])
+        t = threshold_from_noise_multiple(1.0, 1.0, counts)
+        assert t == pytest.approx(rr_noise_std(1.0, 10_000))
+
+    def test_ignores_zero_counts(self):
+        counts = np.array([0, 0, 400])
+        t = threshold_from_noise_multiple(1.0, 1.0, counts)
+        assert t == pytest.approx(rr_noise_std(1.0, 400))
+
+    def test_all_zero_counts_give_zero_threshold(self):
+        assert threshold_from_noise_multiple(1.0, 1.0, np.zeros(3)) == 0.0
+
+    def test_negative_multiple_raises(self):
+        with pytest.raises(ValueError):
+            threshold_from_noise_multiple(-1.0, 1.0, np.array([10]))

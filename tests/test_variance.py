@@ -1,0 +1,104 @@
+"""Variance estimation via bit-pushing (Section 3.4, Lemma 3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FixedPointEncoder, VarianceEstimator
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_invalid_method(self, encoder8):
+        with pytest.raises(ConfigurationError):
+            VarianceEstimator(encoder8, method="magic")
+
+    def test_invalid_inner(self, encoder8):
+        with pytest.raises(ConfigurationError):
+            VarianceEstimator(encoder8, inner="quantum")
+
+    def test_invalid_fraction(self, encoder8):
+        with pytest.raises(ConfigurationError):
+            VarianceEstimator(encoder8, mean_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            VarianceEstimator(encoder8, mean_fraction=1.0)
+
+    def test_too_wide_encoder_raises(self):
+        with pytest.raises(ConfigurationError):
+            VarianceEstimator(FixedPointEncoder.for_integers(40))
+
+    def test_too_few_clients_raise(self, encoder8, rng):
+        with pytest.raises(ConfigurationError):
+            VarianceEstimator(encoder8).estimate(np.array([1.0, 2.0]), rng)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("method", ["centered", "moments"])
+    def test_recovers_normal_variance(self, method):
+        rng = np.random.default_rng(30)
+        values = np.clip(rng.normal(500, 100, 100_000), 0, None)
+        est = VarianceEstimator(FixedPointEncoder.for_integers(10), method=method)
+        result = est.estimate(values, rng)
+        assert result.value == pytest.approx(values.var(), rel=0.3)
+
+    def test_constant_population_gives_near_zero(self):
+        est = VarianceEstimator(FixedPointEncoder.for_integers(8), method="centered")
+        result = est.estimate(np.full(10_000, 37.0), rng=0)
+        assert result.value < 5.0
+
+    def test_value_clamped_non_negative(self, rng):
+        est = VarianceEstimator(FixedPointEncoder.for_integers(8), method="moments")
+        # Tiny cohorts make the raw moment difference noisy, possibly negative.
+        for seed in range(10):
+            result = est.estimate(np.full(40, 100.0) + rng.normal(0, 1, 40), seed)
+            assert result.value >= 0.0
+
+    def test_centered_beats_moments(self):
+        """Lemma 3.5: the centered decomposition has lower estimation variance."""
+        rng = np.random.default_rng(31)
+        encoder = FixedPointEncoder.for_integers(10)
+
+        def rmse(method):
+            est = VarianceEstimator(encoder, method=method, inner="basic")
+            errs = []
+            for _ in range(40):
+                values = np.clip(rng.normal(500, 60, 20_000), 0, None)
+                errs.append(est.estimate(values, rng).value - values.var())
+            return float(np.sqrt(np.mean(np.square(errs))))
+
+        assert rmse("centered") < rmse("moments")
+
+    def test_scaled_encoder(self):
+        rng = np.random.default_rng(32)
+        values = rng.uniform(0.0, 1.0, 200_000)
+        encoder = FixedPointEncoder.for_range(0.0, 1.0, n_bits=10)
+        est = VarianceEstimator(encoder, method="centered")
+        result = est.estimate(values, rng)
+        assert result.value == pytest.approx(values.var(), rel=0.35)
+
+
+class TestResultRecord:
+    def test_fields(self, rng):
+        est = VarianceEstimator(FixedPointEncoder.for_integers(8), method="centered")
+        values = np.clip(rng.normal(100, 20, 5_000), 0, None)
+        result = est.estimate(values, rng)
+        assert result.method == "centered"
+        assert result.n_clients == 5_000
+        assert result.mean.value == pytest.approx(values.mean(), rel=0.1)
+        assert result.std == pytest.approx(np.sqrt(result.value))
+        assert result.metadata["square_n_bits"] == 16
+        assert float(result) == result.value
+
+    def test_mean_fraction_split(self, rng):
+        est = VarianceEstimator(
+            FixedPointEncoder.for_integers(8), mean_fraction=0.25, inner="basic"
+        )
+        result = est.estimate(np.clip(rng.normal(100, 10, 4_000), 0, None), rng)
+        assert result.mean.n_clients == 1_000
+
+    def test_mean_and_variance_helper(self, rng):
+        est = VarianceEstimator(FixedPointEncoder.for_integers(8))
+        values = np.clip(rng.normal(100, 15, 20_000), 0, None)
+        result = est.estimate(values, rng)
+        mean, var = VarianceEstimator.mean_and_variance(result.mean, result)
+        assert mean == result.mean.value
+        assert var == result.value
