@@ -1,6 +1,6 @@
 # Convenience targets for the bit-pushing reproduction.
 
-.PHONY: install test bench figures experiments examples clean
+.PHONY: install test lint bench figures experiments examples clean
 
 install:
 	pip install -e .[dev]
@@ -8,8 +8,18 @@ install:
 test:
 	pytest tests/
 
+lint:
+	ruff check .
+	ruff format --check src/repro/observability scripts \
+		tests/test_observability.py tests/test_observability_integration.py \
+		tests/test_wire_roundtrip.py
+
+# Timed bench run; the raw pytest-benchmark report is reduced to the
+# repo-root BENCH_micro.json trajectory file future PRs diff against.
 bench:
-	pytest benchmarks/ --benchmark-only
+	pytest benchmarks/ --benchmark-only \
+		--benchmark-json=benchmarks/results/benchmark.json
+	python scripts/bench_summary.py benchmarks/results/benchmark.json BENCH_micro.json
 
 # Reproduce every paper figure at full scale (tables to stdout).
 figures:

@@ -1,0 +1,74 @@
+"""Reduce a pytest-benchmark JSON report to a compact trajectory summary.
+
+Usage::
+
+    python scripts/bench_summary.py benchmarks/results/benchmark.json BENCH_micro.json
+
+The pytest-benchmark report carries per-round samples, machine info, and
+warmup details; for tracking performance across PRs only a handful of
+stable numbers matter.  This writes one small JSON file -- benchmark name
+to mean/stddev/rounds -- that lives at the repo root so successive PRs can
+diff it (`BENCH_micro.json` is the seed of that trajectory).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def summarize(report: dict) -> dict:
+    """Pick the stable fields out of one pytest-benchmark report."""
+    benchmarks = []
+    for bench in sorted(report.get("benchmarks", []), key=lambda b: b["fullname"]):
+        stats = bench["stats"]
+        benchmarks.append(
+            {
+                "name": bench["fullname"],
+                "mean_s": stats["mean"],
+                "stddev_s": stats["stddev"],
+                "min_s": stats["min"],
+                "rounds": stats["rounds"],
+            }
+        )
+    machine = report.get("machine_info", {})
+    return {
+        "python": machine.get("python_version", "unknown"),
+        "cpu_count": machine.get("cpu", {}).get("count", None)
+        if isinstance(machine.get("cpu"), dict)
+        else None,
+        "n_benchmarks": len(benchmarks),
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(
+            "usage: python scripts/bench_summary.py <pytest-benchmark.json> <summary.json>",
+            file=sys.stderr,
+        )
+        return 2
+    source, destination = Path(argv[1]), Path(argv[2])
+    try:
+        report = json.loads(source.read_text())
+    except FileNotFoundError:
+        print(
+            f"error: {source} not found -- run "
+            f"`pytest benchmarks/ --benchmark-only --benchmark-json={source}` first "
+            "(or just `make bench`)",
+            file=sys.stderr,
+        )
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: {source} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    summary = summarize(report)
+    destination.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"{summary['n_benchmarks']} benchmarks summarized into {destination}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

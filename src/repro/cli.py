@@ -4,19 +4,29 @@ Usage::
 
     python -m repro.cli figure 1a            # full-size reproduction
     python -m repro.cli figure 3b --quick    # scaled-down smoke run
+    python -m repro.cli figure 2a --json     # machine-readable series
     python -m repro.cli ablation poisoning
+    python -m repro.cli trace 1a --quick     # traced federated round -> JSONL
     python -m repro.cli list
 
-Each command prints the figure's series as a markdown table (the tabular
-equivalent of the paper's line plots).
+Each figure/ablation command prints the figure's series as a markdown table
+(the tabular equivalent of the paper's line plots), or as JSON with
+``--json``.  The ``trace`` command runs one fully-instrumented federated
+round sized like the named figure/ablation, prints the span tree and a
+metrics summary, and writes spans plus a final metrics snapshot as JSON
+lines (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
+import numpy as np
+
+from repro.core import FixedPointEncoder
 from repro.experiments import (
     alpha_sweep,
     b_send_sweep,
@@ -40,10 +50,28 @@ from repro.experiments import (
     render_series_table,
     render_snapshot,
     schedule_sensitivity,
+    series_to_json,
+    snapshot_to_json,
     variance_decomposition,
 )
+from repro.federated import (
+    ClientDevice,
+    DropoutModel,
+    FederatedMeanQuery,
+    NetworkModel,
+    ground_truth_mean,
+)
+from repro.observability import (
+    InMemoryExporter,
+    JsonLinesExporter,
+    MetricsRegistry,
+    Tracer,
+    format_span_tree,
+    instrumented,
+)
+from repro.privacy import RandomizedResponse
 
-__all__ = ["main", "FIGURES", "ABLATIONS"]
+__all__ = ["main", "FIGURES", "ABLATIONS", "run_traced_round"]
 
 #: figure id -> (runner, quick-mode overrides, metric, x-axis label)
 FIGURES: dict[str, tuple[Callable, dict, str, str]] = {
@@ -87,6 +115,9 @@ ABLATIONS: dict[str, tuple[Callable, dict, str, str]] = {
     ),
 }
 
+#: Targets whose traced round should apply local DP (the epsilon figures).
+_LDP_TRACE_TARGETS = frozenset({"3a", "3b", "4a", "4c", "distributed-dp"})
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -98,13 +129,111 @@ def _build_parser() -> argparse.ArgumentParser:
     fig = sub.add_parser("figure", help="reproduce a paper figure panel")
     fig.add_argument("panel", choices=sorted(FIGURES) + ["4b"])
     fig.add_argument("--quick", action="store_true", help="scaled-down parameters")
+    fig.add_argument("--json", action="store_true", help="emit the series as JSON")
 
     abl = sub.add_parser("ablation", help="run a design-choice ablation")
     abl.add_argument("name", choices=sorted(ABLATIONS))
     abl.add_argument("--quick", action="store_true", help="scaled-down parameters")
+    abl.add_argument("--json", action="store_true", help="emit the series as JSON")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one fully-traced federated round and export spans + metrics as JSONL",
+    )
+    trace.add_argument("target", choices=sorted(FIGURES) + ["4b"] + sorted(ABLATIONS))
+    trace.add_argument("--quick", action="store_true", help="smaller cohort")
+    trace.add_argument("--secure-agg", action="store_true", help="route through secure aggregation")
+    trace.add_argument("--seed", type=int, default=0, help="round RNG seed")
+    trace.add_argument(
+        "--out", default=None, help="JSONL output path (default: trace_<target>.jsonl)"
+    )
 
     sub.add_parser("list", help="list available figures and ablations")
     return parser
+
+
+def run_traced_round(
+    target: str,
+    quick: bool = False,
+    secure_agg: bool = False,
+    seed: int = 0,
+    out_path: str | None = None,
+    stream=None,
+) -> dict:
+    """Run one instrumented :class:`FederatedMeanQuery` round pipeline.
+
+    The ``target`` (a figure panel or ablation name) sizes the run; every
+    target exercises the same full pipeline -- cohort selection, bit
+    assignment, lossy network transmission, optional secure aggregation and
+    local DP, and reconstruction.  Returns a summary dict (estimate, truth,
+    paths, reconciliation) after writing the JSONL trace.
+    """
+    stream = stream if stream is not None else sys.stdout
+    n_clients = 2_000 if quick else 20_000
+    encoder = FixedPointEncoder.for_integers(10)
+    perturbation = RandomizedResponse(epsilon=2.0) if target in _LDP_TRACE_TARGETS else None
+
+    rng = np.random.default_rng(seed)
+    population = [
+        ClientDevice(i, np.clip(rng.normal(600.0, 100.0, rng.integers(1, 4)), 0.0, None))
+        for i in range(n_clients)
+    ]
+    truth = ground_truth_mean([c.values for c in population])
+    query = FederatedMeanQuery(
+        encoder,
+        mode="adaptive",
+        perturbation=perturbation,
+        dropout=DropoutModel(rate=0.05),
+        network=NetworkModel(loss_rate=0.05, deadline_s=600.0),
+        secure_aggregation=secure_agg,
+        min_reports_per_bit=2,
+    )
+
+    path = out_path or f"trace_{target}.jsonl"
+    memory = InMemoryExporter()
+    jsonl = JsonLinesExporter(path)
+    tracer = Tracer([memory, jsonl])
+    registry = MetricsRegistry()
+    try:
+        with instrumented(tracer, registry):
+            estimate = query.run(population, rng=rng)
+        snapshot = registry.snapshot()
+        jsonl.export_metrics(snapshot)
+    finally:
+        jsonl.close()
+
+    counters = snapshot["counters"]
+    planned = counters.get("round_reports_planned_total", 0.0)
+    delivered = counters.get("round_reports_delivered_total", 0.0)
+    lost = counters.get("round_reports_lost_total", 0.0)
+    reconciled = (
+        planned == delivered + lost
+        and planned == sum(estimate.metadata["planned_clients"])
+        and delivered == sum(estimate.metadata["surviving_clients"])
+    )
+
+    print(f"# Traced federated round ({target})", file=stream)
+    print(file=stream)
+    print(format_span_tree(memory.records), file=stream)
+    print(file=stream)
+    print("## Metrics", file=stream)
+    print(json.dumps(snapshot, indent=2, default=str), file=stream)
+    print(file=stream)
+    print(f"estimate: {estimate.value:.4f}  (ground truth {truth:.4f})", file=stream)
+    print(
+        f"reports: planned={planned:.0f} delivered={delivered:.0f} lost={lost:.0f}  "
+        f"reconciled with RoundOutcome: {reconciled}",
+        file=stream,
+    )
+    print(f"trace written to {path} ({len(memory.records)} spans + metrics snapshot)", file=stream)
+    return {
+        "estimate": estimate,
+        "truth": truth,
+        "path": path,
+        "snapshot": snapshot,
+        "reconciled": reconciled,
+        "n_spans": len(memory.records),
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -123,19 +252,37 @@ def _dispatch(argv: list[str] | None) -> int:
         print("ablations: " + " ".join(sorted(ABLATIONS)))
         return 0
 
+    if args.command == "trace":
+        result = run_traced_round(
+            args.target,
+            quick=args.quick,
+            secure_agg=args.secure_agg,
+            seed=args.seed,
+            out_path=args.out,
+        )
+        return 0 if result["reconciled"] else 1
+
     if args.command == "figure":
         if args.panel == "4b":
             snapshot = figure_4b()
-            print(render_snapshot(snapshot))
+            print(snapshot_to_json(snapshot) if args.json else render_snapshot(snapshot))
             return 0
         runner, quick_kwargs, metric, x_name = FIGURES[args.panel]
         results = runner(**(quick_kwargs if args.quick else {}))
-        print(render_series_table(f"Figure {args.panel}", results, metric=metric, x_name=x_name))
+        title = f"Figure {args.panel}"
+        if args.json:
+            print(series_to_json(title, results, metric=metric, x_name=x_name))
+        else:
+            print(render_series_table(title, results, metric=metric, x_name=x_name))
         return 0
 
     runner, quick_kwargs, metric, x_name = ABLATIONS[args.name]
     results = runner(**(quick_kwargs if args.quick else {}))
-    print(render_series_table(f"Ablation: {args.name}", results, metric=metric, x_name=x_name))
+    title = f"Ablation: {args.name}"
+    if args.json:
+        print(series_to_json(title, results, metric=metric, x_name=x_name))
+    else:
+        print(render_series_table(title, results, metric=metric, x_name=x_name))
     return 0
 
 

@@ -38,6 +38,7 @@ from repro.core.sampling import (
 )
 from repro.core.squashing import per_bit_squash_thresholds, squash_bit_means
 from repro.exceptions import ConfigurationError
+from repro.observability import get_metrics, get_tracer
 from repro.rng import ensure_rng
 
 __all__ = ["AdaptiveBitPushing"]
@@ -134,6 +135,8 @@ class AdaptiveBitPushing:
     ) -> MeanEstimate:
         """Estimate from already-encoded uint64 values (one per client)."""
         gen = ensure_rng(rng)
+        tracer = get_tracer()
+        metrics = get_metrics()
         encoded = np.asarray(encoded, dtype=np.uint64)
         n_clients = int(encoded.size)
         if n_clients < 2:
@@ -149,29 +152,46 @@ class AdaptiveBitPushing:
         cohort2 = encoded[order[n_round1:]]
 
         # --- Round 1: input-independent geometric schedule. ---
-        schedule1 = BitSamplingSchedule.geometric(n_bits, gamma=self.gamma)
-        summary1 = self._run_round(cohort1, schedule1, gen)
+        with tracer.span(
+            "adaptive.round1", {"n_clients": n_round1, "gamma": self.gamma}
+        ):
+            schedule1 = BitSamplingSchedule.geometric(n_bits, gamma=self.gamma)
+            summary1 = self._run_round(cohort1, schedule1, gen)
         round1_means = summary1.bit_means
         if self.squash_multiple > 0 and self.perturbation is not None:
             threshold = self._squash_threshold(summary1.counts)
             round1_means, _ = squash_bit_means(round1_means, threshold)
 
         # --- Round 2: data-driven schedule from round-1 bit means. ---
-        schedule2 = BitSamplingSchedule.from_bit_means(round1_means, alpha=self.alpha)
-        summary2 = self._run_round(cohort2, schedule2, gen)
+        with tracer.span(
+            "adaptive.round2", {"n_clients": n_clients - n_round1, "alpha": self.alpha}
+        ):
+            schedule2 = BitSamplingSchedule.from_bit_means(round1_means, alpha=self.alpha)
+            summary2 = self._run_round(cohort2, schedule2, gen)
 
         # --- Final aggregation (Algorithm 2 lines 9-11). ---
-        if self.caching:
-            pooled_means, pooled_counts = combine_round_stats(
-                [summary1.bit_means, summary2.bit_means],
-                [summary1.counts, summary2.counts],
-            )
-        else:
-            # Round 2 only, but bits it never sampled fall back to round 1
-            # (they carried ~0 weight; dropping them entirely biases the
-            # estimate whenever round 1 mis-scored a bit).
-            pooled_means = np.where(summary2.counts > 0, summary2.bit_means, summary1.bit_means)
-            pooled_counts = np.where(summary2.counts > 0, summary2.counts, summary1.counts)
+        with tracer.span("adaptive.combine", {"caching": self.caching}) as combine_span:
+            if self.caching:
+                pooled_means, pooled_counts = combine_round_stats(
+                    [summary1.bit_means, summary2.bit_means],
+                    [summary1.counts, summary2.counts],
+                )
+                # Cache hits: bits whose round-1 evidence is pooled into the
+                # final estimate rather than discarded.
+                cache_hits = int(np.count_nonzero(summary1.counts > 0))
+                combine_span.set_attribute("cache_hits", cache_hits)
+                if metrics.enabled:
+                    metrics.counter("adaptive_cache_hits_total").inc(cache_hits)
+            else:
+                # Round 2 only, but bits it never sampled fall back to round 1
+                # (they carried ~0 weight; dropping them entirely biases the
+                # estimate whenever round 1 mis-scored a bit).
+                pooled_means = np.where(
+                    summary2.counts > 0, summary2.bit_means, summary1.bit_means
+                )
+                pooled_counts = np.where(summary2.counts > 0, summary2.counts, summary1.counts)
+        if metrics.enabled:
+            metrics.counter("adaptive_estimates_total").inc()
 
         squashed: tuple[int, ...] = ()
         if self.perturbation is not None:

@@ -22,7 +22,12 @@ from repro.experiments.methods import (
     mean_methods,
     variance_methods,
 )
-from repro.experiments.report import render_series_table, render_snapshot
+from repro.experiments.report import (
+    render_series_table,
+    render_snapshot,
+    series_to_json,
+    snapshot_to_json,
+)
 
 __all__ = [
     "BitMeansSnapshot",
@@ -51,6 +56,8 @@ __all__ = [
     "render_series_table",
     "render_snapshot",
     "schedule_sensitivity",
+    "series_to_json",
+    "snapshot_to_json",
     "variance_decomposition",
     "variance_methods",
 ]

@@ -26,7 +26,6 @@ from repro.data.synthetic import normal
 from repro.experiments.methods import distributed_mean_estimate, mean_methods
 from repro.federated import ClientDevice, DropoutModel, FederatedMeanQuery
 from repro.metrics.experiment import SeriesResult, sweep
-from repro.privacy import RandomizedResponse
 from repro.privacy.distributed import BernoulliNoiseAggregator, SampleAndThreshold
 
 __all__ = [

@@ -22,7 +22,6 @@ import numpy as np
 
 from repro.core import (
     AdaptiveBitPushing,
-    BasicBitPushing,
     BitSamplingSchedule,
     FixedPointEncoder,
     bit_means_from_stats,

@@ -34,7 +34,6 @@ from repro.core import (
     BitSamplingSchedule,
     FixedPointEncoder,
     VarianceEstimator,
-    bit_means_from_stats,
     central_assignment,
     collect_bit_reports,
 )

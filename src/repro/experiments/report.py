@@ -9,12 +9,20 @@ identically.
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 
 from repro.experiments.figure4 import BitMeansSnapshot
 from repro.metrics.experiment import SeriesResult
 
-__all__ = ["render_series_table", "render_snapshot", "format_measure"]
+__all__ = [
+    "render_series_table",
+    "render_snapshot",
+    "format_measure",
+    "series_to_json",
+    "snapshot_to_json",
+]
 
 
 def format_measure(value: float, stderr: float) -> str:
@@ -61,6 +69,51 @@ def _format_x(x: float) -> str:
     if float(x).is_integer():
         return str(int(x))
     return f"{x:g}"
+
+
+def series_to_json(
+    title: str,
+    results: dict[str, SeriesResult],
+    metric: str = "nrmse",
+    x_name: str = "x",
+) -> str:
+    """The machine-readable twin of :func:`render_series_table`.
+
+    One JSON object: figure identity plus, per method, parallel ``x`` /
+    ``value`` / ``stderr`` arrays -- the same numbers the markdown table
+    prints, consumable by the same tooling that reads trace/metrics JSONL.
+    """
+    if not results:
+        raise ValueError("no series to render")
+    payload = {
+        "title": title,
+        "metric": metric,
+        "x_name": x_name,
+        "series": {
+            label: {
+                "x": [x for x, _, _ in series.rows(metric)],
+                "value": [value for _, value, _ in series.rows(metric)],
+                "stderr": [stderr for _, _, stderr in series.rows(metric)],
+            }
+            for label, series in results.items()
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def snapshot_to_json(snapshot: BitMeansSnapshot, title: str = "Figure 4b") -> str:
+    """JSON form of the Figure 4b bit-means diagnostic."""
+    payload = {
+        "title": title,
+        "epsilon": snapshot.epsilon,
+        "threshold": snapshot.threshold,
+        "counts": [int(c) for c in snapshot.counts],
+        "true_bit_means": [float(m) for m in snapshot.true_bit_means],
+        "bit_means": [float(m) for m in snapshot.bit_means],
+        "out_of_unit_bits": snapshot.out_of_unit_bits.tolist(),
+        "noisy_bits": snapshot.noisy_bits.tolist(),
+    }
+    return json.dumps(payload, indent=2)
 
 
 def render_snapshot(snapshot: BitMeansSnapshot, title: str = "Figure 4b") -> str:

@@ -19,6 +19,7 @@ from repro.core.encoding import FixedPointEncoder
 from repro.core.protocol import BitPerturbation
 from repro.exceptions import ConfigurationError
 from repro.federated.multivalue import elicit_single_value
+from repro.observability import get_metrics, get_tracer
 from repro.privacy.accountant import BitMeter
 from repro.rng import ensure_rng
 
@@ -95,11 +96,19 @@ class ClientDevice:
         is already privatized.
         """
         gen = ensure_rng(rng)
-        value = self.elicit(strategy, gen)
-        encoded = encoder.encode(np.array([value]))
-        bit = int(encoder.bit(encoded, bit_index)[0])
-        if meter is not None:
-            meter.record(self.client_id, value_id)
-        if perturbation is not None:
-            bit = int(perturbation.perturb_bits(np.array([bit], dtype=np.uint8), gen)[0])
+        with get_tracer().span(
+            "client.report_bit", {"client_id": self.client_id, "bit_index": bit_index}
+        ):
+            value = self.elicit(strategy, gen)
+            encoded = encoder.encode(np.array([value]))
+            bit = int(encoder.bit(encoded, bit_index)[0])
+            if meter is not None:
+                meter.record(self.client_id, value_id)
+            if perturbation is not None:
+                bit = int(perturbation.perturb_bits(np.array([bit], dtype=np.uint8), gen)[0])
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("client_reports_total").inc()
+            if perturbation is not None:
+                metrics.counter("client_reports_randomized_total").inc()
         return BitReport(client_id=self.client_id, bit_index=bit_index, bit=bit)

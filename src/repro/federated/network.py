@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.observability import get_metrics, get_tracer
 from repro.rng import ensure_rng
 
 __all__ = ["DeliveryOutcome", "NetworkModel"]
@@ -78,8 +79,20 @@ class NetworkModel:
         if n_reports < 0:
             raise ConfigurationError(f"n_reports must be >= 0, got {n_reports}")
         gen = ensure_rng(rng)
-        latencies = gen.lognormal(np.log(self.latency_median_s), self.latency_sigma, n_reports)
-        delivered = gen.random(n_reports) >= self.loss_rate
-        if self.deadline_s is not None:
-            delivered &= latencies <= self.deadline_s
-        return DeliveryOutcome(delivered=delivered, latencies_s=latencies)
+        with get_tracer().span(
+            "network.transmit", {"n_reports": n_reports, "loss_rate": self.loss_rate}
+        ) as span:
+            latencies = gen.lognormal(np.log(self.latency_median_s), self.latency_sigma, n_reports)
+            delivered = gen.random(n_reports) >= self.loss_rate
+            if self.deadline_s is not None:
+                delivered &= latencies <= self.deadline_s
+            outcome = DeliveryOutcome(delivered=delivered, latencies_s=latencies)
+            span.set_attribute("delivered", int(delivered.sum()))
+            span.set_attribute("round_duration_s", outcome.round_duration_s)
+        metrics = get_metrics()
+        if metrics.enabled:
+            n_delivered = int(delivered.sum())
+            metrics.counter("network_reports_sent_total").inc(n_reports)
+            metrics.counter("network_reports_lost_total").inc(n_reports - n_delivered)
+            metrics.histogram("network_latency_s").observe_array(latencies[delivered])
+        return outcome

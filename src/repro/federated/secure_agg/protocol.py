@@ -35,6 +35,7 @@ from repro.exceptions import ConfigurationError, SecureAggregationError
 from repro.federated.secure_agg.field import PrimeField
 from repro.federated.secure_agg.masking import apply_masks, expand_mask, pairwise_mask_sign
 from repro.federated.secure_agg.shamir import Share, reconstruct_secret, split_secret
+from repro.observability import get_metrics, get_tracer
 from repro.rng import ensure_rng
 
 __all__ = ["SecureAggregationSession", "secure_sum"]
@@ -158,38 +159,56 @@ class SecureAggregationSession:
             raise SecureAggregationError("session already finalized")
         survivors = sorted(self._submissions)
         dropped = [c for c in range(self.n_clients) if c not in self._submissions]
-        if len(survivors) < self.threshold:
-            raise SecureAggregationError(
-                f"only {len(survivors)} of {self.n_clients} clients submitted; "
-                f"threshold is {self.threshold}"
-            )
+        metrics = get_metrics()
+        with get_tracer().span(
+            "secure_agg.finalize",
+            {
+                "n_clients": self.n_clients,
+                "submitted": len(survivors),
+                "dropouts": len(dropped),
+                "threshold": self.threshold,
+            },
+        ):
+            if len(survivors) < self.threshold:
+                metrics.counter("secure_agg_failures_total").inc()
+                raise SecureAggregationError(
+                    f"only {len(survivors)} of {self.n_clients} clients submitted; "
+                    f"threshold is {self.threshold}"
+                )
 
-        total = [0] * self.vector_length
-        for masked in self._submissions.values():
-            total = self.field.add_vectors(total, masked)
+            total = [0] * self.vector_length
+            for masked in self._submissions.values():
+                total = self.field.add_vectors(total, masked)
 
-        # Remove survivors' self-masks: reconstruct each seed from any
-        # `threshold` shares held by surviving clients.
-        for survivor in survivors:
-            shares = [self._self_seed_shares[survivor][holder] for holder in survivors]
-            seed = reconstruct_secret(shares[: self.threshold], self.field)
-            total = self.field.sub_vectors(
-                total, expand_mask(seed, self.vector_length, self.field)
-            )
+            # Remove survivors' self-masks: reconstruct each seed from any
+            # `threshold` shares held by surviving clients.
+            for survivor in survivors:
+                shares = [self._self_seed_shares[survivor][holder] for holder in survivors]
+                seed = reconstruct_secret(shares[: self.threshold], self.field)
+                total = self.field.sub_vectors(
+                    total, expand_mask(seed, self.vector_length, self.field)
+                )
 
-        # Cancel lingering pairwise masks between survivors and dropouts:
-        # each survivor reveals the seed it shared with each dropout.
-        for survivor in survivors:
-            for dead in dropped:
-                seed = self._seed_for(survivor, dead)
-                mask = expand_mask(seed, self.vector_length, self.field)
-                if pairwise_mask_sign(survivor, dead) > 0:
-                    total = self.field.sub_vectors(total, mask)
-                else:
-                    total = self.field.add_vectors(total, mask)
+            # Cancel lingering pairwise masks between survivors and dropouts:
+            # each survivor reveals the seed it shared with each dropout.
+            for survivor in survivors:
+                for dead in dropped:
+                    seed = self._seed_for(survivor, dead)
+                    mask = expand_mask(seed, self.vector_length, self.field)
+                    if pairwise_mask_sign(survivor, dead) > 0:
+                        total = self.field.sub_vectors(total, mask)
+                    else:
+                        total = self.field.add_vectors(total, mask)
 
-        self._finalized = True
-        return [self.field.centered(v) for v in total]
+            self._finalized = True
+            if metrics.enabled:
+                metrics.counter("secure_agg_sessions_total").inc()
+                metrics.counter("secure_agg_dropouts_total").inc(len(dropped))
+                metrics.counter("secure_agg_self_masks_removed_total").inc(len(survivors))
+                metrics.counter("secure_agg_masks_recovered_total").inc(
+                    len(survivors) * len(dropped)
+                )
+            return [self.field.centered(v) for v in total]
 
     # ------------------------------------------------------------------
     @property

@@ -37,6 +37,7 @@ from repro.federated.cohort import CohortSelector, Eligibility
 from repro.federated.dropout import DropoutModel, DropoutRateTracker
 from repro.federated.network import NetworkModel
 from repro.federated.secure_agg.protocol import SecureAggregationSession
+from repro.observability import get_metrics, get_tracer
 from repro.privacy.accountant import BitMeter
 from repro.rng import ensure_rng
 
@@ -174,72 +175,97 @@ class FederatedMeanQuery:
     ) -> MeanEstimate:
         """Execute the query end-to-end and return the mean estimate."""
         gen = ensure_rng(rng)
-        cohort = self.selector.select(population, eligibility, cohort_size, gen)
+        tracer = get_tracer()
+        metrics = get_metrics()
+        with tracer.span(
+            "federated.query",
+            {"mode": self.mode, "secure_aggregation": self.secure_aggregation},
+        ) as query_span:
+            with tracer.span(
+                "federated.cohort_select", {"population": len(population)}
+            ) as select_span:
+                cohort = self.selector.select(population, eligibility, cohort_size, gen)
+                select_span.set_attribute("cohort_size", len(cohort))
+            metrics.gauge("cohort_size").set(len(cohort))
+            query_span.set_attribute("cohort_size", len(cohort))
 
-        if self.mode == "basic":
-            outcome = self._run_round(cohort, self.schedule, gen)
-            outcomes = [outcome]
-            pooled_means = outcome.summary.bit_means
-            pooled_counts = outcome.summary.counts
-        else:
-            n_round1 = min(max(int(round(self.delta * len(cohort))), 1), len(cohort) - 1)
-            order = gen.permutation(len(cohort))
-            cohort1 = [cohort[i] for i in order[:n_round1]]
-            cohort2 = [cohort[i] for i in order[n_round1:]]
-
-            schedule1 = BitSamplingSchedule.geometric(self.encoder.n_bits, gamma=self.gamma)
-            outcome1 = self._run_round(cohort1, schedule1, gen)
-            round1_means = outcome1.summary.bit_means
-            if self.squash_multiple > 0 and self.perturbation is not None:
-                threshold = self._squash_threshold(outcome1.summary.counts)
-                round1_means, _ = squash_bit_means(round1_means, threshold)
-
-            schedule2 = BitSamplingSchedule.from_bit_means(round1_means, alpha=self.alpha)
-            outcome2 = self._run_round(cohort2, schedule2, gen)
-            outcomes = [outcome1, outcome2]
-
-            if self.caching:
-                pooled_means, pooled_counts = combine_round_stats(
-                    [outcome1.summary.bit_means, outcome2.summary.bit_means],
-                    [outcome1.summary.counts, outcome2.summary.counts],
-                )
+            if self.mode == "basic":
+                outcome = self._run_round(cohort, self.schedule, gen, round_index=1)
+                outcomes = [outcome]
+                pooled_means = outcome.summary.bit_means
+                pooled_counts = outcome.summary.counts
             else:
-                have2 = outcome2.summary.counts > 0
-                pooled_means = np.where(have2, outcome2.summary.bit_means, outcome1.summary.bit_means)
-                pooled_counts = np.where(have2, outcome2.summary.counts, outcome1.summary.counts)
+                n_round1 = min(max(int(round(self.delta * len(cohort))), 1), len(cohort) - 1)
+                order = gen.permutation(len(cohort))
+                cohort1 = [cohort[i] for i in order[:n_round1]]
+                cohort2 = [cohort[i] for i in order[n_round1:]]
 
-        squashed: tuple[int, ...] = ()
-        if self.perturbation is not None:
-            threshold = (
-                self._squash_threshold(pooled_counts)
-                if self.squash_multiple > 0
-                else np.zeros_like(pooled_means)
+                schedule1 = BitSamplingSchedule.geometric(self.encoder.n_bits, gamma=self.gamma)
+                outcome1 = self._run_round(cohort1, schedule1, gen, round_index=1)
+                round1_means = outcome1.summary.bit_means
+                if self.squash_multiple > 0 and self.perturbation is not None:
+                    threshold = self._squash_threshold(outcome1.summary.counts)
+                    round1_means, _ = squash_bit_means(round1_means, threshold)
+
+                schedule2 = BitSamplingSchedule.from_bit_means(round1_means, alpha=self.alpha)
+                outcome2 = self._run_round(cohort2, schedule2, gen, round_index=2)
+                outcomes = [outcome1, outcome2]
+
+                if self.caching:
+                    pooled_means, pooled_counts = combine_round_stats(
+                        [outcome1.summary.bit_means, outcome2.summary.bit_means],
+                        [outcome1.summary.counts, outcome2.summary.counts],
+                    )
+                else:
+                    have2 = outcome2.summary.counts > 0
+                    pooled_means = np.where(
+                        have2, outcome2.summary.bit_means, outcome1.summary.bit_means
+                    )
+                    pooled_counts = np.where(
+                        have2, outcome2.summary.counts, outcome1.summary.counts
+                    )
+
+            with tracer.span(
+                "federated.reconstruct", {"n_bits": self.encoder.n_bits}
+            ) as reconstruct_span:
+                squashed: tuple[int, ...] = ()
+                if self.perturbation is not None:
+                    threshold = (
+                        self._squash_threshold(pooled_counts)
+                        if self.squash_multiple > 0
+                        else np.zeros_like(pooled_means)
+                    )
+                    pooled_means, squashed_idx = squash_bit_means(pooled_means, threshold)
+                    squashed = tuple(int(j) for j in squashed_idx)
+
+                encoded_mean = float(np.exp2(np.arange(self.encoder.n_bits)) @ pooled_means)
+                value = self.encoder.decode_scalar(encoded_mean)
+                reconstruct_span.set_attribute("squashed_bits", list(squashed))
+                reconstruct_span.set_attribute("estimate", value)
+
+            total_duration = sum(o.round_duration_s for o in outcomes)
+            return MeanEstimate(
+                value=value,
+                encoded_value=encoded_mean,
+                bit_means=pooled_means,
+                counts=pooled_counts,
+                n_clients=len(cohort),
+                n_bits=self.encoder.n_bits,
+                method=f"federated-{self.mode}",
+                rounds=tuple(o.summary for o in outcomes),
+                squashed_bits=squashed,
+                metadata={
+                    "cohort_size": len(cohort),
+                    "dropout_rates": [o.dropout_rate for o in outcomes],
+                    "round_durations_s": [o.round_duration_s for o in outcomes],
+                    "total_duration_s": total_duration,
+                    "planned_clients": [o.planned_clients for o in outcomes],
+                    "surviving_clients": [o.surviving_clients for o in outcomes],
+                    "secure_aggregation": self.secure_aggregation,
+                    "elicitation": self.elicitation,
+                    "ldp": self.perturbation is not None,
+                },
             )
-            pooled_means, squashed_idx = squash_bit_means(pooled_means, threshold)
-            squashed = tuple(int(j) for j in squashed_idx)
-
-        encoded_mean = float(np.exp2(np.arange(self.encoder.n_bits)) @ pooled_means)
-        total_duration = sum(o.round_duration_s for o in outcomes)
-        return MeanEstimate(
-            value=self.encoder.decode_scalar(encoded_mean),
-            encoded_value=encoded_mean,
-            bit_means=pooled_means,
-            counts=pooled_counts,
-            n_clients=len(cohort),
-            n_bits=self.encoder.n_bits,
-            method=f"federated-{self.mode}",
-            rounds=tuple(o.summary for o in outcomes),
-            squashed_bits=squashed,
-            metadata={
-                "cohort_size": len(cohort),
-                "dropout_rates": [o.dropout_rate for o in outcomes],
-                "round_durations_s": [o.round_duration_s for o in outcomes],
-                "total_duration_s": total_duration,
-                "secure_aggregation": self.secure_aggregation,
-                "elicitation": self.elicitation,
-                "ldp": self.perturbation is not None,
-            },
-        )
 
     # ------------------------------------------------------------------
     def _run_round(
@@ -247,61 +273,114 @@ class FederatedMeanQuery:
         clients: Sequence[ClientDevice],
         schedule: BitSamplingSchedule,
         gen: np.random.Generator,
+        round_index: int = 1,
     ) -> RoundOutcome:
+        tracer = get_tracer()
+        metrics = get_metrics()
         n = len(clients)
         if n == 0:
             raise ConfigurationError("round planned with zero clients")
-        schedule = self._adjust_schedule(schedule, n)
-        assignment = central_assignment(n, schedule, gen)
+        with tracer.span(
+            "federated.round", {"round_index": round_index, "planned_clients": n}
+        ) as round_span:
+            schedule = self._adjust_schedule(schedule, n)
+            with tracer.span(
+                "round.assign", {"n_bits": self.encoder.n_bits, "n_clients": n}
+            ):
+                assignment = central_assignment(n, schedule, gen)
 
-        # Failure simulation: device dropout, then network delivery.
-        alive = (
-            self.dropout.draw_survivors(n, gen)
-            if self.dropout is not None
-            else np.ones(n, dtype=bool)
-        )
-        duration = 0.0
-        if self.network is not None:
-            outcome = self.network.transmit(int(alive.sum()), gen)
-            delivered = np.zeros(n, dtype=bool)
-            delivered[np.flatnonzero(alive)] = outcome.delivered
-            duration = outcome.round_duration_s
-            alive = delivered
-        survivors = np.flatnonzero(alive)
-        self.dropout_tracker.update(planned=n, survived=int(survivors.size))
-        if survivors.size == 0:
-            raise ConfigurationError("every client dropped out of the round")
+            # Failure simulation: device dropout, then network delivery.
+            with tracer.span("round.dropout", {"planned": n}) as dropout_span:
+                alive = (
+                    self.dropout.draw_survivors(n, gen)
+                    if self.dropout is not None
+                    else np.ones(n, dtype=bool)
+                )
+                dropout_span.set_attribute("survived", int(alive.sum()))
+            duration = 0.0
+            if self.network is not None:
+                outcome = self.network.transmit(int(alive.sum()), gen)
+                delivered = np.zeros(n, dtype=bool)
+                delivered[np.flatnonzero(alive)] = outcome.delivered
+                duration = outcome.round_duration_s
+                alive = delivered
+            survivors = np.flatnonzero(alive)
+            self.dropout_tracker.update(planned=n, survived=int(survivors.size))
+            if survivors.size == 0:
+                metrics.counter("rounds_failed_total").inc()
+                raise ConfigurationError("every client dropped out of the round")
 
-        # Client-side: elicit one value each, meter the single-bit disclosure.
-        values = np.array(
-            [clients[i].elicit(self.elicitation, gen) for i in survivors], dtype=np.float64
-        )
-        if self.meter is not None:
-            for i in survivors:
-                self.meter.record(clients[i].client_id, self.metric_name)
-        encoded = self.encoder.encode(values)
-        live_assignment = assignment[survivors]
+            # Client-side: elicit one value each, meter the single-bit disclosure.
+            with tracer.span("round.elicit", {"n_clients": int(survivors.size)}):
+                values = np.array(
+                    [clients[i].elicit(self.elicitation, gen) for i in survivors],
+                    dtype=np.float64,
+                )
+                if self.meter is not None:
+                    for i in survivors:
+                        self.meter.record(clients[i].client_id, self.metric_name)
+            encoded = self.encoder.encode(values)
+            live_assignment = assignment[survivors]
 
-        if self.secure_aggregation:
-            sums, counts = self._secure_collect(encoded, live_assignment, gen)
-        else:
-            sums, counts = collect_bit_reports(
-                encoded, self.encoder.n_bits, live_assignment, self.perturbation, gen
+            if self.secure_aggregation:
+                with tracer.span(
+                    "round.secure_agg",
+                    {"n_clients": int(survivors.size), "shard_size": self.shard_size},
+                ):
+                    sums, counts = self._secure_collect(encoded, live_assignment, gen)
+            else:
+                with tracer.span("round.collect", {"n_clients": int(survivors.size)}):
+                    sums, counts = collect_bit_reports(
+                        encoded, self.encoder.n_bits, live_assignment, self.perturbation, gen
+                    )
+            means = bit_means_from_stats(sums, counts, self.perturbation)
+            summary = RoundSummary(
+                probabilities=schedule.probabilities,
+                counts=counts,
+                sums=means * counts,
+                bit_means=means,
+                n_clients=int(survivors.size),
             )
-        means = bit_means_from_stats(sums, counts, self.perturbation)
-        summary = RoundSummary(
-            probabilities=schedule.probabilities,
-            counts=counts,
-            sums=means * counts,
-            bit_means=means,
-            n_clients=int(survivors.size),
+            outcome = RoundOutcome(
+                summary=summary,
+                planned_clients=n,
+                surviving_clients=int(survivors.size),
+                round_duration_s=duration,
+            )
+            round_span.set_attribute("surviving_clients", outcome.surviving_clients)
+            round_span.set_attribute("round_duration_s", outcome.round_duration_s)
+            self._record_round_metrics(metrics, outcome, live_assignment)
+            return outcome
+
+    def _record_round_metrics(
+        self,
+        metrics,
+        outcome: RoundOutcome,
+        live_assignment: np.ndarray,
+    ) -> None:
+        """Fold one round's operational counters into the metrics registry.
+
+        Invariant (asserted by the trace CLI and the integration tests):
+        ``round_reports_planned_total`` accumulates exactly
+        ``round_reports_delivered_total + round_reports_lost_total``, each
+        reconciling with the :class:`RoundOutcome` fields.
+        """
+        if not metrics.enabled:
+            return
+        metrics.counter("rounds_total").inc()
+        metrics.counter("round_reports_planned_total").inc(outcome.planned_clients)
+        metrics.counter("round_reports_delivered_total").inc(outcome.surviving_clients)
+        metrics.counter("round_reports_lost_total").inc(
+            outcome.planned_clients - outcome.surviving_clients
         )
-        return RoundOutcome(
-            summary=summary,
-            planned_clients=n,
-            surviving_clients=int(survivors.size),
-            round_duration_s=duration,
+        metrics.gauge("dropout_rate").set(outcome.dropout_rate)
+        metrics.histogram("round_duration_s").observe(outcome.round_duration_s)
+        bit_hist = metrics.histogram(
+            "bit_index_distribution", buckets=tuple(float(j) for j in range(self.encoder.n_bits))
         )
+        for j, count in enumerate(np.bincount(live_assignment, minlength=self.encoder.n_bits)):
+            if count:
+                bit_hist.observe(float(j), count=int(count))
 
     # ------------------------------------------------------------------
     def _adjust_schedule(

@@ -8,8 +8,9 @@ module pins that down concretely: a fixed 16-byte frame
 
     magic (4) | version (1) | bit_index (1) | bit (1) | flags (1) | client_id (8)
 
-with strict validation on decode (bad magic, truncation, non-binary bit, or
-out-of-range index all raise :class:`~repro.exceptions.ProtocolError`), plus
+with strict, mirror-image validation on both encode and decode (bad magic,
+truncation, non-binary bit, out-of-range index, or non-integer fields all
+raise :class:`~repro.exceptions.ProtocolError`), plus
 the batching helpers a real uplink would use.  The ``flags`` byte records
 whether randomized response was applied -- public metadata the server needs
 for debiasing.
@@ -19,6 +20,8 @@ from __future__ import annotations
 
 import struct
 from typing import Iterable
+
+import numpy as np
 
 from repro.exceptions import ProtocolError
 from repro.federated.client import BitReport
@@ -46,7 +49,23 @@ REPORT_SIZE = _STRUCT.size
 
 
 def encode_report(report: BitReport, randomized_response: bool = False) -> bytes:
-    """Serialize one report into its 16-byte frame."""
+    """Serialize one report into its 16-byte frame.
+
+    Validation is the exact mirror image of :func:`decode_report`: any frame
+    this function emits will decode, and any report it rejects would have
+    been rejected on decode.  Every failure raises :class:`ProtocolError` --
+    a malformed report must be caught at the uplink, not when the server
+    unpacks it.  Non-integer field types (a float ``bit_index``, a string
+    ``client_id``) are rejected here too, where ``struct`` would otherwise
+    raise its own opaque error.
+    """
+    for name, value in (
+        ("client_id", report.client_id),
+        ("bit_index", report.bit_index),
+        ("bit", report.bit),
+    ):
+        if not isinstance(value, (int, np.integer)):
+            raise ProtocolError(f"report {name} must be an integer, got {value!r}")
     if report.bit not in (0, 1):
         raise ProtocolError(f"report bit must be 0 or 1, got {report.bit}")
     if not 0 <= report.bit_index < 64:
@@ -55,7 +74,7 @@ def encode_report(report: BitReport, randomized_response: bool = False) -> bytes
         raise ProtocolError(f"client id {report.client_id} does not fit in 64 bits")
     flags = FLAG_RANDOMIZED_RESPONSE if randomized_response else 0
     return _STRUCT.pack(
-        MAGIC, VERSION, report.bit_index, report.bit, flags, report.client_id
+        MAGIC, VERSION, int(report.bit_index), int(report.bit), flags, int(report.client_id)
     )
 
 

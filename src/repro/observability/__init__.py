@@ -1,0 +1,133 @@
+"""Observability substrate: tracing spans, metrics, and exporters.
+
+The library is instrumented everywhere (cohort selection, bit assignment,
+network transmission, secure aggregation, privacy accounting, adaptive
+scheduling) against a process-wide tracer/metrics pair that defaults to
+no-ops.  Nothing is timed, allocated, or exported -- and no RNG stream is
+touched -- until instrumentation is explicitly installed:
+
+    from repro.observability import InMemoryExporter, MetricsRegistry, Tracer, instrumented
+
+    exporter = InMemoryExporter()
+    with instrumented(Tracer([exporter]), MetricsRegistry()) as (tracer, metrics):
+        estimate = query.run(population, rng=0)
+    print(format_span_tree(exporter.records))
+    print(metrics.snapshot())
+
+``python -m repro.cli trace <figure|ablation>`` wraps exactly this around a
+representative federated round and writes the spans plus a final metrics
+snapshot as JSON lines.  The span and metric catalogue lives in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.observability.exporters import (
+    ConsoleExporter,
+    InMemoryExporter,
+    JsonLinesExporter,
+    format_span_tree,
+)
+from repro.observability.metrics import (
+    DEFAULT_DURATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    NULL_METRICS,
+)
+from repro.observability.tracing import (
+    NullSpan,
+    NullTracer,
+    NULL_TRACER,
+    Span,
+    SpanRecord,
+    Tracer,
+)
+
+__all__ = [
+    "ConsoleExporter",
+    "Counter",
+    "DEFAULT_DURATION_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "InMemoryExporter",
+    "JsonLinesExporter",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullSpan",
+    "NullTracer",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "configure",
+    "disable",
+    "format_span_tree",
+    "get_metrics",
+    "get_tracer",
+    "instrumented",
+]
+
+# Process-wide instrumentation state.  Plain module globals (not
+# contextvars): get_tracer()/get_metrics() sit on per-round hot paths and a
+# dict-free global read is the cheapest thing Python offers.
+_tracer: Tracer | NullTracer = NULL_TRACER
+_metrics: MetricsRegistry | NullMetrics = NULL_METRICS
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The currently installed tracer (the no-op tracer by default)."""
+    return _tracer
+
+
+def get_metrics() -> MetricsRegistry | NullMetrics:
+    """The currently installed metrics registry (no-op by default)."""
+    return _metrics
+
+
+def configure(
+    tracer: Tracer | NullTracer | None = None,
+    metrics: MetricsRegistry | NullMetrics | None = None,
+) -> None:
+    """Install instrumentation process-wide; ``None`` leaves that half alone."""
+    global _tracer, _metrics
+    if tracer is not None:
+        _tracer = tracer
+    if metrics is not None:
+        _metrics = metrics
+
+
+def disable() -> None:
+    """Restore the zero-overhead defaults."""
+    global _tracer, _metrics
+    _tracer = NULL_TRACER
+    _metrics = NULL_METRICS
+
+
+@contextmanager
+def instrumented(
+    tracer: Tracer | NullTracer | None = None,
+    metrics: MetricsRegistry | NullMetrics | None = None,
+) -> Iterator[tuple[Tracer | NullTracer, MetricsRegistry | NullMetrics]]:
+    """Temporarily install instrumentation, restoring the previous state.
+
+    Omitted halves get fresh defaults: a :class:`Tracer` with no exporters
+    is *not* useful, so ``tracer=None`` keeps whatever is installed;
+    ``metrics=None`` likewise.  Yields the active ``(tracer, metrics)``.
+    """
+    global _tracer, _metrics
+    previous = (_tracer, _metrics)
+    if tracer is not None:
+        _tracer = tracer
+    if metrics is not None:
+        _metrics = metrics
+    try:
+        yield (_tracer, _metrics)
+    finally:
+        _tracer, _metrics = previous

@@ -1,0 +1,137 @@
+"""Span exporters: in-memory (tests), stdout (humans), JSON lines (tools).
+
+Every exporter implements ``export(record: SpanRecord)``; the JSONL
+exporter additionally accepts metrics snapshots, so one ``.jsonl`` file can
+carry a full round trace *and* its closing metrics state::
+
+    {"type": "span", "name": "federated.round", ...}
+    {"type": "span", "name": "federated.query", ...}
+    {"type": "metrics", "metrics": {"counters": {...}, ...}}
+
+Spans arrive in completion order (children before parents);
+:func:`format_span_tree` rebuilds the parent/child hierarchy for display.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from pathlib import Path
+from typing import Any, IO, Iterable, Mapping
+
+from repro.observability.tracing import SpanRecord
+
+__all__ = [
+    "InMemoryExporter",
+    "ConsoleExporter",
+    "JsonLinesExporter",
+    "format_span_tree",
+]
+
+
+class InMemoryExporter:
+    """Collects records in a list -- the assertion surface for tests."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.records: list[SpanRecord] = []
+
+    def export(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.records.append(record)
+
+    def names(self) -> list[str]:
+        """Span names in completion order."""
+        return [r.name for r in self.records]
+
+    def find(self, name: str) -> list[SpanRecord]:
+        return [r for r in self.records if r.name == name]
+
+    def children_of(self, span_id: int) -> list[SpanRecord]:
+        return [r for r in self.records if r.parent_id == span_id]
+
+    def roots(self) -> list[SpanRecord]:
+        return [r for r in self.records if r.parent_id is None]
+
+    def clear(self) -> None:
+        with self._lock:
+            self.records.clear()
+
+
+class ConsoleExporter:
+    """Prints one line per finished span (duration, name, attributes)."""
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self._stream = stream if stream is not None else sys.stdout
+
+    def export(self, record: SpanRecord) -> None:
+        attrs = " ".join(f"{k}={v}" for k, v in record.attributes.items())
+        status = "" if record.status == "ok" else f" [{record.status}]"
+        line = f"[trace] {record.duration_s * 1e3:9.3f} ms  {record.name}{status}"
+        if attrs:
+            line += f"  {attrs}"
+        print(line, file=self._stream)
+
+
+class JsonLinesExporter:
+    """Appends one JSON object per record to a ``.jsonl`` file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._handle: IO[str] | None = self.path.open("w")
+
+    def export(self, record: SpanRecord) -> None:
+        self._write(record.to_dict())
+
+    def export_metrics(self, snapshot: Mapping[str, Any]) -> None:
+        """Append a metrics-snapshot line alongside the spans."""
+        self._write({"type": "metrics", "metrics": dict(snapshot)})
+
+    def _write(self, payload: Mapping[str, Any]) -> None:
+        line = json.dumps(payload, default=str)
+        with self._lock:
+            if self._handle is None:
+                raise ValueError(f"exporter for {self.path} is closed")
+            self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "JsonLinesExporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def format_span_tree(records: Iterable[SpanRecord]) -> str:
+    """Render finished spans as an indented tree (roots in start order)."""
+    records = list(records)
+    by_parent: dict[int | None, list[SpanRecord]] = {}
+    for record in records:
+        by_parent.setdefault(record.parent_id, []).append(record)
+    for siblings in by_parent.values():
+        siblings.sort(key=lambda r: r.start_time_s)
+
+    lines: list[str] = []
+
+    def walk(record: SpanRecord, depth: int) -> None:
+        attrs = " ".join(f"{k}={v}" for k, v in record.attributes.items())
+        status = "" if record.status == "ok" else f" [{record.status}]"
+        line = f"{'  ' * depth}{record.name}{status}  ({record.duration_s * 1e3:.3f} ms)"
+        if attrs:
+            line += f"  {attrs}"
+        lines.append(line)
+        for child in by_parent.get(record.span_id, []):
+            walk(child, depth + 1)
+
+    for root in by_parent.get(None, []):
+        walk(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,262 @@
+"""Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a thread-safe, name-addressed collection of
+instruments::
+
+    registry.counter("round_reports_lost_total").inc(37)
+    registry.gauge("dropout_rate").set(0.12)
+    registry.histogram("round_duration_s").observe(241.8)
+
+``snapshot()`` freezes everything into one nested dict (JSON-ready), which
+is what the JSONL trace exporter, the CLI ``trace`` subcommand, and the
+benchmark harness all persist.
+
+As with tracing, the library default is :data:`NULL_METRICS`: a registry
+whose instruments are shared no-op singletons, so instrumented hot paths
+cost one attribute lookup when metrics are disabled.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "DEFAULT_DURATION_BUCKETS",
+]
+
+#: Default histogram buckets for round/report durations, in seconds.
+DEFAULT_DURATION_BUCKETS = (0.1, 1.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0)
+
+
+class Counter:
+    """A monotonically increasing value (floats allowed: epsilon is one)."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value that can move in either direction."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed upper-bound buckets plus a running sum/count.
+
+    ``buckets`` are inclusive upper bounds in ascending order; one implicit
+    overflow bucket catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, name: str, buckets: Sequence[float], help: str = "") -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigurationError(f"histogram {name!r} needs >= 1 bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(f"histogram {name!r} buckets must be strictly ascending")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float, count: int = 1) -> None:
+        """Record ``count`` observations of ``value`` (count>1 batches cheaply)."""
+        if count < 1:
+            raise ConfigurationError(f"histogram {self.name!r} observe count must be >= 1")
+        idx = bisect_left(self.buckets, float(value))
+        with self._lock:
+            self._counts[idx] += count
+            self._sum += float(value) * count
+            self._count += count
+
+    def observe_array(self, values: np.ndarray | Iterable[float]) -> None:
+        """Vectorized :meth:`observe` for one value per array element."""
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
+        if arr.size == 0:
+            return
+        arr = arr.astype(np.float64, copy=False).ravel()
+        idx = np.searchsorted(np.array(self.buckets), arr, side="left")
+        bucket_counts = np.bincount(idx, minlength=len(self.buckets) + 1)
+        with self._lock:
+            for i, c in enumerate(bucket_counts):
+                self._counts[i] += int(c)
+            self._sum += float(arr.sum())
+            self._count += int(arr.size)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "buckets": list(self.buckets),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+
+class MetricsRegistry:
+    """Name-addressed instruments with get-or-create semantics."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind: type, factory) -> Any:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered as {type(existing).__name__}, "
+                        f"not {kind.__name__}"
+                    )
+                return existing
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_DURATION_BUCKETS, help: str = ""
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, lambda: Histogram(name, buckets, help))
+
+    def snapshot(self) -> dict[str, Any]:
+        """Freeze every instrument into one nested, JSON-ready dict."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, instrument in sorted(instruments.items()):
+            if isinstance(instrument, Counter):
+                out["counters"][name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out["gauges"][name] = instrument.value
+            else:
+                out["histograms"][name] = instrument.to_dict()
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and repeated CLI runs)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+class _NullInstrument:
+    """One object that satisfies the Counter/Gauge/Histogram call surface."""
+
+    __slots__ = ()
+    name = ""
+    help = ""
+    value = 0.0
+    count = 0
+    sum = 0.0
+    buckets: tuple[float, ...] = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float, count: int = 1) -> None:
+        pass
+
+    def observe_array(self, values) -> None:
+        pass
+
+    def to_dict(self) -> dict[str, Any]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Disabled registry: every lookup returns the shared no-op instrument."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_DURATION_BUCKETS, help: str = ""
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        pass
+
+
+#: The process-wide disabled registry (the library default).
+NULL_METRICS = NullMetrics()

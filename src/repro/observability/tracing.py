@@ -1,0 +1,183 @@
+"""Lightweight span tracing for the federated pipeline.
+
+A :class:`Tracer` hands out context-manager :class:`Span` objects::
+
+    with tracer.span("round.transmit", {"n_reports": 512}) as span:
+        outcome = network.transmit(512, rng)
+        span.set_attribute("delivered", int(outcome.delivered.sum()))
+
+Spans are timed with the monotonic clock, nest through a per-thread stack
+(so concurrent rounds on different threads never corrupt each other's
+parentage), and are handed to every configured exporter as an immutable
+:class:`SpanRecord` the moment they close.  Exceptions mark the span's
+``status`` as ``"error"`` and propagate unchanged.
+
+The default tracer everywhere in the library is :data:`NULL_TRACER`, whose
+spans are a single shared no-op object: no clock reads, no allocation, no
+RNG draws -- instrumented code is bit-identical to uninstrumented code
+unless a real tracer is installed (see :func:`repro.observability.instrumented`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+__all__ = ["SpanRecord", "Span", "NullSpan", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, as delivered to exporters."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_time_s: float
+    duration_s: float
+    status: str = "ok"
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (the JSONL exporter's line payload)."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time_s": self.start_time_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "attributes": self.attributes,
+        }
+
+
+class Span:
+    """A live span: a reentrant-safe context manager owned by one tracer."""
+
+    __slots__ = ("_tracer", "name", "attributes", "span_id", "parent_id", "_start", "_wall_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self._start = 0.0
+        self._wall_start = 0.0
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span (overwrites an existing key)."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        self.span_id = self._tracer._next_id()
+        self.parent_id = self._tracer._push(self.span_id)
+        self._wall_start = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        self._tracer._pop()
+        record = SpanRecord(
+            name=self.name,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            start_time_s=self._wall_start,
+            duration_s=duration,
+            status="ok" if exc_type is None else "error",
+            attributes=dict(self.attributes)
+            if exc_type is None
+            else {**self.attributes, "error": repr(exc)},
+        )
+        self._tracer._export(record)
+        return False
+
+
+class NullSpan:
+    """The do-nothing span: one shared instance serves every disabled call."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Produces spans and fans finished records out to exporters.
+
+    Parameters
+    ----------
+    exporters:
+        Objects with an ``export(record: SpanRecord)`` method.  Exporters
+        may be added later with :meth:`add_exporter`.
+    """
+
+    enabled = True
+
+    def __init__(self, exporters: Sequence[Any] = ()) -> None:
+        self._exporters = list(exporters)
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    def add_exporter(self, exporter: Any) -> None:
+        self._exporters.append(exporter)
+
+    def span(self, name: str, attributes: Mapping[str, Any] | None = None) -> Span:
+        """Open a new span; use as a context manager."""
+        return Span(self, name, dict(attributes) if attributes else {})
+
+    # -- internal plumbing used by Span --------------------------------
+    def _next_id(self) -> int:
+        return next(self._ids)
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span_id: int) -> int | None:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        stack.append(span_id)
+        return parent
+
+    def _pop(self) -> None:
+        stack = self._stack()
+        if stack:
+            stack.pop()
+
+    def _export(self, record: SpanRecord) -> None:
+        for exporter in self._exporters:
+            exporter.export(record)
+
+
+class NullTracer:
+    """Zero-overhead tracer: every ``span()`` call returns the same no-op."""
+
+    enabled = False
+
+    def add_exporter(self, exporter: Any) -> None:
+        pass
+
+    def span(self, name: str, attributes: Mapping[str, Any] | None = None) -> NullSpan:
+        return _NULL_SPAN
+
+
+#: The process-wide disabled tracer (the library default).
+NULL_TRACER = NullTracer()

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Hashable
 
 from repro.exceptions import ConfigurationError, PrivacyBudgetExceeded
+from repro.observability import get_metrics
 
 __all__ = ["LedgerEntry", "PrivacyAccountant", "BitMeter"]
 
@@ -79,17 +80,25 @@ class PrivacyAccountant:
         """Record an expenditure, raising if it would exceed the budget."""
         if epsilon < 0 or delta < 0:
             raise ConfigurationError("cannot spend negative privacy")
+        metrics = get_metrics()
         if self.epsilon_budget is not None and self.spent_epsilon + epsilon > self.epsilon_budget + 1e-12:
+            metrics.counter("privacy_budget_denials_total").inc()
             raise PrivacyBudgetExceeded(
                 f"spending eps={epsilon} would exceed budget {self.epsilon_budget} "
                 f"(already spent {self.spent_epsilon})"
             )
         if self.delta_budget is not None and self.spent_delta + delta > self.delta_budget + 1e-15:
+            metrics.counter("privacy_budget_denials_total").inc()
             raise PrivacyBudgetExceeded(
                 f"spending delta={delta} would exceed budget {self.delta_budget} "
                 f"(already spent {self.spent_delta})"
             )
         self._entries.append(LedgerEntry(epsilon=float(epsilon), delta=float(delta), note=note))
+        if metrics.enabled:
+            metrics.counter("privacy_epsilon_spent_total").inc(float(epsilon))
+            metrics.counter("privacy_delta_spent_total").inc(float(delta))
+            if self.epsilon_budget is not None:
+                metrics.gauge("privacy_epsilon_remaining").set(self.remaining_epsilon)
 
     # ------------------------------------------------------------------
     @property
@@ -165,21 +174,26 @@ class BitMeter:
         """
         if n_bits < 1:
             raise ConfigurationError(f"n_bits must be >= 1, got {n_bits}")
+        metrics = get_metrics()
         value_key = (client_id, value_id)
         new_value_total = self._per_value[value_key] + n_bits
         if new_value_total > self.max_bits_per_value:
+            metrics.counter("meter_denials_total").inc()
             raise PrivacyBudgetExceeded(
                 f"client {client_id!r} would disclose {new_value_total} bits of value "
                 f"{value_id!r} (cap {self.max_bits_per_value})"
             )
         new_client_total = self._per_client[client_id] + n_bits
         if self.max_bits_per_client is not None and new_client_total > self.max_bits_per_client:
+            metrics.counter("meter_denials_total").inc()
             raise PrivacyBudgetExceeded(
                 f"client {client_id!r} would disclose {new_client_total} private bits in "
                 f"total (cap {self.max_bits_per_client})"
             )
         self._per_value[value_key] = new_value_total
         self._per_client[client_id] = new_client_total
+        if metrics.enabled:
+            metrics.counter("metered_bits_total").inc(n_bits)
 
     # ------------------------------------------------------------------
     def bits_disclosed_by(self, client_id: Hashable) -> int:

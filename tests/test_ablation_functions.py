@@ -5,8 +5,6 @@ we verify structure, labels and determinism cheaply, so a broken ablation
 fails in the unit suite rather than only at bench time.
 """
 
-import pytest
-
 from repro.experiments import (
     alpha_sweep,
     b_send_sweep,

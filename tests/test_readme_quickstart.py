@@ -4,7 +4,6 @@ import re
 from pathlib import Path
 
 import numpy as np
-import pytest
 
 README = Path(__file__).resolve().parents[1] / "README.md"
 

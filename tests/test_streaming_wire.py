@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core import FixedPointEncoder
 from repro.exceptions import CohortTooSmallError, ConfigurationError, ProtocolError
 from repro.federated import (
     REPORT_SIZE,

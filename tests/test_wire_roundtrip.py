@@ -1,0 +1,119 @@
+"""Property tests for the wire format: encode/decode are exact inverses.
+
+Hypothesis drives the mirror-image validation contract: every report
+``encode_report`` accepts decodes back to an equal report, every report it
+rejects raises :class:`ProtocolError` (never a bare ``struct.error``), and
+decodable bytes re-encode canonically to the same frame.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProtocolError
+from repro.federated.client import BitReport
+from repro.federated.wire import (
+    MAGIC,
+    REPORT_SIZE,
+    decode_batch,
+    decode_report,
+    encode_batch,
+    encode_report,
+)
+
+valid_reports = st.builds(
+    BitReport,
+    client_id=st.integers(min_value=0, max_value=2**64 - 1),
+    bit_index=st.integers(min_value=0, max_value=63),
+    bit=st.integers(min_value=0, max_value=1),
+)
+
+
+class TestRoundTrip:
+    @given(report=valid_reports, rr=st.booleans())
+    def test_single_report_round_trips(self, report, rr):
+        decoded, decoded_rr = decode_report(encode_report(report, rr))
+        assert decoded == report
+        assert decoded_rr == rr
+
+    @given(reports=st.lists(valid_reports, max_size=20), rr=st.booleans())
+    def test_batch_round_trips(self, reports, rr):
+        data = encode_batch(reports, rr)
+        assert len(data) == REPORT_SIZE * len(reports)
+        decoded = decode_batch(data)
+        assert [r for r, _ in decoded] == reports
+        assert all(flag == rr for _, flag in decoded)
+
+    @given(report=valid_reports, rr=st.booleans())
+    def test_decoded_reports_reencode_to_the_same_frame(self, report, rr):
+        frame = encode_report(report, rr)
+        decoded, decoded_rr = decode_report(frame)
+        assert encode_report(decoded, decoded_rr) == frame
+
+    @given(report=valid_reports)
+    def test_numpy_integer_fields_encode_like_python_ints(self, report):
+        np_report = BitReport(
+            client_id=np.uint64(report.client_id),
+            bit_index=np.int64(report.bit_index),
+            bit=np.int8(report.bit),
+        )
+        assert encode_report(np_report) == encode_report(report)
+
+
+class TestEncodeRejectsWhatDecodeWouldReject:
+    @given(report=valid_reports, bit=st.integers().filter(lambda b: b not in (0, 1)))
+    def test_non_binary_bit(self, report, bit):
+        with pytest.raises(ProtocolError):
+            encode_report(BitReport(report.client_id, report.bit_index, bit))
+
+    @given(
+        report=valid_reports,
+        bit_index=st.one_of(
+            st.integers(min_value=64), st.integers(max_value=-1)
+        ),
+    )
+    def test_out_of_range_bit_index(self, report, bit_index):
+        with pytest.raises(ProtocolError):
+            encode_report(BitReport(report.client_id, bit_index, report.bit))
+
+    @given(
+        report=valid_reports,
+        client_id=st.one_of(
+            st.integers(min_value=2**64), st.integers(max_value=-1)
+        ),
+    )
+    def test_client_id_outside_64_bits(self, report, client_id):
+        with pytest.raises(ProtocolError):
+            encode_report(BitReport(client_id, report.bit_index, report.bit))
+
+    @given(report=valid_reports)
+    @settings(max_examples=20)
+    def test_non_integer_fields_raise_protocol_error_not_struct_error(self, report):
+        for bad in (BitReport("c7", report.bit_index, report.bit),
+                    BitReport(report.client_id, 1.5, report.bit),
+                    BitReport(report.client_id, report.bit_index, None)):
+            with pytest.raises(ProtocolError):
+                encode_report(bad)
+
+
+class TestDecodeRejectsMalformedFrames:
+    @given(report=valid_reports, cut=st.integers(min_value=1, max_value=REPORT_SIZE - 1))
+    @settings(max_examples=25)
+    def test_truncated_frame(self, report, cut):
+        with pytest.raises(ProtocolError):
+            decode_report(encode_report(report)[:cut])
+
+    @given(report=valid_reports)
+    @settings(max_examples=25)
+    def test_corrupted_magic(self, report):
+        frame = encode_report(report)
+        with pytest.raises(ProtocolError):
+            decode_report(b"XXXX" + frame[len(MAGIC):])
+
+    @given(reports=st.lists(valid_reports, min_size=1, max_size=5),
+           extra=st.integers(min_value=1, max_value=REPORT_SIZE - 1))
+    @settings(max_examples=25)
+    def test_ragged_batch(self, reports, extra):
+        with pytest.raises(ProtocolError):
+            decode_batch(encode_batch(reports) + b"\x00" * extra)
