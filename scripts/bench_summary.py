@@ -3,22 +3,28 @@
 Usage::
 
     python scripts/bench_summary.py benchmarks/results/benchmark.json BENCH_micro.json
+    python scripts/bench_summary.py benchmarks/results/benchmark.json BENCH_micro.json --label pr2
 
 The pytest-benchmark report carries per-round samples, machine info, and
 warmup details; for tracking performance across PRs only a handful of
-stable numbers matter.  This writes one small JSON file -- benchmark name
-to mean/stddev/rounds -- that lives at the repo root so successive PRs can
-diff it (`BENCH_micro.json` is the seed of that trajectory).
+stable numbers matter.  The destination file holds a *trajectory*: one
+labelled entry per summarization, appended in order, so successive PRs can
+watch means drift without digging through git history.  Re-summarizing
+under an existing label replaces that entry (idempotent re-runs); the
+label defaults to the report's git commit id.  A pre-trajectory
+single-summary file (the seed format) is converted in place, keeping its
+numbers as the first entry.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
 
 
-def summarize(report: dict) -> dict:
+def summarize(report: dict, label: str | None = None) -> dict:
     """Pick the stable fields out of one pytest-benchmark report."""
     benchmarks = []
     for bench in sorted(report.get("benchmarks", []), key=lambda b: b["fullname"]):
@@ -33,7 +39,12 @@ def summarize(report: dict) -> dict:
             }
         )
     machine = report.get("machine_info", {})
+    if label is None:
+        commit = report.get("commit_info", {}) or {}
+        commit_id = commit.get("id") or ""
+        label = commit_id[:12] if commit_id else "unlabeled"
     return {
+        "label": label,
         "python": machine.get("python_version", "unknown"),
         "cpu_count": machine.get("cpu", {}).get("count", None)
         if isinstance(machine.get("cpu"), dict)
@@ -43,14 +54,47 @@ def summarize(report: dict) -> dict:
     }
 
 
-def main(argv: list[str]) -> int:
-    if len(argv) != 3:
-        print(
-            "usage: python scripts/bench_summary.py <pytest-benchmark.json> <summary.json>",
-            file=sys.stderr,
-        )
-        return 2
-    source, destination = Path(argv[1]), Path(argv[2])
+def load_trajectory(destination: Path) -> list[dict]:
+    """Existing entries at ``destination``, converting the seed format.
+
+    The seed format was a single summary dict; it becomes the trajectory's
+    first entry (labelled ``seed``) so its numbers stay comparable.
+    """
+    try:
+        existing = json.loads(destination.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        return []
+    if isinstance(existing, dict) and "trajectory" in existing:
+        entries = existing["trajectory"]
+        return entries if isinstance(entries, list) else []
+    if isinstance(existing, dict) and "benchmarks" in existing:
+        return [{"label": "seed", **existing}]
+    return []
+
+
+def append_entry(destination: Path, entry: dict) -> list[dict]:
+    """Add ``entry`` to the trajectory at ``destination`` (replacing its label)."""
+    entries = [e for e in load_trajectory(destination) if e.get("label") != entry["label"]]
+    entries.append(entry)
+    destination.write_text(json.dumps({"trajectory": entries}, indent=2) + "\n")
+    return entries
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python scripts/bench_summary.py",
+        description="Append a pytest-benchmark report to a trajectory summary",
+    )
+    parser.add_argument("source", help="pytest-benchmark JSON report")
+    parser.add_argument("destination", help="trajectory summary file (e.g. BENCH_micro.json)")
+    parser.add_argument(
+        "--label",
+        default=None,
+        help="entry label (default: the report's git commit id); an existing "
+        "entry with the same label is replaced",
+    )
+    args = parser.parse_args(argv)
+    source, destination = Path(args.source), Path(args.destination)
     try:
         report = json.loads(source.read_text())
     except FileNotFoundError:
@@ -64,11 +108,14 @@ def main(argv: list[str]) -> int:
     except json.JSONDecodeError as exc:
         print(f"error: {source} is not valid JSON: {exc}", file=sys.stderr)
         return 1
-    summary = summarize(report)
-    destination.write_text(json.dumps(summary, indent=2) + "\n")
-    print(f"{summary['n_benchmarks']} benchmarks summarized into {destination}")
+    entry = summarize(report, label=args.label)
+    entries = append_entry(destination, entry)
+    print(
+        f"{entry['n_benchmarks']} benchmarks summarized into {destination} "
+        f"as {entry['label']!r} ({len(entries)} trajectory entries)"
+    )
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main(sys.argv[1:]))

@@ -125,7 +125,7 @@ def poisoned_estimate(
         sums = np.bincount(assign, weights=bits, minlength=encoder.n_bits)
         counts = np.bincount(assign, minlength=encoder.n_bits)
         means = bit_means_from_stats(sums, counts)
-        return encoder.decode_scalar(float(np.exp2(np.arange(encoder.n_bits)) @ means))
+        return encoder.decode_scalar(float(encoder.powers @ means))
 
     return PoisoningOutcome(
         estimate=reconstruct(attacked_assignment, attacked_bits),

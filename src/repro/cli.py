@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli figure 1a            # full-size reproduction
     python -m repro.cli figure 3b --quick    # scaled-down smoke run
     python -m repro.cli figure 2a --json     # machine-readable series
+    python -m repro.cli figure 1a --workers 4  # parallel trials, same output
     python -m repro.cli ablation poisoning
     python -m repro.cli trace 1a --quick     # traced federated round -> JSONL
     python -m repro.cli list
@@ -61,6 +62,7 @@ from repro.federated import (
     NetworkModel,
     ground_truth_mean,
 )
+from repro.metrics.execution import executor_for
 from repro.observability import (
     InMemoryExporter,
     JsonLinesExporter,
@@ -126,15 +128,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    workers_help = (
+        "worker processes for trial execution (default: $REPRO_WORKERS or 1; "
+        "results are bit-identical for any worker count)"
+    )
+
     fig = sub.add_parser("figure", help="reproduce a paper figure panel")
     fig.add_argument("panel", choices=sorted(FIGURES) + ["4b"])
     fig.add_argument("--quick", action="store_true", help="scaled-down parameters")
     fig.add_argument("--json", action="store_true", help="emit the series as JSON")
+    fig.add_argument("--workers", type=int, default=None, help=workers_help)
 
     abl = sub.add_parser("ablation", help="run a design-choice ablation")
     abl.add_argument("name", choices=sorted(ABLATIONS))
     abl.add_argument("--quick", action="store_true", help="scaled-down parameters")
     abl.add_argument("--json", action="store_true", help="emit the series as JSON")
+    abl.add_argument("--workers", type=int, default=None, help=workers_help)
 
     trace = sub.add_parser(
         "trace",
@@ -262,13 +271,16 @@ def _dispatch(argv: list[str] | None) -> int:
         )
         return 0 if result["reconciled"] else 1
 
+    executor = executor_for(args.workers)
+
     if args.command == "figure":
         if args.panel == "4b":
+            # 4b is a single diagnostic run (no repetition sweep to distribute).
             snapshot = figure_4b()
             print(snapshot_to_json(snapshot) if args.json else render_snapshot(snapshot))
             return 0
         runner, quick_kwargs, metric, x_name = FIGURES[args.panel]
-        results = runner(**(quick_kwargs if args.quick else {}))
+        results = runner(**(quick_kwargs if args.quick else {}), executor=executor)
         title = f"Figure {args.panel}"
         if args.json:
             print(series_to_json(title, results, metric=metric, x_name=x_name))
@@ -277,7 +289,7 @@ def _dispatch(argv: list[str] | None) -> int:
         return 0
 
     runner, quick_kwargs, metric, x_name = ABLATIONS[args.name]
-    results = runner(**(quick_kwargs if args.quick else {}))
+    results = runner(**(quick_kwargs if args.quick else {}), executor=executor)
     title = f"Ablation: {args.name}"
     if args.json:
         print(series_to_json(title, results, metric=metric, x_name=x_name))

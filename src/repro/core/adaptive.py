@@ -203,7 +203,7 @@ class AdaptiveBitPushing:
             pooled_means, squashed_idx = squash_bit_means(pooled_means, threshold)
             squashed = tuple(int(j) for j in squashed_idx)
 
-        encoded_mean = float(np.exp2(np.arange(n_bits)) @ pooled_means)
+        encoded_mean = float(self.encoder.powers @ pooled_means)
         return MeanEstimate(
             value=self.encoder.decode_scalar(encoded_mean),
             encoded_value=encoded_mean,

@@ -135,6 +135,11 @@ class FixedPointEncoder:
     clip: bool = True
     # Derived, filled in __post_init__.
     max_encoded: int = field(init=False, repr=False)
+    #: Reconstruction weights ``2**j`` (read-only view, LSB-first).  Cached
+    #: here because every estimate ends with ``powers @ bit_means`` and the
+    #: vector depends only on ``n_bits``.  Excluded from comparison/hashing
+    #: (an ndarray field would break the generated ``__eq__``).
+    powers: np.ndarray = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not (1 <= self.n_bits <= MAX_BITS):
@@ -144,6 +149,9 @@ class FixedPointEncoder:
         if not np.isfinite(self.offset):
             raise ConfigurationError(f"offset must be finite, got {self.offset}")
         object.__setattr__(self, "max_encoded", (1 << self.n_bits) - 1)
+        powers = np.exp2(np.arange(self.n_bits))
+        powers.setflags(write=False)
+        object.__setattr__(self, "powers", powers)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -228,7 +236,7 @@ class FixedPointEncoder:
         means = np.asarray(means, dtype=np.float64)
         if means.size != self.n_bits:
             raise ValueError(f"expected {self.n_bits} bit means, got {means.size}")
-        return self.decode_scalar(mean_from_bit_means(means))
+        return self.decode_scalar(float(self.powers @ means))
 
     # ------------------------------------------------------------------
     # Introspection

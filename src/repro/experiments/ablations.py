@@ -25,6 +25,7 @@ from repro.data.census import sample_ages
 from repro.data.synthetic import normal
 from repro.experiments.methods import distributed_mean_estimate, mean_methods
 from repro.federated import ClientDevice, DropoutModel, FederatedMeanQuery
+from repro.metrics.execution import TrialExecutor
 from repro.metrics.experiment import SeriesResult, sweep
 from repro.privacy.distributed import BernoulliNoiseAggregator, SampleAndThreshold
 
@@ -56,6 +57,7 @@ def delta_sweep(
     n_clients: int = 10_000,
     n_reps: int = 100,
     seed: int = 501,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """Adaptive NRMSE vs the round-1 cohort fraction delta (paper picks 1/3)."""
     encoder = FixedPointEncoder.for_integers(_BITS)
@@ -64,7 +66,7 @@ def delta_sweep(
         est = AdaptiveBitPushing(encoder, delta=delta)
         return _normal_make(n_clients), lambda values, rng: float(est.estimate(values, rng).value)
 
-    return {"adaptive": sweep("adaptive", deltas, cell, n_reps=n_reps, seed=seed)}
+    return {"adaptive": sweep("adaptive", deltas, cell, n_reps=n_reps, seed=seed, executor=executor)}
 
 
 def gamma_sweep(
@@ -72,6 +74,7 @@ def gamma_sweep(
     n_clients: int = 10_000,
     n_reps: int = 100,
     seed: int = 502,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """Adaptive NRMSE vs the round-1 schedule exponent gamma (default 0.5)."""
     encoder = FixedPointEncoder.for_integers(_BITS)
@@ -80,7 +83,7 @@ def gamma_sweep(
         est = AdaptiveBitPushing(encoder, gamma=gamma)
         return _normal_make(n_clients), lambda values, rng: float(est.estimate(values, rng).value)
 
-    return {"adaptive": sweep("adaptive", gammas, cell, n_reps=n_reps, seed=seed)}
+    return {"adaptive": sweep("adaptive", gammas, cell, n_reps=n_reps, seed=seed, executor=executor)}
 
 
 def alpha_sweep(
@@ -88,6 +91,7 @@ def alpha_sweep(
     n_clients: int = 10_000,
     n_reps: int = 100,
     seed: int = 503,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """Adaptive NRMSE vs the round-2 exponent alpha (Lemma 3.3 optimum: 0.5)."""
     encoder = FixedPointEncoder.for_integers(_BITS)
@@ -96,13 +100,14 @@ def alpha_sweep(
         est = AdaptiveBitPushing(encoder, alpha=alpha)
         return _normal_make(n_clients), lambda values, rng: float(est.estimate(values, rng).value)
 
-    return {"adaptive": sweep("adaptive", alphas, cell, n_reps=n_reps, seed=seed)}
+    return {"adaptive": sweep("adaptive", alphas, cell, n_reps=n_reps, seed=seed, executor=executor)}
 
 
 def caching_ablation(
     cohorts: tuple[int, ...] = (1_000, 5_000, 10_000, 50_000),
     n_reps: int = 100,
     seed: int = 504,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """Caching (pool both rounds) vs round-2-only, across cohort sizes."""
     encoder = FixedPointEncoder.for_integers(_BITS)
@@ -115,7 +120,7 @@ def caching_ablation(
                 lambda values, rng: float(est.estimate(values, rng).value),
             )
 
-        results[label] = sweep(label, cohorts, cell, n_reps=n_reps, seed=seed)
+        results[label] = sweep(label, cohorts, cell, n_reps=n_reps, seed=seed, executor=executor)
     return results
 
 
@@ -124,6 +129,7 @@ def b_send_sweep(
     n_clients: int = 10_000,
     n_reps: int = 100,
     seed: int = 505,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """Basic NRMSE vs bits sent per client (Corollary 3.2: ~1/sqrt(b_send))."""
     encoder = FixedPointEncoder.for_integers(_BITS)
@@ -132,13 +138,14 @@ def b_send_sweep(
         est = BasicBitPushing(encoder, b_send=int(b_send))
         return _normal_make(n_clients), lambda values, rng: float(est.estimate(values, rng).value)
 
-    return {"basic": sweep("basic", b_sends, cell, n_reps=n_reps, seed=seed)}
+    return {"basic": sweep("basic", b_sends, cell, n_reps=n_reps, seed=seed, executor=executor)}
 
 
 def variance_decomposition(
     cohorts: tuple[int, ...] = (10_000, 50_000, 100_000),
     n_reps: int = 100,
     seed: int = 506,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """Lemma 3.5: centered vs moments variance estimation, across n."""
     encoder = FixedPointEncoder.for_integers(11)
@@ -151,7 +158,7 @@ def variance_decomposition(
             return make, lambda values, rng: float(est.estimate(values, rng).value)
 
         results[method] = sweep(
-            method, cohorts, cell, n_reps=n_reps, seed=seed,
+            method, cohorts, cell, n_reps=n_reps, seed=seed, executor=executor,
             truth_fn=lambda values: float(np.var(values)),
         )
     return results
@@ -162,6 +169,7 @@ def poisoning_sweep(
     n_clients: int = 10_000,
     n_reps: int = 50,
     seed: int = 507,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """Attack-induced relative shift, local vs central randomness (Section 5).
 
@@ -192,7 +200,7 @@ def poisoning_sweep(
                 return outcome.true_mean + outcome.attack_shift
             return _normal_make(n_clients), run
 
-        results[randomness] = sweep(randomness, fractions, cell, n_reps=n_reps, seed=seed)
+        results[randomness] = sweep(randomness, fractions, cell, n_reps=n_reps, seed=seed, executor=executor)
     return results
 
 
@@ -203,6 +211,7 @@ def distributed_dp_comparison(
     delta: float = 1e-6,
     n_reps: int = 100,
     seed: int = 508,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """Local RR vs distributed mechanisms on census data (Section 3.3).
 
@@ -219,7 +228,7 @@ def distributed_dp_comparison(
             return sample_ages(n_clients, rng)
         return make, method
 
-    results["local RR"] = sweep("local RR", epsilons, ldp_cell, n_reps=n_reps, seed=seed)
+    results["local RR"] = sweep("local RR", epsilons, ldp_cell, n_reps=n_reps, seed=seed, executor=executor)
 
     for label, factory in (
         ("bernoulli noise", lambda eps: BernoulliNoiseAggregator(eps, delta)),
@@ -233,7 +242,7 @@ def distributed_dp_comparison(
                 return distributed_mean_estimate(values, n_bits, mechanism, rng)
             return make, run
 
-        results[label] = sweep(label, epsilons, cell, n_reps=n_reps, seed=seed)
+        results[label] = sweep(label, epsilons, cell, n_reps=n_reps, seed=seed, executor=executor)
     return results
 
 
@@ -242,6 +251,7 @@ def schedule_sensitivity(
     n_clients: int = 10_000,
     n_reps: int = 100,
     seed: int = 510,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """NRMSE as the schedule is blended away from the Eq. 7 optimum.
 
@@ -259,7 +269,7 @@ def schedule_sensitivity(
         est = BasicBitPushing(encoder, schedule=schedule)
         return _normal_make(n_clients), lambda values, rng: float(est.estimate(values, rng).value)
 
-    return {"basic": sweep("basic", mix_fractions, cell, n_reps=n_reps, seed=seed)}
+    return {"basic": sweep("basic", mix_fractions, cell, n_reps=n_reps, seed=seed, executor=executor)}
 
 
 def dropout_adjustment(
@@ -268,6 +278,7 @@ def dropout_adjustment(
     n_bits: int = 10,
     n_reps: int = 30,
     seed: int = 509,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """Federated adaptive query under dropout, with and without the
     min-reports-per-bit schedule adjustment (Section 4.3)."""
@@ -288,5 +299,5 @@ def dropout_adjustment(
                 return float(query.run(population, rng).value)
             return make, run
 
-        results[label] = sweep(label, dropout_rates, cell, n_reps=n_reps, seed=seed)
+        results[label] = sweep(label, dropout_rates, cell, n_reps=n_reps, seed=seed, executor=executor)
     return results

@@ -22,6 +22,7 @@ from repro.experiments.methods import (
     mean_methods,
     variance_methods,
 )
+from repro.metrics.execution import TrialExecutor
 from repro.metrics.experiment import SeriesResult, sweep
 
 __all__ = ["figure_1a", "figure_1b", "figure_1c", "DEFAULT_MUS", "DEFAULT_BIT_DEPTHS"]
@@ -46,6 +47,7 @@ def figure_1a(
     sigma: float = 100.0,
     n_reps: int = 100,
     seed: int = 101,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """Mean NRMSE vs the true mean (Figure 1a)."""
     results: dict[str, SeriesResult] = {}
@@ -57,7 +59,7 @@ def figure_1a(
                 return synthetic.normal(n_clients, mu, sigma, rng)
             return make, method
 
-        results[label] = sweep(label, mus, cell, n_reps=n_reps, seed=seed)
+        results[label] = sweep(label, mus, cell, n_reps=n_reps, seed=seed, executor=executor)
     return results
 
 
@@ -67,6 +69,7 @@ def figure_1b(
     sigma: float = 100.0,
     n_reps: int = 100,
     seed: int = 102,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """Variance NRMSE vs the true mean (Figure 1b).
 
@@ -84,7 +87,7 @@ def figure_1b(
             return make, method
 
         results[label] = sweep(
-            label, mus, cell, n_reps=n_reps, seed=seed,
+            label, mus, cell, n_reps=n_reps, seed=seed, executor=executor,
             truth_fn=lambda values: float(np.var(values)),
         )
     return results
@@ -97,6 +100,7 @@ def figure_1c(
     bit_depths: tuple[int, ...] = DEFAULT_BIT_DEPTHS,
     n_reps: int = 100,
     seed: int = 103,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """Mean NRMSE vs bit depth at a fixed mean (Figure 1c).
 
@@ -112,5 +116,5 @@ def figure_1c(
                 return synthetic.normal(n_clients, mu, sigma, rng)
             return make, method
 
-        results[label] = sweep(label, bit_depths, cell, n_reps=n_reps, seed=seed)
+        results[label] = sweep(label, bit_depths, cell, n_reps=n_reps, seed=seed, executor=executor)
     return results

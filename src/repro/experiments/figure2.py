@@ -19,6 +19,7 @@ from repro.experiments.methods import (
     mean_methods,
     variance_methods,
 )
+from repro.metrics.execution import TrialExecutor
 from repro.metrics.experiment import SeriesResult, sweep
 
 __all__ = ["figure_2a", "figure_2b", "figure_2c", "DEFAULT_COHORTS", "DEFAULT_BIT_DEPTHS"]
@@ -36,6 +37,7 @@ def figure_2a(
     n_bits: int = CENSUS_BITS,
     n_reps: int = 100,
     seed: int = 201,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """Census mean NRMSE vs number of clients (Figure 2a)."""
     results: dict[str, SeriesResult] = {}
@@ -46,7 +48,7 @@ def figure_2a(
                 return sample_ages(int(n_clients), rng)
             return make, method
 
-        results[label] = sweep(label, cohorts, cell, n_reps=n_reps, seed=seed)
+        results[label] = sweep(label, cohorts, cell, n_reps=n_reps, seed=seed, executor=executor)
     return results
 
 
@@ -55,6 +57,7 @@ def figure_2b(
     n_bits: int = CENSUS_BITS,
     n_reps: int = 100,
     seed: int = 202,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """Census variance NRMSE vs number of clients (Figure 2b)."""
     results: dict[str, SeriesResult] = {}
@@ -66,7 +69,7 @@ def figure_2b(
             return make, method
 
         results[label] = sweep(
-            label, cohorts, cell, n_reps=n_reps, seed=seed,
+            label, cohorts, cell, n_reps=n_reps, seed=seed, executor=executor,
             truth_fn=lambda values: float(np.var(values)),
         )
     return results
@@ -77,6 +80,7 @@ def figure_2c(
     bit_depths: tuple[int, ...] = DEFAULT_BIT_DEPTHS,
     n_reps: int = 100,
     seed: int = 203,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """Census mean NRMSE vs bit depth (Figure 2c)."""
     results: dict[str, SeriesResult] = {}
@@ -87,5 +91,5 @@ def figure_2c(
                 return sample_ages(n_clients, rng)
             return make, method
 
-        results[label] = sweep(label, bit_depths, cell, n_reps=n_reps, seed=seed)
+        results[label] = sweep(label, bit_depths, cell, n_reps=n_reps, seed=seed, executor=executor)
     return results

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.data.census import sample_ages
 from repro.experiments.methods import mean_methods
+from repro.metrics.execution import TrialExecutor
 from repro.metrics.experiment import SeriesResult, sweep
 
 __all__ = ["figure_3a", "figure_3b", "DP_METHODS", "HIGH_PRIVACY_EPSILONS", "MODERATE_EPSILONS"]
@@ -40,6 +41,7 @@ def _dp_sweep(
     n_reps: int,
     seed: int,
     include_extras: bool,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     labels = DP_METHODS + (EXTRA_DP_METHODS if include_extras else ())
     results: dict[str, SeriesResult] = {}
@@ -50,7 +52,7 @@ def _dp_sweep(
                 return sample_ages(n_clients, rng)
             return make, method
 
-        results[label] = sweep(label, epsilons, cell, n_reps=n_reps, seed=seed)
+        results[label] = sweep(label, epsilons, cell, n_reps=n_reps, seed=seed, executor=executor)
     return results
 
 
@@ -61,9 +63,10 @@ def figure_3a(
     n_reps: int = 100,
     seed: int = 301,
     include_extras: bool = False,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """RMSE vs epsilon in the high-privacy regime (epsilon < 1)."""
-    return _dp_sweep(epsilons, n_clients, n_bits, n_reps, seed, include_extras)
+    return _dp_sweep(epsilons, n_clients, n_bits, n_reps, seed, include_extras, executor)
 
 
 def figure_3b(
@@ -73,6 +76,7 @@ def figure_3b(
     n_reps: int = 100,
     seed: int = 302,
     include_extras: bool = False,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """RMSE vs epsilon in the moderate-privacy regime (epsilon >= 1)."""
-    return _dp_sweep(epsilons, n_clients, n_bits, n_reps, seed, include_extras)
+    return _dp_sweep(epsilons, n_clients, n_bits, n_reps, seed, include_extras, executor)

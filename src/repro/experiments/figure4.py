@@ -31,6 +31,7 @@ from repro.core import (
 from repro.core.squashing import threshold_from_noise_multiple
 from repro.data.census import sample_ages
 from repro.experiments.methods import mean_methods
+from repro.metrics.execution import TrialExecutor
 from repro.metrics.experiment import SeriesResult, sweep
 from repro.privacy import RandomizedResponse
 from repro.rng import ensure_rng
@@ -57,6 +58,7 @@ def figure_4a(
     n_clients: int = 10_000,
     n_reps: int = 100,
     seed: int = 401,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """RMSE vs squash threshold (in expected-DP-noise multiples), census data.
 
@@ -80,7 +82,7 @@ def figure_4a(
         return make, run
 
     results["adaptive+squash"] = sweep(
-        "adaptive+squash", multiples, adaptive_cell, n_reps=n_reps, seed=seed
+        "adaptive+squash", multiples, adaptive_cell, n_reps=n_reps, seed=seed, executor=executor
     )
 
     def reference_cell(_multiple: float):
@@ -92,7 +94,7 @@ def figure_4a(
         return make, method
 
     results["weighted a=1.0 (no squash)"] = sweep(
-        "weighted a=1.0 (no squash)", multiples, reference_cell, n_reps=n_reps, seed=seed
+        "weighted a=1.0 (no squash)", multiples, reference_cell, n_reps=n_reps, seed=seed, executor=executor
     )
     return results
 
@@ -155,6 +157,7 @@ def figure_4c(
     squash_multiple: float = 2.0,
     n_reps: int = 100,
     seed: int = 403,
+    executor: TrialExecutor | None = None,
 ) -> dict[str, SeriesResult]:
     """RMSE vs bit depth under epsilon = 2 (Figure 4c).
 
@@ -170,7 +173,7 @@ def figure_4c(
                 return sample_ages(n_clients, rng)
             return make, method
 
-        results[label] = sweep(label, bit_depths, cell, n_reps=n_reps, seed=seed)
+        results[label] = sweep(label, bit_depths, cell, n_reps=n_reps, seed=seed, executor=executor)
 
     def squash_cell(n_bits: float):
         est = AdaptiveBitPushing(
@@ -185,7 +188,7 @@ def figure_4c(
         return make, run
 
     results["adaptive+squash"] = sweep(
-        "adaptive+squash", bit_depths, squash_cell, n_reps=n_reps, seed=seed
+        "adaptive+squash", bit_depths, squash_cell, n_reps=n_reps, seed=seed, executor=executor
     )
     return results
 

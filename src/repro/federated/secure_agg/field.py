@@ -101,9 +101,15 @@ class PrimeField:
         return int(gen.integers(0, self.modulus))
 
     def random_vector(self, length: int, rng: np.random.Generator | int | None = None) -> list[int]:
-        """Uniform field vector, returned as Python ints (exact arithmetic)."""
+        """Uniform field vector, returned as Python ints (exact arithmetic).
+
+        Stream-identical to ``length`` sequential :meth:`random_element`
+        calls on the same generator (numpy's bounded-integer sampler
+        consumes the bit stream the same way for scalar and sized draws),
+        which lets callers batch seed generation without changing results.
+        """
         gen = ensure_rng(rng)
-        return [int(v) for v in gen.integers(0, self.modulus, size=length)]
+        return gen.integers(0, self.modulus, size=length).tolist()
 
     def add_vectors(self, a: list[int], b: list[int]) -> list[int]:
         if len(a) != len(b):

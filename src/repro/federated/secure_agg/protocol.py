@@ -94,12 +94,17 @@ class SecureAggregationSession:
         # Shamir shares (field arithmetic), so anything >= the modulus
         # would reconstruct to a different value than was expanded.
         # Pairwise seeds: one per unordered pair, known to both endpoints.
-        self._pairwise_seeds: dict[tuple[int, int], int] = {}
-        for i in range(n_clients):
-            for j in range(i + 1, n_clients):
-                self._pairwise_seeds[(i, j)] = self.field.random_element(gen)
+        # Drawn as one batched field vector in (i, j)-lexicographic order --
+        # np.triu_indices walks pairs exactly as the nested per-pair loop
+        # would, so the draw is stream-identical but O(n^2) numpy instead of
+        # O(n^2) Python-level generator calls.
+        pair_i, pair_j = np.triu_indices(n_clients, k=1)
+        pair_seeds = self.field.random_vector(pair_i.size, gen)
+        self._pairwise_seeds: dict[tuple[int, int], int] = {
+            (int(i), int(j)): seed for i, j, seed in zip(pair_i, pair_j, pair_seeds)
+        }
         # Self-mask seeds, Shamir-shared among all clients.
-        self._self_seeds: list[int] = [self.field.random_element(gen) for _ in range(n_clients)]
+        self._self_seeds: list[int] = self.field.random_vector(n_clients, gen)
         self._self_seed_shares: list[list[Share]] = [
             split_secret(seed, n_clients, threshold, self.field, gen)
             for seed in self._self_seeds

@@ -35,6 +35,7 @@ from repro.exceptions import ConfigurationError
 from repro.federated.client import ClientDevice
 from repro.federated.cohort import CohortSelector, Eligibility
 from repro.federated.dropout import DropoutModel, DropoutRateTracker
+from repro.federated.multivalue import elicit_batch
 from repro.federated.network import NetworkModel
 from repro.federated.secure_agg.protocol import SecureAggregationSession
 from repro.observability import get_metrics, get_tracer
@@ -238,7 +239,7 @@ class FederatedMeanQuery:
                     pooled_means, squashed_idx = squash_bit_means(pooled_means, threshold)
                     squashed = tuple(int(j) for j in squashed_idx)
 
-                encoded_mean = float(np.exp2(np.arange(self.encoder.n_bits)) @ pooled_means)
+                encoded_mean = float(self.encoder.powers @ pooled_means)
                 value = self.encoder.decode_scalar(encoded_mean)
                 reconstruct_span.set_attribute("squashed_bits", list(squashed))
                 reconstruct_span.set_attribute("estimate", value)
@@ -311,14 +312,16 @@ class FederatedMeanQuery:
                 raise ConfigurationError("every client dropped out of the round")
 
             # Client-side: elicit one value each, meter the single-bit disclosure.
+            # Batched across survivors -- stream-identical to per-client
+            # elicit() calls, and one meter transaction per round.
             with tracer.span("round.elicit", {"n_clients": int(survivors.size)}):
-                values = np.array(
-                    [clients[i].elicit(self.elicitation, gen) for i in survivors],
-                    dtype=np.float64,
+                values = elicit_batch(
+                    [clients[i].values for i in survivors], self.elicitation, gen
                 )
                 if self.meter is not None:
-                    for i in survivors:
-                        self.meter.record(clients[i].client_id, self.metric_name)
+                    self.meter.record_batch(
+                        [clients[i].client_id for i in survivors], self.metric_name
+                    )
             encoded = self.encoder.encode(values)
             live_assignment = assignment[survivors]
 

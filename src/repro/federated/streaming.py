@@ -111,7 +111,7 @@ class StreamingAggregator:
         means = bit_means_from_stats(self._sums.copy(), self._counts.copy(), self.perturbation)
         if self.perturbation is not None:
             means = np.clip(means, 0.0, 1.0)
-        encoded_mean = float(np.exp2(np.arange(self.encoder.n_bits)) @ means)
+        encoded_mean = float(self.encoder.powers @ means)
         counts = self._counts.copy()
         summary = RoundSummary(
             probabilities=np.where(counts > 0, counts / total, 0.0),

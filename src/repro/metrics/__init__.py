@@ -7,16 +7,34 @@ from repro.metrics.errors import (
     rmse,
     standard_error,
 )
+from repro.metrics.execution import (
+    ParallelExecutor,
+    SerialExecutor,
+    TrialExecutor,
+    configure_executor,
+    executor_for,
+    get_executor,
+    resolve_workers,
+    use_executor,
+)
 from repro.metrics.experiment import SeriesResult, TrialStats, run_trials, sweep
 
 __all__ = [
+    "ParallelExecutor",
+    "SerialExecutor",
     "SeriesResult",
+    "TrialExecutor",
     "TrialStats",
     "bias",
+    "configure_executor",
+    "executor_for",
+    "get_executor",
     "nrmse",
     "nrmse_standard_error",
+    "resolve_workers",
     "rmse",
     "run_trials",
     "standard_error",
     "sweep",
+    "use_executor",
 ]

@@ -19,6 +19,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.metrics.errors import bias, nrmse, nrmse_standard_error, rmse, standard_error
+from repro.metrics.execution import CellTask, TrialExecutor, get_executor
 from repro.rng import ensure_rng
 
 __all__ = ["TrialStats", "SeriesResult", "run_trials", "sweep"]
@@ -103,24 +104,28 @@ def run_trials(
     n_reps: int = 100,
     seed: int | np.random.Generator | None = 0,
     truth_fn: TruthFn | None = None,
+    executor: TrialExecutor | None = None,
 ) -> TrialStats:
     """Run ``n_reps`` independent repetitions of one experimental cell.
 
     Each repetition gets two independent child generators -- one for the
     population draw, one for the estimator -- so methods sharing a seed see
     identical populations (paired comparison, as in the paper's plots).
+
+    Execution is delegated to a :class:`~repro.metrics.execution.TrialExecutor`
+    (the process default from :func:`~repro.metrics.execution.get_executor`
+    when ``executor`` is None).  Every executor honours the same spawned-seed
+    discipline, so results are bit-identical across backends and worker
+    counts; estimators exposing an ``estimate_batch`` attribute are
+    dispatched to their vectorized batch path when population shapes allow.
     """
     if n_reps < 1:
         raise ValueError(f"n_reps must be >= 1, got {n_reps}")
     parent = ensure_rng(seed)
     truth = truth_fn if truth_fn is not None else lambda values: float(np.mean(values))
-    estimates = np.empty(n_reps)
-    truths = np.empty(n_reps)
-    for rep, child in enumerate(parent.spawn(n_reps)):
-        data_rng, est_rng = child.spawn(2)
-        values = make_data(data_rng)
-        truths[rep] = truth(values)
-        estimates[rep] = float(run_estimator(values, est_rng))
+    task = CellTask(make_data=make_data, run_estimator=run_estimator, truth_fn=truth)
+    runner = executor if executor is not None else get_executor()
+    estimates, truths = runner.run_cell(task, n_reps, parent)
     return TrialStats(estimates=estimates, truths=truths, n_reps=n_reps)
 
 
@@ -131,12 +136,14 @@ def sweep(
     n_reps: int = 100,
     seed: int = 0,
     truth_fn: TruthFn | None = None,
+    executor: TrialExecutor | None = None,
 ) -> SeriesResult:
     """Sweep one parameter for one method, producing a figure series.
 
     ``cell_factory(x)`` returns the ``(make_data, run_estimator)`` pair for
     parameter value ``x``.  Each sweep point derives its seed from ``seed``
-    and its position, so series are reproducible point-by-point.
+    and its position, so series are reproducible point-by-point (and across
+    executors -- see :mod:`repro.metrics.execution`).
     """
     series = SeriesResult(label=label)
     children = np.random.SeedSequence(seed).spawn(len(x_values))
@@ -148,6 +155,7 @@ def sweep(
             n_reps=n_reps,
             seed=np.random.default_rng(child),
             truth_fn=truth_fn,
+            executor=executor,
         )
         series.append(x_value, cell)
     return series

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Hashable, Sequence
 
 from repro.exceptions import ConfigurationError, PrivacyBudgetExceeded
 from repro.observability import get_metrics
@@ -194,6 +194,50 @@ class BitMeter:
         self._per_client[client_id] = new_client_total
         if metrics.enabled:
             metrics.counter("metered_bits_total").inc(n_bits)
+
+    def record_batch(
+        self,
+        client_ids: "Sequence[Hashable]",
+        value_id: Hashable,
+        n_bits: int = 1,
+    ) -> None:
+        """Record one ``n_bits`` disclosure of ``value_id`` per client, atomically.
+
+        Equivalent to ``record(cid, value_id, n_bits)`` for each id, but the
+        whole batch is validated -- including duplicate ids *within* it --
+        before any counter moves, so a rejected batch leaves the meter
+        completely unchanged (a record() loop would commit the prefix).
+        This is the federated server's per-round path: one call per round
+        instead of one per surviving client.
+        """
+        if n_bits < 1:
+            raise ConfigurationError(f"n_bits must be >= 1, got {n_bits}")
+        ids = list(client_ids)
+        metrics = get_metrics()
+        pending: dict[Hashable, int] = {}
+        for client_id in ids:
+            pending[client_id] = pending.get(client_id, 0) + n_bits
+        for client_id, added in pending.items():
+            new_value_total = self._per_value.get((client_id, value_id), 0) + added
+            if new_value_total > self.max_bits_per_value:
+                metrics.counter("meter_denials_total").inc()
+                raise PrivacyBudgetExceeded(
+                    f"client {client_id!r} would disclose {new_value_total} bits of value "
+                    f"{value_id!r} (cap {self.max_bits_per_value})"
+                )
+            if self.max_bits_per_client is not None:
+                new_client_total = self._per_client.get(client_id, 0) + added
+                if new_client_total > self.max_bits_per_client:
+                    metrics.counter("meter_denials_total").inc()
+                    raise PrivacyBudgetExceeded(
+                        f"client {client_id!r} would disclose {new_client_total} private "
+                        f"bits in total (cap {self.max_bits_per_client})"
+                    )
+        for client_id, added in pending.items():
+            self._per_value[(client_id, value_id)] += added
+            self._per_client[client_id] += added
+        if metrics.enabled and ids:
+            metrics.counter("metered_bits_total").inc(n_bits * len(ids))
 
     # ------------------------------------------------------------------
     def bits_disclosed_by(self, client_id: Hashable) -> int:
