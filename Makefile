@@ -17,7 +17,7 @@ lint:
 # Timed bench run; the raw pytest-benchmark report is reduced to the
 # repo-root BENCH_micro.json trajectory file future PRs diff against.
 bench:
-	pytest benchmarks/ --benchmark-only \
+	pytest benchmarks/ --benchmark-only -s \
 		--benchmark-json=benchmarks/results/benchmark.json
 	python scripts/bench_summary.py benchmarks/results/benchmark.json BENCH_micro.json
 

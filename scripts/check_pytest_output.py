@@ -1,0 +1,54 @@
+"""Fail if a captured `pytest -q` run printed anything beyond progress output.
+
+A clean quiet run emits only progress lines (dots/result letters with an
+optional percentage), the final summary line, and blanks.  Anything else --
+a stray `print()` from a README quickstart, argparse usage text, a series
+table -- means output capture regressed (the global `-s` crept back into
+`addopts`, or a test stopped consuming its output with `capsys`).
+
+Usage::
+
+    pytest tests/ -q -p no:warnings | tee out.txt
+    python scripts/check_pytest_output.py out.txt
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Lines a clean `pytest -q -p no:warnings` run is allowed to print.
+ALLOWED = (
+    re.compile(r"^[.sxXEFP]*\s*(\[\s*\d+%\])?$"),          # progress dots
+    re.compile(r"^\d+ (passed|failed|error|skipped|xfailed|xpassed|warning)"),
+    re.compile(r"^=+ .* =+$"),                               # section banners
+    re.compile(r"^bringing up nodes\.\.\.$"),                # xdist preamble
+)
+
+
+def check(text: str) -> list[str]:
+    """Return the offending lines (empty list = clean)."""
+    return [
+        line
+        for line in text.splitlines()
+        if line.strip() and not any(pattern.match(line) for pattern in ALLOWED)
+    ]
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    offending = check(Path(argv[1]).read_text())
+    if offending:
+        print(f"stray pytest output ({len(offending)} line(s)):", file=sys.stderr)
+        for line in offending[:20]:
+            print(f"  {line!r}", file=sys.stderr)
+        return 1
+    print("pytest output clean: progress and summary only")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -58,8 +58,10 @@ from repro.experiments import (
 from repro.federated import (
     ClientDevice,
     DropoutModel,
+    FaultSchedule,
     FederatedMeanQuery,
     NetworkModel,
+    RetryPolicy,
     ground_truth_mean,
 )
 from repro.metrics.execution import executor_for
@@ -73,7 +75,7 @@ from repro.observability import (
 )
 from repro.privacy import RandomizedResponse
 
-__all__ = ["main", "FIGURES", "ABLATIONS", "run_traced_round"]
+__all__ = ["main", "FIGURES", "DIAGNOSTICS", "FIGURE_PANELS", "ABLATIONS", "run_traced_round"]
 
 #: figure id -> (runner, quick-mode overrides, metric, x-axis label)
 FIGURES: dict[str, tuple[Callable, dict, str, str]] = {
@@ -88,6 +90,16 @@ FIGURES: dict[str, tuple[Callable, dict, str, str]] = {
     "4a": (figure_4a, {"n_clients": 2_000, "n_reps": 10}, "rmse", "noise multiple"),
     "4c": (figure_4c, {"n_clients": 2_000, "n_reps": 10}, "rmse", "bits"),
 }
+
+#: Single-run diagnostic panels (no repetition sweep; rendered as a
+#: snapshot table rather than a series).  Registered here so argparse
+#: choices stay sorted and no caller needs to special-case panel ids.
+DIAGNOSTICS: dict[str, Callable] = {
+    "4b": figure_4b,
+}
+
+#: Every figure panel id, sweep and diagnostic alike, in sorted order.
+FIGURE_PANELS: list[str] = sorted(set(FIGURES) | set(DIAGNOSTICS))
 
 ABLATIONS: dict[str, tuple[Callable, dict, str, str]] = {
     "delta": (delta_sweep, {"n_clients": 2_000, "n_reps": 10}, "nrmse", "delta"),
@@ -134,7 +146,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     fig = sub.add_parser("figure", help="reproduce a paper figure panel")
-    fig.add_argument("panel", choices=sorted(FIGURES) + ["4b"])
+    fig.add_argument("panel", choices=FIGURE_PANELS)
     fig.add_argument("--quick", action="store_true", help="scaled-down parameters")
     fig.add_argument("--json", action="store_true", help="emit the series as JSON")
     fig.add_argument("--workers", type=int, default=None, help=workers_help)
@@ -149,12 +161,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "trace",
         help="run one fully-traced federated round and export spans + metrics as JSONL",
     )
-    trace.add_argument("target", choices=sorted(FIGURES) + ["4b"] + sorted(ABLATIONS))
+    trace.add_argument("target", choices=FIGURE_PANELS + sorted(ABLATIONS))
     trace.add_argument("--quick", action="store_true", help="smaller cohort")
     trace.add_argument("--secure-agg", action="store_true", help="route through secure aggregation")
     trace.add_argument("--seed", type=int, default=0, help="round RNG seed")
     trace.add_argument(
         "--out", default=None, help="JSONL output path (default: trace_<target>.jsonl)"
+    )
+    trace.add_argument(
+        "--max-retries", type=int, default=0,
+        help="retries per failed round attempt (0 disables retry; failures abort)",
+    )
+    trace.add_argument(
+        "--min-quorum", type=int, default=1,
+        help="minimum surviving clients for a round attempt to count",
+    )
+    trace.add_argument(
+        "--fault-schedule", default=None, metavar="SPEC",
+        help=(
+            "scripted fault events: a .json file, inline JSON, or a compact spec "
+            "like '2:blackout;4-5:loss=0.6;6:deadline*0.5' (1-based round attempts)"
+        ),
     )
 
     sub.add_parser("list", help="list available figures and ablations")
@@ -168,13 +195,18 @@ def run_traced_round(
     seed: int = 0,
     out_path: str | None = None,
     stream=None,
+    max_retries: int = 0,
+    min_quorum: int = 1,
+    fault_schedule: str | None = None,
 ) -> dict:
     """Run one instrumented :class:`FederatedMeanQuery` round pipeline.
 
     The ``target`` (a figure panel or ablation name) sizes the run; every
     target exercises the same full pipeline -- cohort selection, bit
     assignment, lossy network transmission, optional secure aggregation and
-    local DP, and reconstruction.  Returns a summary dict (estimate, truth,
+    local DP, and reconstruction.  ``max_retries``/``min_quorum``/
+    ``fault_schedule`` configure round-failure recovery (a chaos run: see
+    ``docs/operations.md``).  Returns a summary dict (estimate, truth,
     paths, reconciliation) after writing the JSONL trace.
     """
     stream = stream if stream is not None else sys.stdout
@@ -196,6 +228,9 @@ def run_traced_round(
         network=NetworkModel(loss_rate=0.05, deadline_s=600.0),
         secure_aggregation=secure_agg,
         min_reports_per_bit=2,
+        min_quorum=min_quorum,
+        retry=RetryPolicy(max_attempts=max_retries + 1) if max_retries > 0 else None,
+        faults=FaultSchedule.load(fault_schedule) if fault_schedule else None,
     )
 
     path = out_path or f"trace_{target}.jsonl"
@@ -215,10 +250,13 @@ def run_traced_round(
     planned = counters.get("round_reports_planned_total", 0.0)
     delivered = counters.get("round_reports_delivered_total", 0.0)
     lost = counters.get("round_reports_lost_total", 0.0)
+    # Report counters accumulate per *attempt* (failed attempts included),
+    # so reconciliation sums the outcome's full attempt history.
+    history = [pair for round_ in estimate.metadata["attempt_history"] for pair in round_]
     reconciled = (
         planned == delivered + lost
-        and planned == sum(estimate.metadata["planned_clients"])
-        and delivered == sum(estimate.metadata["surviving_clients"])
+        and planned == sum(p for p, _ in history)
+        and delivered == sum(s for _, s in history)
     )
 
     print(f"# Traced federated round ({target})", file=stream)
@@ -234,6 +272,13 @@ def run_traced_round(
         f"reconciled with RoundOutcome: {reconciled}",
         file=stream,
     )
+    attempts = estimate.metadata["round_attempts"]
+    if sum(attempts) > len(attempts) or any(estimate.metadata["degraded_rounds"]):
+        print(
+            f"recovery: attempts={attempts} degraded={estimate.metadata['degraded_rounds']} "
+            f"backoff_s={estimate.metadata['backoff_s']}",
+            file=stream,
+        )
     print(f"trace written to {path} ({len(memory.records)} spans + metrics snapshot)", file=stream)
     return {
         "estimate": estimate,
@@ -257,7 +302,7 @@ def _dispatch(argv: list[str] | None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":
-        print("figures:  " + " ".join(sorted(FIGURES) + ["4b"]))
+        print("figures:  " + " ".join(FIGURE_PANELS))
         print("ablations: " + " ".join(sorted(ABLATIONS)))
         return 0
 
@@ -268,15 +313,19 @@ def _dispatch(argv: list[str] | None) -> int:
             secure_agg=args.secure_agg,
             seed=args.seed,
             out_path=args.out,
+            max_retries=args.max_retries,
+            min_quorum=args.min_quorum,
+            fault_schedule=args.fault_schedule,
         )
         return 0 if result["reconciled"] else 1
 
     executor = executor_for(args.workers)
 
     if args.command == "figure":
-        if args.panel == "4b":
-            # 4b is a single diagnostic run (no repetition sweep to distribute).
-            snapshot = figure_4b()
+        if args.panel in DIAGNOSTICS:
+            # Diagnostic panels are a single run (no repetition sweep to
+            # distribute) rendered as a snapshot table.
+            snapshot = DIAGNOSTICS[args.panel]()
             print(snapshot_to_json(snapshot) if args.json else render_snapshot(snapshot))
             return 0
         runner, quick_kwargs, metric, x_name = FIGURES[args.panel]

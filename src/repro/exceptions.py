@@ -44,6 +44,21 @@ class PrivacyBudgetExceeded(ReproError):
     """
 
 
+class RoundFailedError(ConfigurationError):
+    """A collection round attempt failed (no survivors, or below quorum).
+
+    Carries the attempt's ``planned``/``survived`` counts so retry logic and
+    operators can see how close the round came.  Subclasses
+    :class:`ConfigurationError` for backward compatibility: the round loop
+    historically raised that type when every client dropped out.
+    """
+
+    def __init__(self, message: str, planned: int = 0, survived: int = 0) -> None:
+        super().__init__(message)
+        self.planned = planned
+        self.survived = survived
+
+
 class CohortTooSmallError(ReproError):
     """An eligible cohort is below the configured minimum size.
 

@@ -5,7 +5,14 @@ from repro.federated.campaign import CampaignRecord, MonitoringCampaign
 from repro.federated.client import BitReport, ClientDevice
 from repro.federated.cohort import CohortSelector, attribute_equals
 from repro.federated.multifeature import MultiFeatureQuery
-from repro.federated.dropout import DropoutModel, DropoutRateTracker
+from repro.federated.dropout import MAX_EFFECTIVE_RATE, DropoutModel, DropoutRateTracker
+from repro.federated.faults import (
+    ActiveFaults,
+    FaultEvent,
+    FaultSchedule,
+    TotalBlackout,
+)
+from repro.federated.retry import RetryPolicy
 from repro.federated.multivalue import (
     ELICITATION_STRATEGIES,
     elicit_single_value,
@@ -30,6 +37,8 @@ from repro.federated.wire import (
 
 __all__ = [
     "ELICITATION_STRATEGIES",
+    "MAX_EFFECTIVE_RATE",
+    "ActiveFaults",
     "BitReport",
     "CampaignRecord",
     "ClientDevice",
@@ -39,13 +48,17 @@ __all__ = [
     "DeliveryOutcome",
     "DropoutModel",
     "DropoutRateTracker",
+    "FaultEvent",
+    "FaultSchedule",
     "FederatedMeanQuery",
     "NetworkModel",
     "PrimeField",
     "REPORT_SIZE",
+    "RetryPolicy",
     "RoundOutcome",
     "SecureAggregationSession",
     "StreamingAggregator",
+    "TotalBlackout",
     "attribute_equals",
     "decode_batch",
     "decode_report",

@@ -91,6 +91,10 @@ class MonitoringCampaign:
             metadata={
                 "dropout_rate_estimate": self.query.dropout_tracker.rate,
                 "upper_bound": self.monitor.current_upper_bound,
+                # Robustness accounting: how hard the query had to fight.
+                "round_attempts": estimate.metadata.get("round_attempts", []),
+                "degraded": any(estimate.metadata.get("degraded_rounds", [])),
+                "backoff_s": sum(estimate.metadata.get("backoff_s", [])),
             },
         )
         self._records.append(record)
@@ -113,3 +117,13 @@ class MonitoringCampaign:
     @property
     def rounds_run(self) -> int:
         return len(self._records)
+
+    @property
+    def rounds_degraded(self) -> int:
+        """Campaign rounds that completed under quorum degradation."""
+        return sum(1 for r in self._records if r.metadata.get("degraded"))
+
+    @property
+    def total_attempts(self) -> int:
+        """Round attempts across the campaign, retries included."""
+        return sum(sum(r.metadata.get("round_attempts", [1])) for r in self._records)

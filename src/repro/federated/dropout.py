@@ -15,9 +15,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.observability import get_metrics
 from repro.rng import ensure_rng
 
-__all__ = ["DropoutModel", "DropoutRateTracker"]
+__all__ = ["MAX_EFFECTIVE_RATE", "DropoutModel", "DropoutRateTracker"]
+
+#: Ceiling on the per-round effective dropout rate.  The statistical model
+#: never kills *everyone* (total outages are scripted explicitly via
+#: :class:`repro.federated.faults.TotalBlackout`); configured base rates are
+#: validated against this same bound so a rate that passes construction is
+#: always the rate that takes effect.
+MAX_EFFECTIVE_RATE = 0.95
 
 
 @dataclass(frozen=True)
@@ -25,16 +33,22 @@ class DropoutModel:
     """Per-round client dropout with a jittered base rate.
 
     Each round draws an effective rate ``~ Normal(rate, jitter)`` clipped to
-    ``[0, 0.95]``, then drops each client independently with it.  Jitter
-    models diurnal/network variability in device availability.
+    ``[0, MAX_EFFECTIVE_RATE]``, then drops each client independently with
+    it.  Jitter models diurnal/network variability in device availability.
+    The base ``rate`` is validated against the same ceiling, so validation
+    and effect agree; only *jittered* draws can hit the clip, and each
+    clipped draw is surfaced via the ``dropout_rate_clips_total`` metric.
     """
 
     rate: float = 0.0
     jitter: float = 0.0
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.rate < 1.0:
-            raise ConfigurationError(f"dropout rate must be in [0, 1), got {self.rate}")
+        if not 0.0 <= self.rate <= MAX_EFFECTIVE_RATE:
+            raise ConfigurationError(
+                f"dropout rate must be in [0, {MAX_EFFECTIVE_RATE}] (the effective-rate "
+                f"ceiling), got {self.rate}"
+            )
         if self.jitter < 0.0:
             raise ConfigurationError(f"jitter must be >= 0, got {self.jitter}")
 
@@ -46,8 +60,12 @@ class DropoutModel:
             raise ConfigurationError(f"n_clients must be >= 0, got {n_clients}")
         gen = ensure_rng(rng)
         effective = self.rate if self.jitter == 0 else float(gen.normal(self.rate, self.jitter))
-        effective = min(max(effective, 0.0), 0.95)
-        return gen.random(n_clients) >= effective
+        clipped = min(max(effective, 0.0), MAX_EFFECTIVE_RATE)
+        if clipped != effective:
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter("dropout_rate_clips_total").inc()
+        return gen.random(n_clients) >= clipped
 
 
 class DropoutRateTracker:

@@ -1,0 +1,326 @@
+"""Scripted fault injection for the federated round loop.
+
+The paper's deployment setting (Section 4.3) is explicitly lossy: devices
+check in sporadically, reports miss deadlines, and cohorts shrink mid-round.
+:class:`~repro.federated.dropout.DropoutModel` and
+:class:`~repro.federated.network.NetworkModel` simulate that background
+weather statistically; this module scripts *storms* on top of it -- "round 3
+loses everything", "rounds 4-5 run at 60% loss", "round 6's deadline is
+halved" -- so robustness behaviour (retries, quorum degradation) is
+deterministic and testable instead of depending on rare random draws.
+
+A :class:`FaultSchedule` is a list of :class:`FaultEvent` entries keyed by a
+1-based *round-attempt* index.  The server advances the schedule's clock
+once per round attempt (retries tick it too, which is what lets a blackout
+kill attempt ``k`` while the retry at attempt ``k+1`` runs clean), asks for
+the :class:`ActiveFaults` in effect, and applies them by *wrapping* the
+configured dropout/network models: overridden fields are replaced, untouched
+fields pass through, and ``blackout`` substitutes a :class:`TotalBlackout`
+model that kills every client regardless of the base dropout rate.
+
+Schedules can be built programmatically, from JSON (a list of event dicts),
+or from a compact spec string for the CLI::
+
+    2:blackout;4-5:loss=0.6;6:deadline*0.5,dropout=0.4
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.federated.dropout import MAX_EFFECTIVE_RATE, DropoutModel
+from repro.federated.network import NetworkModel
+
+__all__ = [
+    "ActiveFaults",
+    "FaultEvent",
+    "FaultSchedule",
+    "TotalBlackout",
+]
+
+
+class TotalBlackout:
+    """Drop-in :class:`DropoutModel` substitute that kills every client.
+
+    A scripted outage is total by definition, so it is exempt from the
+    statistical model's ``MAX_EFFECTIVE_RATE`` clip.
+    """
+
+    rate = 1.0
+    jitter = 0.0
+
+    def draw_survivors(
+        self, n_clients: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        if n_clients < 0:
+            raise ConfigurationError(f"n_clients must be >= 0, got {n_clients}")
+        return np.zeros(n_clients, dtype=bool)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scripted fault, active for a closed range of round attempts.
+
+    Parameters
+    ----------
+    first_round:
+        1-based round-attempt index at which the fault switches on.
+    last_round:
+        Last attempt (inclusive) it stays active; ``None`` means the single
+        attempt ``first_round``.
+    blackout:
+        Every client is lost this round (overrides ``dropout_rate``).
+    dropout_rate:
+        Replace the effective dropout rate (jitter-free, for determinism).
+    loss_rate:
+        Replace the network's report-loss probability.
+    deadline_factor:
+        Multiply the network's collection deadline (``0.5`` halves it).
+        Ignored when the base network has no deadline.
+    latency_factor:
+        Multiply the network's median report latency.
+    """
+
+    first_round: int
+    last_round: int | None = None
+    blackout: bool = False
+    dropout_rate: float | None = None
+    loss_rate: float | None = None
+    deadline_factor: float | None = None
+    latency_factor: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.first_round < 1:
+            raise ConfigurationError(
+                f"fault rounds are 1-based, got first_round={self.first_round}"
+            )
+        if self.last_round is not None and self.last_round < self.first_round:
+            raise ConfigurationError(
+                f"last_round {self.last_round} precedes first_round {self.first_round}"
+            )
+        if self.dropout_rate is not None and not 0.0 <= self.dropout_rate <= MAX_EFFECTIVE_RATE:
+            raise ConfigurationError(
+                f"dropout_rate must be in [0, {MAX_EFFECTIVE_RATE}] (use blackout=True "
+                f"for total loss), got {self.dropout_rate}"
+            )
+        if self.loss_rate is not None and not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        for name in ("deadline_factor", "latency_factor"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigurationError(f"{name} must be positive, got {value}")
+        if not (
+            self.blackout
+            or self.dropout_rate is not None
+            or self.loss_rate is not None
+            or self.deadline_factor is not None
+            or self.latency_factor is not None
+        ):
+            raise ConfigurationError("fault event specifies no effect")
+
+    def covers(self, round_index: int) -> bool:
+        last = self.first_round if self.last_round is None else self.last_round
+        return self.first_round <= round_index <= last
+
+
+@dataclass(frozen=True)
+class ActiveFaults:
+    """The merged fault overrides in effect for one round attempt.
+
+    Later events in the schedule win field-by-field when ranges overlap.
+    ``apply_dropout``/``apply_network`` wrap the configured base models:
+    they return the base unchanged when no relevant override is active, so
+    a schedule with no event at this round is a true no-op.
+    """
+
+    round_index: int
+    blackout: bool = False
+    dropout_rate: float | None = None
+    loss_rate: float | None = None
+    deadline_factor: float | None = None
+    latency_factor: float | None = None
+
+    @property
+    def any(self) -> bool:
+        return (
+            self.blackout
+            or self.dropout_rate is not None
+            or self.loss_rate is not None
+            or self.deadline_factor is not None
+            or self.latency_factor is not None
+        )
+
+    def describe(self) -> dict[str, object]:
+        """Span-attribute-ready summary of the active overrides."""
+        out: dict[str, object] = {"round": self.round_index}
+        for name in ("blackout", "dropout_rate", "loss_rate", "deadline_factor", "latency_factor"):
+            value = getattr(self, name)
+            if value not in (None, False):
+                out[name] = value
+        return out
+
+    def apply_dropout(
+        self, base: DropoutModel | None
+    ) -> DropoutModel | TotalBlackout | None:
+        if self.blackout:
+            return TotalBlackout()
+        if self.dropout_rate is None:
+            return base
+        return DropoutModel(rate=self.dropout_rate, jitter=0.0)
+
+    def apply_network(self, base: NetworkModel | None) -> NetworkModel | None:
+        if self.loss_rate is None and self.deadline_factor is None and self.latency_factor is None:
+            return base
+        if base is None:
+            # Faults can introduce network weather into a run configured
+            # without a network model (lossless base).
+            base = NetworkModel()
+        changes: dict[str, float] = {}
+        if self.loss_rate is not None:
+            changes["loss_rate"] = self.loss_rate
+        if self.deadline_factor is not None and base.deadline_s is not None:
+            changes["deadline_s"] = base.deadline_s * self.deadline_factor
+        if self.latency_factor is not None:
+            changes["latency_median_s"] = base.latency_median_s * self.latency_factor
+        return dataclasses.replace(base, **changes) if changes else base
+
+
+class FaultSchedule:
+    """Scripted per-round fault events with an attempt-granularity clock.
+
+    ``at(k)`` is a pure lookup of the faults active at round-attempt ``k``;
+    ``begin_attempt()`` advances the internal clock (the server calls it once
+    per round *attempt*, so a retried round consumes the next tick).  A
+    schedule is reusable across runs via :meth:`reset` -- two runs with the
+    same seed and a freshly reset schedule are bit-identical.
+    """
+
+    def __init__(self, events: Sequence[FaultEvent]) -> None:
+        self.events = tuple(events)
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise ConfigurationError(f"expected FaultEvent, got {type(event).__name__}")
+        self._attempt = 0
+
+    # -- clock ----------------------------------------------------------
+    @property
+    def attempts_started(self) -> int:
+        return self._attempt
+
+    def begin_attempt(self) -> ActiveFaults:
+        """Advance the clock to the next round attempt and return its faults."""
+        self._attempt += 1
+        return self.at(self._attempt)
+
+    def reset(self) -> None:
+        """Rewind the clock (fresh run over the same script)."""
+        self._attempt = 0
+
+    # -- lookup ---------------------------------------------------------
+    def at(self, round_index: int) -> ActiveFaults:
+        """Merge every event covering ``round_index`` (later events win)."""
+        if round_index < 1:
+            raise ConfigurationError(f"round_index is 1-based, got {round_index}")
+        merged: dict[str, object] = {}
+        for event in self.events:
+            if not event.covers(round_index):
+                continue
+            if event.blackout:
+                merged["blackout"] = True
+            for name in ("dropout_rate", "loss_rate", "deadline_factor", "latency_factor"):
+                value = getattr(event, name)
+                if value is not None:
+                    merged[name] = value
+        return ActiveFaults(round_index=round_index, **merged)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_json(cls, obj: Sequence[dict] | str) -> "FaultSchedule":
+        """Build from a JSON array of event dicts (or its serialized text)."""
+        if isinstance(obj, str):
+            obj = json.loads(obj)
+        if not isinstance(obj, (list, tuple)):
+            raise ConfigurationError("fault-schedule JSON must be a list of event objects")
+        events = []
+        for entry in obj:
+            if not isinstance(entry, dict):
+                raise ConfigurationError(f"fault event must be an object, got {entry!r}")
+            try:
+                events.append(FaultEvent(**entry))
+            except TypeError as exc:
+                raise ConfigurationError(f"bad fault event {entry!r}: {exc}") from exc
+        return cls(events)
+
+    @classmethod
+    def from_spec(cls, text: str) -> "FaultSchedule":
+        """Parse the compact CLI grammar.
+
+        ``;``-separated events, each ``ROUNDS:EFFECT[,EFFECT...]`` where
+        ``ROUNDS`` is ``k`` or ``k-m`` (1-based, inclusive) and ``EFFECT``
+        is one of ``blackout``, ``dropout=R``, ``loss=R``, ``deadline*F``,
+        ``latency*F``.
+        """
+        events = []
+        for chunk in filter(None, (part.strip() for part in text.split(";"))):
+            rounds, sep, effects = chunk.partition(":")
+            if not sep or not effects.strip():
+                raise ConfigurationError(
+                    f"bad fault event {chunk!r}: expected ROUNDS:EFFECT[,EFFECT...]"
+                )
+            first, _, last = rounds.partition("-")
+            try:
+                kwargs: dict[str, object] = {
+                    "first_round": int(first),
+                    "last_round": int(last) if last else None,
+                }
+            except ValueError as exc:
+                raise ConfigurationError(f"bad fault rounds {rounds!r}: {exc}") from exc
+            for effect in (e.strip() for e in effects.split(",")):
+                try:
+                    if effect == "blackout":
+                        kwargs["blackout"] = True
+                    elif effect.startswith("dropout="):
+                        kwargs["dropout_rate"] = float(effect.removeprefix("dropout="))
+                    elif effect.startswith("loss="):
+                        kwargs["loss_rate"] = float(effect.removeprefix("loss="))
+                    elif effect.startswith("deadline*"):
+                        kwargs["deadline_factor"] = float(effect.removeprefix("deadline*"))
+                    elif effect.startswith("latency*"):
+                        kwargs["latency_factor"] = float(effect.removeprefix("latency*"))
+                    else:
+                        raise ConfigurationError(
+                            f"unknown fault effect {effect!r} (want blackout, dropout=R, "
+                            f"loss=R, deadline*F, or latency*F)"
+                        )
+                except ValueError as exc:
+                    raise ConfigurationError(f"bad fault effect {effect!r}: {exc}") from exc
+            events.append(FaultEvent(**kwargs))
+        if not events:
+            raise ConfigurationError(f"fault-schedule spec {text!r} contains no events")
+        return cls(events)
+
+    @classmethod
+    def load(cls, source: str) -> "FaultSchedule":
+        """CLI entry point: a ``.json`` file path, inline JSON, or a spec string."""
+        stripped = source.strip()
+        if stripped.endswith(".json"):
+            path = Path(stripped)
+            if not path.exists():
+                raise ConfigurationError(f"fault-schedule file not found: {path}")
+            return cls.from_json(path.read_text())
+        if stripped.startswith("["):
+            return cls.from_json(stripped)
+        return cls.from_spec(stripped)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultSchedule({list(self.events)!r}, attempt={self._attempt})"

@@ -23,18 +23,30 @@ __all__ = ["DeliveryOutcome", "NetworkModel"]
 
 @dataclass(frozen=True)
 class DeliveryOutcome:
-    """Result of transmitting one batch of reports."""
+    """Result of transmitting one batch of reports.
+
+    Empty-batch semantics (nothing was handed to the network): the batch is
+    vacuously fully delivered -- ``delivery_rate`` is ``1.0`` and
+    ``round_duration_s`` is ``0.0``.  This keeps "nothing to send"
+    distinguishable from "everything sent was lost" (``delivery_rate 0.0``
+    on a non-empty batch).
+    """
 
     delivered: np.ndarray
     latencies_s: np.ndarray
 
     @property
     def delivery_rate(self) -> float:
-        return float(self.delivered.mean()) if self.delivered.size else 0.0
+        return float(self.delivered.mean()) if self.delivered.size else 1.0
 
     @property
     def round_duration_s(self) -> float:
-        """Wall-clock time until the last delivered report arrived."""
+        """Wall-clock time until the last delivered report arrived.
+
+        ``0.0`` when nothing was delivered (including the empty batch): no
+        report ever arrived, so the server's collection window closed
+        immediately at its deadline-independent floor.
+        """
         arrived = self.latencies_s[self.delivered]
         return float(arrived.max()) if arrived.size else 0.0
 

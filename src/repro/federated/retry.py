@@ -1,0 +1,58 @@
+"""Round-retry policy: bounded attempts with simulated-time backoff.
+
+Secure-aggregation deployments must tolerate client unavailability without
+restarting the whole query from scratch (DiSAgg, PAPERS.md): a round that
+fails outright -- every client dropped, or too few survivors to meet the
+quorum -- is re-run against a freshly drawn cohort after an exponential
+backoff, rather than aborting the campaign.  Time is simulated (the round
+simulator's seconds, same clock as ``NetworkModel`` latencies), so backoff
+shows up in round durations without ever sleeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a failed round attempt is retried.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per round, including the first (``1`` disables
+        retries; the round failure propagates as before).
+    backoff_base_s:
+        Simulated seconds waited before the first retry.
+    backoff_factor:
+        Multiplier applied per additional retry (exponential backoff).
+    redraw_cohort:
+        Draw a fresh cohort from the eligible population for each retry
+        (the deployed behaviour: the original cohort's devices are exactly
+        the ones that just proved unavailable).  When ``False`` the same
+        cohort is re-contacted.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 60.0
+    backoff_factor: float = 2.0
+    redraw_cohort: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_s < 0:
+            raise ConfigurationError(f"backoff_base_s must be >= 0, got {self.backoff_base_s}")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+
+    def backoff_s(self, retry_number: int) -> float:
+        """Simulated backoff before retry ``retry_number`` (1-based)."""
+        if retry_number < 1:
+            raise ConfigurationError(f"retry_number is 1-based, got {retry_number}")
+        return self.backoff_base_s * self.backoff_factor ** (retry_number - 1)

@@ -16,7 +16,7 @@ guarantee robustness.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
@@ -31,12 +31,14 @@ from repro.core.protocol import (
 from repro.core.results import MeanEstimate, RoundSummary
 from repro.core.sampling import BitSamplingSchedule, central_assignment
 from repro.core.squashing import per_bit_squash_thresholds, squash_bit_means
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, RoundFailedError
 from repro.federated.client import ClientDevice
 from repro.federated.cohort import CohortSelector, Eligibility
 from repro.federated.dropout import DropoutModel, DropoutRateTracker
+from repro.federated.faults import FaultSchedule
 from repro.federated.multivalue import elicit_batch
 from repro.federated.network import NetworkModel
+from repro.federated.retry import RetryPolicy
 from repro.federated.secure_agg.protocol import SecureAggregationSession
 from repro.observability import get_metrics, get_tracer
 from repro.privacy.accountant import BitMeter
@@ -49,18 +51,40 @@ _MODES = ("basic", "adaptive")
 
 @dataclass(frozen=True)
 class RoundOutcome:
-    """Operational record of one collection round."""
+    """Operational record of one collection round.
+
+    ``planned_clients``/``surviving_clients`` describe the attempt that
+    finally completed; ``attempt_history`` records every attempt's
+    ``(planned, survived)`` pair, failed ones included, so per-attempt
+    report accounting reconciles with the metrics counters.
+    """
 
     summary: RoundSummary
     planned_clients: int
     surviving_clients: int
     round_duration_s: float
+    attempts: int = 1
+    degraded: bool = False
+    backoff_s: float = 0.0
+    attempt_history: tuple[tuple[int, int], ...] = ()
 
     @property
     def dropout_rate(self) -> float:
         if self.planned_clients == 0:
             return 0.0
         return 1.0 - self.surviving_clients / self.planned_clients
+
+    @property
+    def variance_inflation(self) -> float:
+        """Widened-variance factor for a round completed under-strength.
+
+        Bit-mean sampling variance scales as ``1 / survivors``, so a round
+        that completed with fewer clients than planned carries
+        ``planned / survivors`` times the variance its plan budgeted for.
+        """
+        if self.surviving_clients <= 0:
+            return float("inf")
+        return self.planned_clients / self.surviving_clients
 
 
 class FederatedMeanQuery:
@@ -103,6 +127,23 @@ class FederatedMeanQuery:
         aggregation instead of plaintext summation.
     shard_size:
         Clients per secure-aggregation shard (sessions are O(shard**2)).
+    min_quorum:
+        Minimum surviving clients for a round attempt to count.  An attempt
+        below quorum fails (and is retried under ``retry``); an attempt at
+        or above quorum completes even under heavy loss, with the
+        degradation recorded on the :class:`RoundOutcome`
+        (``degraded``/``variance_inflation``).  Default 1 preserves the
+        historical behaviour: only a zero-survivor round fails.
+    degraded_fraction:
+        A completed round whose survivors fall below this fraction of the
+        plan is flagged degraded (``rounds_degraded_total`` metric).
+    retry:
+        :class:`RetryPolicy` for failed round attempts (``None`` disables
+        retries: a failed round raises, as before).
+    faults:
+        Optional :class:`~repro.federated.faults.FaultSchedule`; its clock
+        advances once per round *attempt* and the active fault overrides
+        wrap ``dropout``/``network`` for that attempt.
     """
 
     def __init__(
@@ -125,6 +166,10 @@ class FederatedMeanQuery:
         min_reports_per_bit: int = 0,
         secure_aggregation: bool = False,
         shard_size: int = 32,
+        min_quorum: int = 1,
+        degraded_fraction: float = 0.5,
+        retry: RetryPolicy | None = None,
+        faults: FaultSchedule | None = None,
     ) -> None:
         if mode not in _MODES:
             raise ConfigurationError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -138,6 +183,12 @@ class FederatedMeanQuery:
             raise ConfigurationError("squash_multiple requires a perturbation")
         if shard_size < 2:
             raise ConfigurationError(f"shard_size must be >= 2, got {shard_size}")
+        if min_quorum < 1:
+            raise ConfigurationError(f"min_quorum must be >= 1, got {min_quorum}")
+        if not 0.0 < degraded_fraction <= 1.0:
+            raise ConfigurationError(
+                f"degraded_fraction must be in (0, 1], got {degraded_fraction}"
+            )
         if schedule is not None and schedule.n_bits != encoder.n_bits:
             raise ConfigurationError(
                 f"schedule covers {schedule.n_bits} bits but encoder has {encoder.n_bits}"
@@ -162,6 +213,10 @@ class FederatedMeanQuery:
         self.min_reports_per_bit = min_reports_per_bit
         self.secure_aggregation = secure_aggregation
         self.shard_size = shard_size
+        self.min_quorum = min_quorum
+        self.degraded_fraction = degraded_fraction
+        self.retry = retry
+        self.faults = faults
         self.dropout_tracker = DropoutRateTracker(
             prior_rate=dropout.rate if dropout is not None else 0.0
         )
@@ -191,7 +246,10 @@ class FederatedMeanQuery:
             query_span.set_attribute("cohort_size", len(cohort))
 
             if self.mode == "basic":
-                outcome = self._run_round(cohort, self.schedule, gen, round_index=1)
+                outcome = self._run_round_with_recovery(
+                    cohort, self.schedule, gen, round_index=1,
+                    population=population, eligibility=eligibility,
+                )
                 outcomes = [outcome]
                 pooled_means = outcome.summary.bit_means
                 pooled_counts = outcome.summary.counts
@@ -202,14 +260,20 @@ class FederatedMeanQuery:
                 cohort2 = [cohort[i] for i in order[n_round1:]]
 
                 schedule1 = BitSamplingSchedule.geometric(self.encoder.n_bits, gamma=self.gamma)
-                outcome1 = self._run_round(cohort1, schedule1, gen, round_index=1)
+                outcome1 = self._run_round_with_recovery(
+                    cohort1, schedule1, gen, round_index=1,
+                    population=population, eligibility=eligibility,
+                )
                 round1_means = outcome1.summary.bit_means
                 if self.squash_multiple > 0 and self.perturbation is not None:
                     threshold = self._squash_threshold(outcome1.summary.counts)
                     round1_means, _ = squash_bit_means(round1_means, threshold)
 
                 schedule2 = BitSamplingSchedule.from_bit_means(round1_means, alpha=self.alpha)
-                outcome2 = self._run_round(cohort2, schedule2, gen, round_index=2)
+                outcome2 = self._run_round_with_recovery(
+                    cohort2, schedule2, gen, round_index=2,
+                    population=population, eligibility=eligibility,
+                )
                 outcomes = [outcome1, outcome2]
 
                 if self.caching:
@@ -244,7 +308,7 @@ class FederatedMeanQuery:
                 reconstruct_span.set_attribute("squashed_bits", list(squashed))
                 reconstruct_span.set_attribute("estimate", value)
 
-            total_duration = sum(o.round_duration_s for o in outcomes)
+            total_duration = sum(o.round_duration_s + o.backoff_s for o in outcomes)
             return MeanEstimate(
                 value=value,
                 encoded_value=encoded_mean,
@@ -262,10 +326,79 @@ class FederatedMeanQuery:
                     "total_duration_s": total_duration,
                     "planned_clients": [o.planned_clients for o in outcomes],
                     "surviving_clients": [o.surviving_clients for o in outcomes],
+                    "round_attempts": [o.attempts for o in outcomes],
+                    "degraded_rounds": [o.degraded for o in outcomes],
+                    "variance_inflation": [o.variance_inflation for o in outcomes],
+                    "backoff_s": [o.backoff_s for o in outcomes],
+                    "attempt_history": [
+                        [list(pair) for pair in o.attempt_history] for o in outcomes
+                    ],
                     "secure_aggregation": self.secure_aggregation,
                     "elicitation": self.elicitation,
                     "ldp": self.perturbation is not None,
                 },
+            )
+
+    # ------------------------------------------------------------------
+    def _run_round_with_recovery(
+        self,
+        clients: Sequence[ClientDevice],
+        schedule: BitSamplingSchedule,
+        gen: np.random.Generator,
+        round_index: int = 1,
+        population: Sequence[ClientDevice] | None = None,
+        eligibility: Eligibility | None = None,
+    ) -> RoundOutcome:
+        """Run one round, retrying failed attempts under the configured policy.
+
+        Each attempt is a full :meth:`_run_round` execution (the fault
+        schedule's clock ticks per attempt).  On failure: if attempts
+        remain, wait out the policy's exponential backoff in simulated
+        time, optionally re-draw a fresh cohort from the eligible
+        population, and try again; otherwise the failure propagates.  The
+        returned outcome records the attempt count, accumulated backoff,
+        and every attempt's ``(planned, survived)`` pair.
+        """
+        tracer = get_tracer()
+        metrics = get_metrics()
+        max_attempts = self.retry.max_attempts if self.retry is not None else 1
+        history: list[tuple[int, int]] = []
+        backoff_total = 0.0
+        attempt = 1
+        while True:
+            try:
+                outcome = self._run_round(clients, schedule, gen, round_index, attempt)
+            except RoundFailedError as exc:
+                history.append((exc.planned, exc.survived))
+                if attempt >= max_attempts:
+                    raise
+                backoff = self.retry.backoff_s(attempt)
+                backoff_total += backoff
+                metrics.counter("round_retries_total").inc()
+                with tracer.span(
+                    "round.retry",
+                    {
+                        "round_index": round_index,
+                        "failed_attempt": attempt,
+                        "next_attempt": attempt + 1,
+                        "backoff_s": backoff,
+                        "survived": exc.survived,
+                        "planned": exc.planned,
+                        "reason": str(exc),
+                    },
+                ):
+                    if self.retry.redraw_cohort and population is not None:
+                        clients = self.selector.select(
+                            population, eligibility, len(clients), gen
+                        )
+                attempt += 1
+                continue
+            history.append((outcome.planned_clients, outcome.surviving_clients))
+            return replace(
+                outcome,
+                attempts=attempt,
+                backoff_s=backoff_total,
+                attempt_history=tuple(history),
             )
 
     # ------------------------------------------------------------------
@@ -275,6 +408,7 @@ class FederatedMeanQuery:
         schedule: BitSamplingSchedule,
         gen: np.random.Generator,
         round_index: int = 1,
+        attempt: int = 1,
     ) -> RoundOutcome:
         tracer = get_tracer()
         metrics = get_metrics()
@@ -282,8 +416,20 @@ class FederatedMeanQuery:
         if n == 0:
             raise ConfigurationError("round planned with zero clients")
         with tracer.span(
-            "federated.round", {"round_index": round_index, "planned_clients": n}
+            "federated.round",
+            {"round_index": round_index, "planned_clients": n, "attempt": attempt},
         ) as round_span:
+            metrics.counter("round_attempts_total").inc()
+            # Scripted fault injection: the schedule's clock ticks once per
+            # attempt, and the active overrides wrap the failure models.
+            dropout, network = self.dropout, self.network
+            if self.faults is not None:
+                active = self.faults.begin_attempt()
+                if active.any:
+                    dropout = active.apply_dropout(dropout)
+                    network = active.apply_network(network)
+                    round_span.set_attribute("faults", active.describe())
+
             schedule = self._adjust_schedule(schedule, n)
             with tracer.span(
                 "round.assign", {"n_bits": self.encoder.n_bits, "n_clients": n}
@@ -293,23 +439,39 @@ class FederatedMeanQuery:
             # Failure simulation: device dropout, then network delivery.
             with tracer.span("round.dropout", {"planned": n}) as dropout_span:
                 alive = (
-                    self.dropout.draw_survivors(n, gen)
-                    if self.dropout is not None
+                    dropout.draw_survivors(n, gen)
+                    if dropout is not None
                     else np.ones(n, dtype=bool)
                 )
                 dropout_span.set_attribute("survived", int(alive.sum()))
             duration = 0.0
-            if self.network is not None:
-                outcome = self.network.transmit(int(alive.sum()), gen)
+            if network is not None and alive.any():
+                # An empty batch is never transmitted: there is nothing to
+                # deliver, and a vacuous DeliveryOutcome would conflate
+                # "nothing to send" with "everything sent was lost".
+                outcome = network.transmit(int(alive.sum()), gen)
                 delivered = np.zeros(n, dtype=bool)
                 delivered[np.flatnonzero(alive)] = outcome.delivered
                 duration = outcome.round_duration_s
                 alive = delivered
             survivors = np.flatnonzero(alive)
             self.dropout_tracker.update(planned=n, survived=int(survivors.size))
-            if survivors.size == 0:
+            quorum = max(1, self.min_quorum)
+            if survivors.size < quorum:
                 metrics.counter("rounds_failed_total").inc()
-                raise ConfigurationError("every client dropped out of the round")
+                metrics.counter("round_reports_planned_total").inc(n)
+                metrics.counter("round_reports_delivered_total").inc(int(survivors.size))
+                metrics.counter("round_reports_lost_total").inc(n - int(survivors.size))
+                round_span.set_attribute("failed", True)
+                round_span.set_attribute("surviving_clients", int(survivors.size))
+                if survivors.size == 0:
+                    message = "every client dropped out of the round"
+                else:
+                    message = (
+                        f"round {round_index} attempt {attempt}: {survivors.size} "
+                        f"survivors below quorum {quorum}"
+                    )
+                raise RoundFailedError(message, planned=n, survived=int(survivors.size))
 
             # Client-side: elicit one value each, meter the single-bit disclosure.
             # Batched across survivors -- stream-identical to per-client
@@ -344,14 +506,20 @@ class FederatedMeanQuery:
                 bit_means=means,
                 n_clients=int(survivors.size),
             )
+            degraded = int(survivors.size) < self.degraded_fraction * n
             outcome = RoundOutcome(
                 summary=summary,
                 planned_clients=n,
                 surviving_clients=int(survivors.size),
                 round_duration_s=duration,
+                degraded=degraded,
             )
             round_span.set_attribute("surviving_clients", outcome.surviving_clients)
             round_span.set_attribute("round_duration_s", outcome.round_duration_s)
+            if degraded:
+                round_span.set_attribute("degraded", True)
+                round_span.set_attribute("variance_inflation", outcome.variance_inflation)
+                metrics.counter("rounds_degraded_total").inc()
             self._record_round_metrics(metrics, outcome, live_assignment)
             return outcome
 

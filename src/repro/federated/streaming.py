@@ -42,6 +42,12 @@ class StreamingAggregator:
     min_reports:
         ``estimate()`` raises :class:`CohortTooSmallError` below this many
         accumulated reports (privacy floor + statistical sanity).
+    target_reports:
+        Evidence the reporting period *plans* for.  Snapshots taken between
+        ``min_reports`` and this target still succeed but are flagged
+        degraded (``metadata["degraded"]``, with the achieved
+        ``metadata["evidence_ratio"]``) -- the streaming counterpart of the
+        round loop's quorum degradation.  ``None`` disables the check.
 
     Examples
     --------
@@ -59,12 +65,18 @@ class StreamingAggregator:
         encoder: FixedPointEncoder,
         perturbation: BitPerturbation | None = None,
         min_reports: int = 1,
+        target_reports: int | None = None,
     ) -> None:
         if min_reports < 1:
             raise ConfigurationError(f"min_reports must be >= 1, got {min_reports}")
+        if target_reports is not None and target_reports < min_reports:
+            raise ConfigurationError(
+                f"target_reports ({target_reports}) must be >= min_reports ({min_reports})"
+            )
         self.encoder = encoder
         self.perturbation = perturbation
         self.min_reports = min_reports
+        self.target_reports = target_reports
         self._sums = np.zeros(encoder.n_bits, dtype=np.float64)
         self._counts = np.zeros(encoder.n_bits, dtype=np.int64)
         self._clients_seen: set[int] = set()
@@ -120,6 +132,10 @@ class StreamingAggregator:
             bit_means=means,
             n_clients=total,
         )
+        metadata: dict = {"ldp": self.perturbation is not None, "streaming": True}
+        if self.target_reports is not None:
+            metadata["degraded"] = total < self.target_reports
+            metadata["evidence_ratio"] = total / self.target_reports
         return MeanEstimate(
             value=self.encoder.decode_scalar(encoded_mean),
             encoded_value=encoded_mean,
@@ -129,7 +145,7 @@ class StreamingAggregator:
             n_bits=self.encoder.n_bits,
             method="streaming",
             rounds=(summary,),
-            metadata={"ldp": self.perturbation is not None, "streaming": True},
+            metadata=metadata,
         )
 
     # ------------------------------------------------------------------

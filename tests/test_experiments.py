@@ -167,6 +167,18 @@ class TestCli:
         assert cli_main(["ablation", "b-send", "--quick"]) == 0
         assert "b_send" in capsys.readouterr().out
 
-    def test_unknown_panel_rejected(self):
+    def test_unknown_panel_rejected(self, capsys):
         with pytest.raises(SystemExit):
             cli_main(["figure", "9z"])
+        # Consume argparse's usage/error text so it never leaks into the
+        # pytest progress output.
+        captured = capsys.readouterr()
+        assert "invalid choice" in captured.err
+
+    def test_figure_choices_sorted(self):
+        """4b is registered like every other panel: choices stay sorted."""
+        from repro.cli import DIAGNOSTICS, FIGURES, FIGURE_PANELS
+
+        assert FIGURE_PANELS == sorted(FIGURE_PANELS)
+        assert "4b" in DIAGNOSTICS
+        assert set(DIAGNOSTICS).isdisjoint(FIGURES)

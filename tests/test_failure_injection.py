@@ -24,11 +24,14 @@ from repro.exceptions import (
 from repro.federated import (
     BitReport,
     ClientDevice,
+    FaultSchedule,
     FederatedMeanQuery,
     NetworkModel,
+    RetryPolicy,
     SecureAggregationSession,
     StreamingAggregator,
 )
+from repro.observability import MetricsRegistry, instrumented
 from repro.federated.secure_agg import PrimeField, Share, reconstruct_secret
 from repro.privacy import RandomizedResponse
 
@@ -171,6 +174,62 @@ class TestFederatedQueryFailureModes:
         model = DropoutModel(rate=0.9, jitter=0.5)
         survivors = model.draw_survivors(50_000, np.random.default_rng(0))
         assert survivors.sum() > 0
+
+    def test_total_failure_counted_once_per_attempt(self, encoder8):
+        # Regression: a fully-failed round must update the dropout tracker
+        # and rounds_failed_total once per *attempt*, not once per query.
+        query = FederatedMeanQuery(
+            encoder8, mode="basic",
+            faults=FaultSchedule.from_spec("1-3:blackout"),
+            retry=RetryPolicy(max_attempts=3),
+        )
+        registry = MetricsRegistry()
+        with instrumented(metrics=registry):
+            with pytest.raises(ConfigurationError):
+                query.run(self._population(100), rng=0)
+        counters = registry.snapshot()["counters"]
+        assert counters["rounds_failed_total"] == 3.0
+        assert counters["round_attempts_total"] == 3.0
+        assert counters["round_retries_total"] == 2.0
+        assert query.dropout_tracker.rounds_observed == 3
+        # Every attempt observed total loss, so the EWMA converges upward.
+        assert query.dropout_tracker.rate > 0.6
+
+    def test_retry_recovers_from_blackout(self, encoder8):
+        query = FederatedMeanQuery(
+            encoder8, mode="basic",
+            faults=FaultSchedule.from_spec("1:blackout"),
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=30.0),
+        )
+        est = query.run(self._population(200), rng=1)
+        assert est.metadata["round_attempts"] == [2]
+        assert est.metadata["attempt_history"] == [[[200, 0], [200, 200]]]
+
+    def test_quorum_failure_retries_with_fresh_cohort(self, encoder8):
+        # Quorum 150 of a 200-cohort under 60% scripted dropout fails; the
+        # clean second attempt (fresh re-draw) completes at full strength.
+        query = FederatedMeanQuery(
+            encoder8, mode="basic", min_quorum=150,
+            faults=FaultSchedule.from_spec("1:dropout=0.6"),
+            retry=RetryPolicy(max_attempts=2),
+        )
+        est = query.run(self._population(200), rng=2)
+        (history,) = est.metadata["attempt_history"]
+        assert history[0][1] < 150 <= history[1][1]
+
+    def test_network_blackout_recovered_when_fault_lifts(self, encoder8):
+        # The *base* network is fine; the fault schedule makes attempt 1
+        # hopeless, and the retry runs under the base weather again.
+        query = FederatedMeanQuery(
+            encoder8,
+            network=NetworkModel(loss_rate=0.05, deadline_s=600.0),
+            faults=FaultSchedule.from_spec("1:loss=0.9,deadline*0.001"),
+            min_quorum=50,
+            retry=RetryPolicy(max_attempts=2),
+            mode="basic",
+        )
+        est = query.run(self._population(300), rng=3)
+        assert est.metadata["round_attempts"] == [2]
 
     def test_rr_epsilon_extremes(self, encoder8, rng):
         values = np.full(50_000, 100.0)

@@ -148,9 +148,16 @@ class TestNetwork:
         )
 
     def test_zero_reports(self, rng):
+        # Empty batch: vacuously fully delivered (rate 1.0, zero duration) --
+        # distinguishable from a non-empty batch that lost everything (0.0).
         outcome = NetworkModel().transmit(0, rng)
-        assert outcome.delivery_rate == 0.0
+        assert outcome.delivery_rate == 1.0
         assert outcome.round_duration_s == 0.0
+
+    def test_total_loss_is_not_the_empty_batch(self, rng):
+        lossy = NetworkModel(loss_rate=0.99, deadline_s=0.001).transmit(200, rng)
+        assert lossy.delivery_rate == 0.0
+        assert lossy.round_duration_s == 0.0
 
     def test_invalid_params(self):
         with pytest.raises(ConfigurationError):
