@@ -1,6 +1,6 @@
 # Convenience targets for the bit-pushing reproduction.
 
-.PHONY: install test lint bench figures experiments examples clean
+.PHONY: install test lint selfcheck bench figures experiments examples clean
 
 install:
 	pip install -e .[dev]
@@ -13,6 +13,12 @@ lint:
 	ruff format --check src/repro/observability scripts \
 		tests/test_observability.py tests/test_observability_integration.py \
 		tests/test_wire_roundtrip.py
+	python scripts/lint_rng.py src/repro
+
+# Statistical invariants + plaintext-oracle differential tests (quick tier).
+# `make selfcheck DEEP=1` runs the full deep tier (~3 s).
+selfcheck:
+	python -m repro.cli selfcheck $(if $(DEEP),--deep)
 
 # Timed bench run; the raw pytest-benchmark report is reduced to the
 # repo-root BENCH_micro.json trajectory file future PRs diff against.

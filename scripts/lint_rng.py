@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""AST lint enforcing the repo's RNG seed discipline.
+
+The parallel executor's bit-identity contract and the fault-replay machinery
+both require that *every* source of randomness in ``src/repro`` flows through
+an explicitly provided generator or seed (see ``src/repro/rng.py``).  Three
+patterns silently break that and are rejected here:
+
+1. **Module-level numpy RNG calls** -- ``np.random.normal(...)``,
+   ``np.random.seed(...)``, etc.  These consult hidden global state that
+   differs between processes, so results stop being reproducible.
+2. **The stdlib ``random`` module** -- same problem, different global.
+3. **Unseeded ``default_rng()``** -- OS-entropy seeding is exactly the
+   explicit opt-in that :func:`repro.rng.ensure_rng` provides for ``None``;
+   anywhere else it is almost always an accident.
+
+Constructor references (``np.random.default_rng(seed)``, ``Generator``,
+``SeedSequence``, bit generators) are allowed -- they are how seeds become
+streams.  A line may opt out with a ``# lint-rng: allow`` comment (used once,
+in ``repro/rng.py``, where the ``None -> fresh entropy`` contract lives).
+
+Usage::
+
+    python scripts/lint_rng.py [paths ...]     # default: src/repro
+
+Exit status 0 when clean, 1 when violations are found (one ``path:line:col``
+diagnostic per violation), 2 on usage errors.  Wired into ``make lint`` and
+the CI lint job; ``tests/test_lint_rng.py`` pins its behaviour.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+#: Attributes of ``numpy.random`` that construct generators/seeds rather
+#: than consuming the hidden global stream.
+ALLOWED_NP_RANDOM_ATTRS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+        "RandomState",  # referenced in typing contexts; calling it is rule 1
+    }
+)
+
+PRAGMA = "# lint-rng: allow"
+
+
+@dataclass(frozen=True)
+class Violation:
+    path: Path
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.message}"
+
+
+class _RngVisitor(ast.NodeVisitor):
+    """Collect RNG-discipline violations in one module."""
+
+    def __init__(self, path: Path, source_lines: list[str]) -> None:
+        self.path = path
+        self.source_lines = source_lines
+        self.violations: list[Violation] = []
+        #: Local names bound to the numpy module (``import numpy as np``).
+        self.numpy_aliases: set[str] = set()
+        #: Local names bound to ``numpy.random`` itself
+        #: (``from numpy import random as npr`` / ``import numpy.random as r``).
+        self.np_random_aliases: set[str] = set()
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            name = alias.name
+            bound = alias.asname or name.split(".")[0]
+            if name == "random" and alias.asname is None:
+                self._flag(node, "stdlib `random` import (use repro.rng / numpy Generators)")
+            elif name == "random":
+                self._flag(node, f"stdlib `random` imported as `{alias.asname}`")
+            elif name == "numpy":
+                self.numpy_aliases.add(bound)
+            elif name == "numpy.random":
+                # `import numpy.random` binds `numpy`; with asname it binds
+                # the submodule directly.
+                if alias.asname is not None:
+                    self.np_random_aliases.add(alias.asname)
+                else:
+                    self.numpy_aliases.add("numpy")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and node.level == 0:
+            self._flag(node, "stdlib `random` import (use repro.rng / numpy Generators)")
+        elif node.module == "numpy" and node.level == 0:
+            for alias in node.names:
+                if alias.name == "random":
+                    self.np_random_aliases.add(alias.asname or "random")
+        elif node.module == "numpy.random" and node.level == 0:
+            for alias in node.names:
+                if alias.name not in ALLOWED_NP_RANDOM_ATTRS:
+                    self._flag(
+                        node,
+                        f"`from numpy.random import {alias.name}` pulls a "
+                        "global-state function; import a Generator instead",
+                    )
+        self.generic_visit(node)
+
+    # -- calls ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            if self._is_np_random(func.value):
+                if attr not in ALLOWED_NP_RANDOM_ATTRS:
+                    self._flag(
+                        node,
+                        f"module-level numpy RNG call `np.random.{attr}(...)` "
+                        "(pass a Generator via repro.rng.ensure_rng instead)",
+                    )
+                elif attr == "default_rng" and not node.args and not node.keywords:
+                    self._flag(
+                        node,
+                        "unseeded `default_rng()` (seed it, or route None "
+                        "through repro.rng.ensure_rng)",
+                    )
+        self.generic_visit(node)
+
+    # -- helpers -------------------------------------------------------
+    def _is_np_random(self, value: ast.expr) -> bool:
+        """True when ``value`` denotes the ``numpy.random`` module."""
+        if isinstance(value, ast.Name):
+            return value.id in self.np_random_aliases
+        return (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self.numpy_aliases
+        )
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.source_lines) and PRAGMA in self.source_lines[line - 1]:
+            return
+        self.violations.append(
+            Violation(
+                path=self.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+
+def lint_source(source: str, path: Path) -> list[Violation]:
+    """Lint one module's source text; returns its violations."""
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    visitor = _RngVisitor(path, source.splitlines())
+    # Two passes so aliases registered anywhere in the module (e.g. a late
+    # `import numpy as np` inside a function) are known before calls are
+    # judged.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            visitor.visit_Import(node)
+        elif isinstance(node, ast.ImportFrom):
+            visitor.visit_ImportFrom(node)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            visitor.visit_Call(node)
+    return visitor.violations
+
+
+def iter_python_files(paths: list[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: list[Path]) -> list[Violation]:
+    violations: list[Violation] = []
+    for file_path in iter_python_files(paths):
+        violations.extend(lint_source(file_path.read_text(encoding="utf-8"), file_path))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    args = parser.parse_args(argv)
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"lint_rng: no such path(s): {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+    violations = lint_paths(paths)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"lint_rng: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

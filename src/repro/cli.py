@@ -75,7 +75,15 @@ from repro.observability import (
 )
 from repro.privacy import RandomizedResponse
 
-__all__ = ["main", "FIGURES", "DIAGNOSTICS", "FIGURE_PANELS", "ABLATIONS", "run_traced_round"]
+__all__ = [
+    "main",
+    "FIGURES",
+    "DIAGNOSTICS",
+    "FIGURE_PANELS",
+    "ABLATIONS",
+    "run_traced_round",
+    "run_selfcheck_command",
+]
 
 #: figure id -> (runner, quick-mode overrides, metric, x-axis label)
 FIGURES: dict[str, tuple[Callable, dict, str, str]] = {
@@ -184,6 +192,25 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    selfcheck = sub.add_parser(
+        "selfcheck",
+        help="run the verification suite: runtime invariants + Monte-Carlo oracles",
+    )
+    selfcheck.add_argument(
+        "--deep",
+        action="store_true",
+        help="widen the sweep: LDP/local/b_send variants, every baseline, more reps",
+    )
+    selfcheck.add_argument("--json", action="store_true", help="emit the report as JSON")
+    selfcheck.add_argument("--seed", type=int, default=0, help="oracle suite seed")
+    selfcheck.add_argument("--workers", type=int, default=None, help=workers_help)
+    selfcheck.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="also write selfcheck spans + metrics snapshot as JSONL",
+    )
+
     sub.add_parser("list", help="list available figures and ablations")
     return parser
 
@@ -290,6 +317,60 @@ def run_traced_round(
     }
 
 
+def run_selfcheck_command(
+    deep: bool = False,
+    seed: int = 0,
+    workers: int | None = None,
+    as_json: bool = False,
+    trace_out: str | None = None,
+    stream=None,
+) -> int:
+    """Run the verification suite with spans + metrics; 0 iff everything holds.
+
+    The executor (``--workers`` / ``REPRO_WORKERS``) feeds the executor-twin
+    oracle, so running this command under different worker counts is the
+    deployment-side check of the bit-identity contract.
+    """
+    from repro.verification import run_selfcheck
+
+    stream = stream if stream is not None else sys.stdout
+    executor = executor_for(workers)
+    memory = InMemoryExporter()
+    exporters = [memory]
+    jsonl = None
+    if trace_out:
+        jsonl = JsonLinesExporter(trace_out)
+        exporters.append(jsonl)
+    registry = MetricsRegistry()
+    try:
+        with instrumented(Tracer(exporters), registry):
+            report = run_selfcheck(deep=deep, seed=seed, executor=executor)
+        snapshot = registry.snapshot()
+        if jsonl is not None:
+            jsonl.export_metrics(snapshot)
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+
+    if as_json:
+        payload = report.to_dict()
+        payload["metrics"] = snapshot["counters"]
+        print(json.dumps(payload, indent=2, default=str), file=stream)
+    else:
+        print(f"# Selfcheck ({'deep' if deep else 'quick'}, seed={seed})", file=stream)
+        print(file=stream)
+        print(report.render(), file=stream)
+        counters = snapshot["counters"]
+        print(
+            f"spans: {len(memory.records)}  checks: "
+            f"{counters.get('selfcheck_checks_total', 0):.0f}  failures: "
+            f"{counters.get('selfcheck_failures_total', 0):.0f}"
+            + (f"  trace written to {trace_out}" if trace_out else ""),
+            file=stream,
+        )
+    return 0 if report.passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     try:
         return _dispatch(argv)
@@ -305,6 +386,15 @@ def _dispatch(argv: list[str] | None) -> int:
         print("figures:  " + " ".join(FIGURE_PANELS))
         print("ablations: " + " ".join(sorted(ABLATIONS)))
         return 0
+
+    if args.command == "selfcheck":
+        return run_selfcheck_command(
+            deep=args.deep,
+            seed=args.seed,
+            workers=args.workers,
+            as_json=args.json,
+            trace_out=args.trace_out,
+        )
 
     if args.command == "trace":
         result = run_traced_round(

@@ -139,7 +139,7 @@ class BitSamplingSchedule:
                 raise ConfigurationError(f"floor must be in [0, 1/n_bits), got {floor}")
         beta = np.exp2(2.0 * np.arange(means.size)) * means * (1.0 - means)
         if beta.sum() < _MIN_TOTAL_MASS:
-            return cls.weighted(means.size, alpha=1.0)
+            return cls.weighted(means.size, alpha=0.5)
         weights = np.power(beta, alpha)
         probs = weights / weights.sum()
         if floor > 0.0:

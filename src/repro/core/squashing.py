@@ -58,7 +58,7 @@ def squash_bit_means(
     """
     means = np.asarray(bit_means, dtype=np.float64).copy()
     thresholds = np.broadcast_to(np.asarray(threshold, dtype=np.float64), means.shape)
-    quiet = (thresholds > 0) & (means < thresholds)
+    quiet = (thresholds > 0) & (np.abs(means) < thresholds)
     means[quiet] = 0.0
     if clip_to_unit:
         means = np.clip(means, 0.0, 1.0)

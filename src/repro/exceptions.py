@@ -77,3 +77,14 @@ class SecureAggregationError(ReproError):
 
 class DataGenerationError(ReproError):
     """A workload generator received parameters it cannot satisfy."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime self-check found state that breaks a proven invariant.
+
+    Raised by :mod:`repro.verification.invariants`: schedule normalization,
+    apportionment exactness, secure-aggregation/plaintext sum agreement,
+    privacy-ledger conservation, and bit-meter cap conformance.  Any instance
+    of this error is a bug in the library (or memory corruption), never a
+    caller mistake -- callers should report it, not handle it.
+    """

@@ -626,6 +626,22 @@ class FederatedMeanQuery:
             total = session.finalize()
             counts += np.array(total[:n_bits], dtype=np.int64)
             sums += np.array(total[n_bits:], dtype=np.float64)
+        # Always-on invariant: the masked aggregate must equal the plaintext
+        # aggregate exactly (the simulator holds both sides; O(n) next to the
+        # O(shard**2) masking work above).  Lazy import: repro.verification
+        # pulls in estimator modules that themselves import this package.
+        from repro.verification.invariants import check_secure_sum
+
+        check_secure_sum(
+            counts,
+            np.bincount(assignment, minlength=n_bits).astype(np.int64),
+            context="secure-agg per-bit counts",
+        )
+        check_secure_sum(
+            sums,
+            np.bincount(assignment, weights=bits.astype(np.float64), minlength=n_bits),
+            context="secure-agg per-bit sums",
+        )
         return sums, counts
 
     def _squash_threshold(self, counts: np.ndarray) -> np.ndarray:

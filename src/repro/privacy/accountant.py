@@ -74,6 +74,11 @@ class PrivacyAccountant:
         self.epsilon_budget = epsilon_budget
         self.delta_budget = delta_budget
         self._entries: list[LedgerEntry] = []
+        # Running totals, maintained by spend(): recomputing them by summing
+        # the ledger would make a long-lived accountant O(n) per spend
+        # (O(n**2) over its life).
+        self._spent_epsilon = 0.0
+        self._spent_delta = 0.0
 
     # ------------------------------------------------------------------
     def spend(self, epsilon: float, delta: float = 0.0, note: str = "") -> None:
@@ -94,6 +99,8 @@ class PrivacyAccountant:
                 f"(already spent {self.spent_delta})"
             )
         self._entries.append(LedgerEntry(epsilon=float(epsilon), delta=float(delta), note=note))
+        self._spent_epsilon += float(epsilon)
+        self._spent_delta += float(delta)
         if metrics.enabled:
             metrics.counter("privacy_epsilon_spent_total").inc(float(epsilon))
             metrics.counter("privacy_delta_spent_total").inc(float(delta))
@@ -103,11 +110,11 @@ class PrivacyAccountant:
     # ------------------------------------------------------------------
     @property
     def spent_epsilon(self) -> float:
-        return sum(entry.epsilon for entry in self._entries)
+        return self._spent_epsilon
 
     @property
     def spent_delta(self) -> float:
-        return sum(entry.delta for entry in self._entries)
+        return self._spent_delta
 
     @property
     def remaining_epsilon(self) -> float:
@@ -176,14 +183,17 @@ class BitMeter:
             raise ConfigurationError(f"n_bits must be >= 1, got {n_bits}")
         metrics = get_metrics()
         value_key = (client_id, value_id)
-        new_value_total = self._per_value[value_key] + n_bits
+        # .get(), not defaultdict indexing: reading via [] would insert a
+        # zero entry even when the disclosure below is rejected, violating
+        # the "leaves the meter unchanged" contract.
+        new_value_total = self._per_value.get(value_key, 0) + n_bits
         if new_value_total > self.max_bits_per_value:
             metrics.counter("meter_denials_total").inc()
             raise PrivacyBudgetExceeded(
                 f"client {client_id!r} would disclose {new_value_total} bits of value "
                 f"{value_id!r} (cap {self.max_bits_per_value})"
             )
-        new_client_total = self._per_client[client_id] + n_bits
+        new_client_total = self._per_client.get(client_id, 0) + n_bits
         if self.max_bits_per_client is not None and new_client_total > self.max_bits_per_client:
             metrics.counter("meter_denials_total").inc()
             raise PrivacyBudgetExceeded(

@@ -1,0 +1,250 @@
+"""Statistical assertion primitives for the Monte-Carlo oracles.
+
+Self-contained implementations (numpy + math only; no scipy at runtime) of
+the two tail functions the oracles need -- the standard normal survival
+function and the chi-square survival function via the regularized upper
+incomplete gamma -- plus the test helpers built on them and a Bonferroni
+family-wise gate.
+
+**Why family-wise control matters here.**  One ``selfcheck`` run executes
+dozens of statistical tests.  With per-test significance ``alpha`` the
+probability that a *correct* estimator trips at least one test grows with
+the test count; gating the whole family at ``alpha_family`` (each test
+compared against ``alpha_family / n_tests``) keeps the false-alarm
+probability of the entire suite below ``alpha_family``.  The suite runs on
+fixed seeds -- so a given release either passes forever or fails forever --
+but the Bonferroni budget is what makes *re-seeding* safe: any fresh seed
+has probability < ``alpha_family`` (default 1e-6) of a spurious failure,
+while gross implementation bugs (a wrong debias constant, a dropped
+``2**j`` weight) produce z-statistics in the hundreds and fail at any
+plausible threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "TestResult",
+    "FamilyWiseGate",
+    "normal_sf",
+    "chi2_sf",
+    "z_test",
+    "variance_upper_tail",
+    "chi_square_gof",
+]
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """One statistical test: the statistic, its p-value, and provenance."""
+
+    name: str
+    statistic: float
+    p_value: float
+    detail: str = ""
+
+
+# ----------------------------------------------------------------------
+# Tail functions
+# ----------------------------------------------------------------------
+
+def normal_sf(z: float) -> float:
+    """Survival function ``P(Z > z)`` of the standard normal."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def _regularized_upper_gamma(a: float, x: float) -> float:
+    """``Q(a, x) = Gamma(a, x) / Gamma(a)`` via series / continued fraction.
+
+    The classic two-regime evaluation: a power series for ``P(a, x)`` when
+    ``x < a + 1`` and a Lentz continued fraction for ``Q(a, x)`` otherwise.
+    Accurate to ~1e-14 over the range the oracles use.
+    """
+    if a <= 0.0:
+        raise ValueError(f"gamma shape must be positive, got {a}")
+    if x < 0.0:
+        raise ValueError(f"gamma argument must be >= 0, got {x}")
+    if x == 0.0:
+        return 1.0
+    log_prefactor = -x + a * math.log(x) - math.lgamma(a)
+    if x < a + 1.0:
+        # Series for the lower function P; return its complement.
+        term = 1.0 / a
+        total = term
+        denom = a
+        for _ in range(1000):
+            denom += 1.0
+            term *= x / denom
+            total += term
+            if abs(term) < abs(total) * 1e-16:
+                break
+        return max(0.0, 1.0 - total * math.exp(log_prefactor))
+    # Modified Lentz continued fraction for Q directly.
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 1000):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-16:
+            break
+    return min(1.0, math.exp(log_prefactor) * h)
+
+
+def chi2_sf(x: float, df: float) -> float:
+    """Survival function ``P(X > x)`` of the chi-square with ``df`` dof."""
+    if df <= 0:
+        raise ValueError(f"degrees of freedom must be positive, got {df}")
+    if x <= 0.0:
+        return 1.0
+    return _regularized_upper_gamma(df / 2.0, x / 2.0)
+
+
+# ----------------------------------------------------------------------
+# Tests
+# ----------------------------------------------------------------------
+
+def z_test(
+    sample_mean: float,
+    expected_mean: float,
+    std_of_mean: float,
+    name: str = "z",
+) -> TestResult:
+    """Two-sided z-test of ``sample_mean`` against ``expected_mean``.
+
+    ``std_of_mean`` is the standard deviation *of the sample mean* (i.e.
+    already divided by ``sqrt(n)``); a zero value degenerates to an exact
+    equality check.
+    """
+    if std_of_mean < 0 or not math.isfinite(std_of_mean):
+        raise ValueError(f"std_of_mean must be finite and >= 0, got {std_of_mean}")
+    diff = sample_mean - expected_mean
+    if std_of_mean == 0.0:
+        z = 0.0 if diff == 0.0 else math.inf
+    else:
+        z = diff / std_of_mean
+    p = 2.0 * normal_sf(abs(z))
+    return TestResult(
+        name=name,
+        statistic=float(z),
+        p_value=float(p),
+        detail=f"mean {sample_mean:.6g} vs expected {expected_mean:.6g} (z={z:.3f})",
+    )
+
+
+def variance_upper_tail(
+    sample_variance: float,
+    variance_bound: float,
+    n_samples: int,
+    name: str = "variance-bound",
+) -> TestResult:
+    """One-sided test that a sample variance does not *exceed* a bound.
+
+    Under Gaussian-ish sampling, ``(n-1) s^2 / sigma^2 ~ chi^2(n-1)``; a
+    small upper-tail p-value means the empirical variance is significantly
+    above the closed-form bound (Lemma 3.1 / 3.3).  One-sided because the
+    quasi-Monte-Carlo central assignment is *allowed* to beat the bound
+    (finite-population correction), just never to break it.
+    """
+    if n_samples < 2:
+        raise ValueError(f"need >= 2 samples for a variance test, got {n_samples}")
+    if variance_bound <= 0:
+        raise ValueError(f"variance bound must be positive, got {variance_bound}")
+    statistic = (n_samples - 1) * sample_variance / variance_bound
+    p = chi2_sf(statistic, n_samples - 1)
+    return TestResult(
+        name=name,
+        statistic=float(statistic),
+        p_value=float(p),
+        detail=(
+            f"sample var {sample_variance:.6g} vs bound {variance_bound:.6g} "
+            f"over {n_samples} reps"
+        ),
+    )
+
+
+def chi_square_gof(
+    observed: np.ndarray,
+    expected: np.ndarray,
+    ddof: int = 0,
+    name: str = "chi-square-gof",
+) -> TestResult:
+    """Pearson chi-square goodness-of-fit over count bins.
+
+    Bins with zero expectation must also be observed zero (and contribute no
+    degrees of freedom); otherwise the fit fails outright.
+    """
+    obs = np.asarray(observed, dtype=np.float64)
+    exp = np.asarray(expected, dtype=np.float64)
+    if obs.shape != exp.shape:
+        raise ValueError(f"observed shape {obs.shape} != expected shape {exp.shape}")
+    empty = exp <= 0.0
+    if np.any(obs[empty] != 0.0):
+        return TestResult(
+            name=name,
+            statistic=math.inf,
+            p_value=0.0,
+            detail="observed mass in a zero-expectation bin",
+        )
+    live = ~empty
+    df = int(np.count_nonzero(live)) - 1 - ddof
+    if df < 1:
+        raise ValueError(f"chi-square needs >= 2 live bins (got df={df})")
+    statistic = float(np.sum((obs[live] - exp[live]) ** 2 / exp[live]))
+    return TestResult(
+        name=name,
+        statistic=statistic,
+        p_value=float(chi2_sf(statistic, df)),
+        detail=f"chi2={statistic:.3f} over {df} dof",
+    )
+
+
+# ----------------------------------------------------------------------
+# Family-wise error control
+# ----------------------------------------------------------------------
+
+class FamilyWiseGate:
+    """Bonferroni gate over a family of test results.
+
+    Collect results with :meth:`add`; :meth:`failures` returns the tests
+    whose p-value falls below ``alpha_family / n_tests``.  The division
+    happens at evaluation time, so the per-test threshold automatically
+    tightens as the suite grows -- adding oracles can never inflate the
+    suite's false-alarm probability past ``alpha_family``.
+    """
+
+    def __init__(self, alpha_family: float = 1e-6) -> None:
+        if not 0.0 < alpha_family < 1.0:
+            raise ValueError(f"alpha_family must be in (0, 1), got {alpha_family}")
+        self.alpha_family = alpha_family
+        self.results: list[TestResult] = []
+
+    def add(self, result: TestResult) -> None:
+        self.results.append(result)
+
+    @property
+    def per_test_alpha(self) -> float:
+        return self.alpha_family / max(1, len(self.results))
+
+    def failures(self) -> list[TestResult]:
+        threshold = self.per_test_alpha
+        return [r for r in self.results if r.p_value < threshold]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures()

@@ -46,6 +46,24 @@ class TestPrivacyAccountant:
         acct.spend(0.5)   # exactly exhausts
         assert acct.remaining_epsilon == pytest.approx(0.0)
 
+    def test_spent_totals_are_cached_running_sums(self):
+        # The properties must agree with the ledger without re-summing it
+        # (the running totals make a long-lived accountant O(1) per spend).
+        acct = PrivacyAccountant()
+        for i in range(50):
+            acct.spend(0.1, delta=1e-6, note=f"round {i}")
+        assert acct.spent_epsilon == pytest.approx(sum(e.epsilon for e in acct.entries))
+        assert acct.spent_delta == pytest.approx(sum(e.delta for e in acct.entries))
+
+    def test_rejected_spend_leaves_totals_unchanged(self):
+        acct = PrivacyAccountant(epsilon_budget=1.0)
+        acct.spend(0.75)
+        with pytest.raises(PrivacyBudgetExceeded):
+            acct.spend(0.5)
+        assert acct.spent_epsilon == pytest.approx(0.75)
+        assert acct.spent_delta == 0.0
+        assert len(acct.entries) == 1
+
     def test_can_spend_does_not_record(self):
         acct = PrivacyAccountant(epsilon_budget=1.0)
         assert acct.can_spend(1.0)
@@ -101,6 +119,28 @@ class TestBitMeter:
             meter.record("c1", "m")
         assert meter.bits_disclosed_for("c1", "m") == 1
         assert meter.bits_disclosed_by("c1") == 1
+
+    def test_rejected_record_inserts_no_entries(self):
+        # Regression: defaultdict reads on the check path used to insert
+        # zero entries for never-before-seen keys even when the disclosure
+        # was rejected, so "leaves the meter unchanged" was violated at the
+        # dict level (and total_bits iterated over ghost clients).
+        meter = BitMeter(max_bits_per_value=1, max_bits_per_client=1)
+        meter.record("c1", "a")
+        with pytest.raises(PrivacyBudgetExceeded):
+            meter.record("c1", "b")  # per-client cap rejects this
+        assert ("c1", "b") not in meter._per_value
+        with pytest.raises(PrivacyBudgetExceeded):
+            meter.record("c2", "a", n_bits=2)  # per-value cap rejects this
+        assert ("c2", "a") not in meter._per_value
+        assert "c2" not in meter._per_client
+        assert meter.total_bits == 1
+
+    def test_total_bits_counts_all_clients(self):
+        meter = BitMeter(max_bits_per_value=2)
+        meter.record("c1", "a", n_bits=2)
+        meter.record("c2", "a")
+        assert meter.total_bits == 3
 
     def test_multi_bit_disclosure(self):
         meter = BitMeter(max_bits_per_value=4)

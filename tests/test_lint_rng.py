@@ -1,0 +1,130 @@
+"""Tests for the RNG-discipline linter (scripts/lint_rng.py)."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINTER = REPO_ROOT / "scripts" / "lint_rng.py"
+
+spec = importlib.util.spec_from_file_location("lint_rng", LINTER)
+lint_rng = importlib.util.module_from_spec(spec)
+sys.modules["lint_rng"] = lint_rng  # dataclasses resolves types via sys.modules
+spec.loader.exec_module(lint_rng)
+
+
+def violations_of(source: str) -> list[str]:
+    return [v.message for v in lint_rng.lint_source(source, Path("snippet.py"))]
+
+
+class TestRules:
+    def test_stdlib_random_import_flagged(self):
+        assert any("stdlib" in m for m in violations_of("import random\n"))
+        assert any("stdlib" in m for m in violations_of("import random as rnd\n"))
+        assert any("stdlib" in m for m in violations_of("from random import choice\n"))
+
+    def test_module_level_numpy_rng_flagged(self):
+        msgs = violations_of("import numpy as np\nx = np.random.normal(0, 1)\n")
+        assert any("np.random.normal" in m for m in msgs)
+
+    def test_numpy_alias_tracked(self):
+        msgs = violations_of("import numpy\ny = numpy.random.seed(0)\n")
+        assert any("np.random.seed" in m for m in msgs)
+
+    def test_numpy_random_submodule_alias_tracked(self):
+        msgs = violations_of("from numpy import random as npr\nz = npr.shuffle([1])\n")
+        assert any("np.random.shuffle" in m for m in msgs)
+
+    def test_from_numpy_random_function_import_flagged(self):
+        msgs = violations_of("from numpy.random import uniform\n")
+        assert any("global-state" in m for m in msgs)
+
+    def test_unseeded_default_rng_flagged(self):
+        msgs = violations_of("import numpy as np\ngen = np.random.default_rng()\n")
+        assert any("unseeded" in m for m in msgs)
+
+    def test_seeded_default_rng_allowed(self):
+        assert violations_of("import numpy as np\ngen = np.random.default_rng(42)\n") == []
+        assert violations_of(
+            "import numpy as np\n"
+            "def f(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        ) == []
+
+    def test_generator_classes_allowed(self):
+        clean = (
+            "import numpy as np\n"
+            "seq = np.random.SeedSequence(7)\n"
+            "gen = np.random.Generator(np.random.PCG64(seq))\n"
+            "from numpy.random import Generator, SeedSequence\n"
+        )
+        assert violations_of(clean) == []
+
+    def test_pragma_suppresses(self):
+        src = "import numpy as np\ngen = np.random.default_rng()  # lint-rng: allow\n"
+        assert violations_of(src) == []
+
+    def test_late_import_alias_still_caught(self):
+        # The alias pass runs before the call pass, so a function-local
+        # `import numpy as np` after the call site still registers.
+        src = (
+            "def f():\n"
+            "    return np.random.random()\n"
+            "def g():\n"
+            "    import numpy as np\n"
+            "    return np\n"
+        )
+        assert any("np.random.random" in m for m in violations_of(src))
+
+    def test_syntax_error_reported_not_raised(self):
+        msgs = violations_of("def broken(:\n")
+        assert len(msgs) == 1 and "syntax error" in msgs[0]
+
+    def test_unrelated_attribute_calls_untouched(self):
+        clean = (
+            "class Thing:\n"
+            "    random = staticmethod(lambda: 4)\n"
+            "t = Thing()\n"
+            "t.random()\n"
+        )
+        assert violations_of(clean) == []
+
+
+class TestCli:
+    def test_src_repro_is_clean(self):
+        result = subprocess.run(
+            [sys.executable, str(LINTER), "src/repro"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_violating_file_fails_with_diagnostics(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.normal()\n")
+        result = subprocess.run(
+            [sys.executable, str(LINTER), str(bad)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "bad.py:2" in result.stdout
+        assert "1 violation(s)" in result.stderr
+
+    def test_missing_path_is_usage_error(self):
+        result = subprocess.run(
+            [sys.executable, str(LINTER), "no/such/dir"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 2
+
+    def test_directory_sweep_aggregates(self, tmp_path):
+        (tmp_path / "a.py").write_text("import random\n")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.py").write_text("import numpy as np\nnp.random.seed(1)\n")
+        violations = lint_rng.lint_paths([tmp_path])
+        assert len(violations) == 2

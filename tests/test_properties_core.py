@@ -13,6 +13,7 @@ from repro.core import (
     bit_matrix,
     central_assignment,
     mean_from_bit_means,
+    multi_bit_assignment,
     squash_bit_means,
 )
 from repro.core.protocol import bit_means_from_stats, collect_bit_reports, combine_round_stats
@@ -97,6 +98,46 @@ class TestScheduleProperties:
         assert counts.sum() == n
         assert np.all(counts >= 0)
         assert np.all(np.abs(counts - sched.probabilities * n) < 1.0)
+
+    @given(
+        weights=st.lists(
+            st.one_of(st.just(0.0), st.floats(min_value=1e-6, max_value=10.0)),
+            min_size=1,
+            max_size=16,
+        ).filter(lambda w: sum(w) > 1e-6),
+        n=st.integers(min_value=0, max_value=50_000),
+    )
+    def test_apportionment_starves_zero_probability_bits(self, weights, n):
+        """Holes in the schedule never receive clients, and the largest-
+        remainder guarantees survive a punctured support."""
+        sched = BitSamplingSchedule(np.array(weights))
+        counts = apportion_counts(n, sched)
+        assert counts.sum() == n
+        assert np.all(counts[sched.probabilities == 0.0] == 0)
+        assert np.all(np.abs(counts - sched.probabilities * n) < 1.0)
+
+    @given(
+        weights=st.lists(
+            st.one_of(st.just(0.0), st.floats(min_value=1e-6, max_value=10.0)),
+            min_size=2,
+            max_size=12,
+        ).filter(lambda w: sum(1 for x in w if x > 0) >= 2),
+        n=st.integers(min_value=1, max_value=200),
+        b_send=st.integers(min_value=1, max_value=4),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40)
+    def test_multi_bit_rows_are_distinct_and_in_support(self, weights, n, b_send, seed):
+        """Every client gets b_send *distinct* bits, all with positive mass."""
+        sched = BitSamplingSchedule(np.array(weights))
+        support = set(sched.support().tolist())
+        b_send = min(b_send, len(support))
+        rows = multi_bit_assignment(n, sched, b_send, seed)
+        assert rows.shape == (n, b_send)
+        for row in rows:
+            picks = set(row.tolist())
+            assert len(picks) == b_send          # no repeats within a client
+            assert picks <= support              # never a zero-probability bit
 
     @given(n=st.integers(min_value=1, max_value=2_000), n_bits=bit_depths, seed=st.integers(0, 2**16))
     @settings(max_examples=30)

@@ -97,10 +97,23 @@ class TestFromBitMeans:
         assert sched.probabilities[2] == 0.0
 
     def test_all_zero_falls_back_to_weighted(self):
+        # The docstring promises the flat weighted(n_bits, alpha=0.5)
+        # fallback, not the steep alpha=1.0 schedule.
         sched = BitSamplingSchedule.from_bit_means(np.zeros(4))
         np.testing.assert_allclose(
-            sched.probabilities, BitSamplingSchedule.weighted(4, 1.0).probabilities
+            sched.probabilities, BitSamplingSchedule.weighted(4, 0.5).probabilities
         )
+
+    def test_constant_input_falls_back_to_alpha_half(self):
+        # A constant population has zero variance on every bit, so every
+        # beta_j weight vanishes; the fallback must match the documented
+        # weighted(n_bits, alpha=0.5) regardless of the constant.
+        for constant in (0.0, 1.0):
+            sched = BitSamplingSchedule.from_bit_means(np.full(6, constant))
+            np.testing.assert_allclose(
+                sched.probabilities,
+                BitSamplingSchedule.weighted(6, 0.5).probabilities,
+            )
 
     def test_floor_guarantees_minimum_mass(self):
         sched = BitSamplingSchedule.from_bit_means(

@@ -15,8 +15,10 @@ class TestSquashBitMeans:
     def test_zeroes_below_threshold(self):
         means = np.array([0.5, 0.04, 0.2, -0.1])
         squashed, idx = squash_bit_means(means, threshold=0.05)
+        # -0.1 is loud in magnitude: clipped to 0 by clip_to_unit, but not
+        # *squashed* (only index 1's 0.04 falls below the 0.05 threshold).
         assert squashed.tolist() == [0.5, 0.0, 0.2, 0.0]
-        assert idx.tolist() == [1, 3]
+        assert idx.tolist() == [1]
 
     def test_threshold_zero_disables_squashing(self):
         means = np.array([0.5, 0.01])
@@ -39,6 +41,27 @@ class TestSquashBitMeans:
         # (Figure 4b); they must be squashed, not clipped into signal.
         squashed, idx = squash_bit_means(np.array([-0.02]), threshold=0.05)
         assert squashed[0] == 0.0 and idx.tolist() == [0]
+
+    def test_large_negative_mean_not_squashed(self):
+        # The contract is "magnitude falls below threshold": a large
+        # *negative* noisy mean is above threshold in magnitude, so it must
+        # survive squashing (clipping, if enabled, handles it separately).
+        squashed, idx = squash_bit_means(
+            np.array([-0.8, 0.8]), threshold=0.05, clip_to_unit=False
+        )
+        assert squashed.tolist() == [-0.8, 0.8]
+        assert idx.size == 0
+
+    def test_large_negative_mean_clipped_but_not_reported_squashed(self):
+        squashed, idx = squash_bit_means(np.array([-0.8]), threshold=0.05)
+        assert squashed[0] == 0.0  # clipped into [0, 1]
+        assert idx.size == 0  # ... but not *squashed*: magnitude was loud
+
+    def test_mixed_sign_magnitude_threshold(self):
+        means = np.array([-0.02, -0.5, 0.02, 0.5])
+        squashed, idx = squash_bit_means(means, threshold=0.05, clip_to_unit=False)
+        assert squashed.tolist() == [0.0, -0.5, 0.0, 0.5]
+        assert idx.tolist() == [0, 2]
 
     def test_input_not_mutated(self):
         means = np.array([0.5, 0.01])
