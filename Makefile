@@ -1,6 +1,6 @@
 # Convenience targets for the bit-pushing reproduction.
 
-.PHONY: install test lint selfcheck bench figures experiments examples clean
+.PHONY: install test lint selfcheck bench bench-check report-demo figures experiments examples clean
 
 install:
 	pip install -e .[dev]
@@ -26,6 +26,18 @@ bench:
 	pytest benchmarks/ --benchmark-only -s \
 		--benchmark-json=benchmarks/results/benchmark.json
 	python scripts/bench_summary.py benchmarks/results/benchmark.json BENCH_micro.json
+
+# Perf regression gate: re-run the micro benches, append to the trajectory,
+# then fail if the newest entry regressed past the tolerance against the
+# previous entry (same-machine comparison, so the strict default applies).
+bench-check: bench
+	python scripts/bench_summary.py --check BENCH_micro.json
+
+# Record one deterministic flight-recorder run and render its report --
+# the quickest way to see the whole observability surface end to end.
+report-demo:
+	python -m repro.cli trace 1a --quick --seed 7 --sim-clock --record out/report-demo
+	python -m repro.cli report out/report-demo
 
 # Reproduce every paper figure at full scale (tables to stdout).
 figures:

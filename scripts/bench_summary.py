@@ -4,6 +4,8 @@ Usage::
 
     python scripts/bench_summary.py benchmarks/results/benchmark.json BENCH_micro.json
     python scripts/bench_summary.py benchmarks/results/benchmark.json BENCH_micro.json --label pr2
+    python scripts/bench_summary.py --check BENCH_micro.json
+    python scripts/bench_summary.py --check BENCH_micro.json --baseline seed --tolerance 1.5
 
 The pytest-benchmark report carries per-round samples, machine info, and
 warmup details; for tracking performance across PRs only a handful of
@@ -14,6 +16,13 @@ under an existing label replaces that entry (idempotent re-runs); the
 label defaults to the report's git commit id.  A pre-trajectory
 single-summary file (the seed format) is converted in place, keeping its
 numbers as the first entry.
+
+``--check`` is the regression gate: it compares the trajectory's newest
+entry against a baseline entry (``--baseline <label>``, default: the
+previous entry) and exits non-zero naming every benchmark whose mean
+slowed by more than ``--tolerance`` (a ratio; default 1.25).  The strict
+default suits same-machine comparisons (``make bench-check``); CI compares
+cross-runner numbers and passes a looser tolerance.
 """
 
 from __future__ import annotations
@@ -80,20 +89,120 @@ def append_entry(destination: Path, entry: dict) -> list[dict]:
     return entries
 
 
+def check_regressions(
+    entries: list[dict],
+    baseline_label: str | None = None,
+    tolerance: float = 1.25,
+) -> tuple[bool, list[str]]:
+    """Compare the newest trajectory entry against a baseline entry.
+
+    Returns ``(ok, messages)``: ``ok`` is False when any benchmark present
+    in both entries slowed by more than ``tolerance`` (newest mean divided
+    by baseline mean), or when the comparison itself is impossible (missing
+    baseline, fewer than two entries, no overlapping benchmarks).
+    """
+    if tolerance <= 0:
+        return False, [f"tolerance must be positive, got {tolerance}"]
+    if not entries:
+        return False, ["trajectory is empty; nothing to check"]
+    newest = entries[-1]
+    if baseline_label is None:
+        if len(entries) < 2:
+            return False, [
+                "trajectory has a single entry; need a previous entry (or --baseline) "
+                "to compare against"
+            ]
+        baseline = entries[-2]
+    else:
+        labelled = [e for e in entries if e.get("label") == baseline_label]
+        if not labelled:
+            known = ", ".join(repr(e.get("label")) for e in entries)
+            return False, [f"no trajectory entry labelled {baseline_label!r} (have: {known})"]
+        baseline = labelled[-1]
+    base_means = {b["name"]: b["mean_s"] for b in baseline.get("benchmarks", [])}
+    messages = []
+    regressions = []
+    compared = 0
+    for bench in newest.get("benchmarks", []):
+        base_mean = base_means.get(bench["name"])
+        if base_mean is None or base_mean <= 0:
+            continue
+        compared += 1
+        ratio = bench["mean_s"] / base_mean
+        line = (
+            f"{bench['name']}: {bench['mean_s'] * 1e3:.3f} ms vs "
+            f"{base_mean * 1e3:.3f} ms ({ratio:.2f}x baseline {baseline.get('label')!r})"
+        )
+        if ratio > tolerance:
+            regressions.append(f"REGRESSION {line} exceeds tolerance {tolerance:.2f}x")
+        else:
+            messages.append(f"ok {line}")
+    if compared == 0:
+        return False, [
+            f"entries {newest.get('label')!r} and {baseline.get('label')!r} share no "
+            "benchmarks; nothing compared"
+        ]
+    return not regressions, messages + regressions
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python scripts/bench_summary.py",
-        description="Append a pytest-benchmark report to a trajectory summary",
+        description="Append a pytest-benchmark report to a trajectory summary, "
+        "or gate on regressions with --check",
     )
-    parser.add_argument("source", help="pytest-benchmark JSON report")
-    parser.add_argument("destination", help="trajectory summary file (e.g. BENCH_micro.json)")
+    parser.add_argument(
+        "source",
+        nargs="?",
+        help="pytest-benchmark JSON report (with --check: the trajectory file)",
+    )
+    parser.add_argument(
+        "destination", nargs="?", help="trajectory summary file (e.g. BENCH_micro.json)"
+    )
     parser.add_argument(
         "--label",
         default=None,
         help="entry label (default: the report's git commit id); an existing "
         "entry with the same label is replaced",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regression gate: compare the trajectory's newest entry against the "
+        "baseline and exit 1 naming any benchmark slower than the tolerance",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="LABEL",
+        help="trajectory entry to compare against (default: the previous entry)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.25,
+        metavar="RATIO",
+        help="maximum allowed newest/baseline mean ratio (default: 1.25)",
+    )
     args = parser.parse_args(argv)
+
+    if args.check:
+        trajectory_path = Path(args.source or "BENCH_micro.json")
+        entries = load_trajectory(trajectory_path)
+        if not entries and not trajectory_path.exists():
+            print(f"error: {trajectory_path} not found", file=sys.stderr)
+            return 1
+        ok, messages = check_regressions(
+            entries, baseline_label=args.baseline, tolerance=args.tolerance
+        )
+        for message in messages:
+            print(message, file=sys.stdout if ok else sys.stderr)
+        if ok:
+            print(f"bench check passed ({trajectory_path}, tolerance {args.tolerance:.2f}x)")
+        return 0 if ok else 1
+
+    if args.source is None or args.destination is None:
+        parser.error("source and destination are required unless --check is given")
     source, destination = Path(args.source), Path(args.destination)
     try:
         report = json.loads(source.read_text())

@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli figure 1a --workers 4  # parallel trials, same output
     python -m repro.cli ablation poisoning
     python -m repro.cli trace 1a --quick     # traced federated round -> JSONL
+    python -m repro.cli trace 3a --record out/run1 --sim-clock  # flight-recorder artifact
+    python -m repro.cli report out/run1      # render the artifact as Markdown
     python -m repro.cli list
 
 Each figure/ablation command prints the figure's series as a markdown table
@@ -15,13 +17,16 @@ Each figure/ablation command prints the figure's series as a markdown table
 ``--json``.  The ``trace`` command runs one fully-instrumented federated
 round sized like the named figure/ablation, prints the span tree and a
 metrics summary, and writes spans plus a final metrics snapshot as JSON
-lines (see ``docs/observability.md``).
+lines; ``--record <dir>`` additionally captures a flight-recorder artifact
+(event log + manifest) that ``report`` renders as Markdown or JSON (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from typing import Callable
 
@@ -64,16 +69,24 @@ from repro.federated import (
     RetryPolicy,
     ground_truth_mean,
 )
+from repro.analysis import per_report_bit_variance
 from repro.metrics.execution import executor_for
 from repro.observability import (
+    FlightRecorder,
     InMemoryExporter,
     JsonLinesExporter,
     MetricsRegistry,
+    PhaseProfiler,
+    SimClock,
     Tracer,
+    build_report,
     format_span_tree,
     instrumented,
+    load_run,
+    render_markdown,
 )
 from repro.privacy import RandomizedResponse
+from repro.privacy.accountant import BitMeter, PrivacyAccountant
 
 __all__ = [
     "main",
@@ -82,6 +95,7 @@ __all__ = [
     "FIGURE_PANELS",
     "ABLATIONS",
     "run_traced_round",
+    "run_report_command",
     "run_selfcheck_command",
 ]
 
@@ -191,6 +205,41 @@ def _build_parser() -> argparse.ArgumentParser:
             "like '2:blackout;4-5:loss=0.6;6:deadline*0.5' (1-based round attempts)"
         ),
     )
+    trace.add_argument(
+        "--json", action="store_true",
+        help="emit the run summary, spans, and metrics as JSON instead of text",
+    )
+    trace.add_argument(
+        "--record", default=None, metavar="DIR",
+        help=(
+            "capture a flight-recorder artifact (events.jsonl + manifest.json) "
+            "into DIR; render it later with `repro.cli report DIR`"
+        ),
+    )
+    trace.add_argument(
+        "--profile", action="store_true",
+        help="enable the phase profiler: per-span CPU time, per-phase p50/p95/p99 "
+        "(implied by --record)",
+    )
+    trace.add_argument(
+        "--trace-malloc", action="store_true",
+        help="also track per-span peak allocations via tracemalloc (implies --profile; "
+        "ignored under --sim-clock)",
+    )
+    trace.add_argument(
+        "--sim-clock", action="store_true",
+        help="time spans with a deterministic simulated clock so same-seed runs "
+        "produce byte-identical traces, artifacts, and reports",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render a recorded run (a --record artifact directory) as Markdown or JSON",
+    )
+    report.add_argument("run_dir", help="artifact directory written by `trace --record`")
+    report.add_argument(
+        "--json", action="store_true", help="emit the report as JSON instead of Markdown"
+    )
 
     selfcheck = sub.add_parser(
         "selfcheck",
@@ -215,6 +264,40 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _lemma31_analysis(estimate, truth: float, encoder, epsilon: float | None) -> dict:
+    """Observed error vs. the Lemma 3.1 prediction at the *realized* counts.
+
+    The lemma's variance ``sum_j 4^j v_j / (n p_j)`` is evaluated with each
+    bit's realized report count ``c_j`` in place of its expectation
+    ``n p_j`` (dropout and loss make the two differ), then mapped to the
+    real domain through the encoder's linear decode (``std * scale``).  The
+    reported bound is two predicted standard deviations.
+    """
+    variance_encoded = 0.0
+    unbounded = False
+    for j, (mean, count) in enumerate(zip(estimate.bit_means, estimate.counts)):
+        v = per_report_bit_variance(float(np.clip(mean, 0.0, 1.0)), epsilon)
+        if v == 0.0:
+            continue
+        if count <= 0:
+            unbounded = True
+            continue
+        variance_encoded += (4.0**j) * v / float(count)
+    predicted_std = (
+        float("inf") if unbounded else math.sqrt(variance_encoded) * encoder.scale
+    )
+    observed = abs(float(estimate.value) - float(truth))
+    bound = 2.0 * predicted_std
+    return {
+        "truth": float(truth),
+        "observed_error": observed,
+        "predicted_std": predicted_std,
+        "bound_2sigma": bound,
+        "within_bound": bool(observed <= bound),
+        "epsilon": epsilon,
+    }
+
+
 def run_traced_round(
     target: str,
     quick: bool = False,
@@ -225,6 +308,11 @@ def run_traced_round(
     max_retries: int = 0,
     min_quorum: int = 1,
     fault_schedule: str | None = None,
+    record_dir: str | None = None,
+    profile: bool = False,
+    trace_malloc: bool = False,
+    sim_clock: bool = False,
+    as_json: bool = False,
 ) -> dict:
     """Run one instrumented :class:`FederatedMeanQuery` round pipeline.
 
@@ -233,13 +321,22 @@ def run_traced_round(
     assignment, lossy network transmission, optional secure aggregation and
     local DP, and reconstruction.  ``max_retries``/``min_quorum``/
     ``fault_schedule`` configure round-failure recovery (a chaos run: see
-    ``docs/operations.md``).  Returns a summary dict (estimate, truth,
-    paths, reconciliation) after writing the JSONL trace.
+    ``docs/operations.md``).
+
+    ``record_dir`` captures a flight-recorder artifact (event log +
+    manifest, including the privacy ledger and bit-meter totals) for
+    ``repro.cli report``; recording implies the phase profiler.  With
+    ``sim_clock`` every recorded timing comes from a deterministic
+    :class:`SimClock`, so two same-seed runs produce byte-identical
+    artifacts (``trace_malloc`` is ignored in that mode -- allocation peaks
+    are not deterministic).  Returns a summary dict (estimate, truth, paths,
+    analysis, reconciliation).
     """
     stream = stream if stream is not None else sys.stdout
     n_clients = 2_000 if quick else 20_000
     encoder = FixedPointEncoder.for_integers(10)
-    perturbation = RandomizedResponse(epsilon=2.0) if target in _LDP_TRACE_TARGETS else None
+    epsilon = 2.0 if target in _LDP_TRACE_TARGETS else None
+    perturbation = RandomizedResponse(epsilon=epsilon) if epsilon is not None else None
 
     rng = np.random.default_rng(seed)
     population = [
@@ -247,6 +344,10 @@ def run_traced_round(
         for i in range(n_clients)
     ]
     truth = ground_truth_mean([c.values for c in population])
+
+    recording = record_dir is not None
+    accountant = PrivacyAccountant() if recording else None
+    meter = BitMeter(max_bits_per_value=1) if recording else None
     query = FederatedMeanQuery(
         encoder,
         mode="adaptive",
@@ -256,22 +357,84 @@ def run_traced_round(
         secure_aggregation=secure_agg,
         min_reports_per_bit=2,
         min_quorum=min_quorum,
-        retry=RetryPolicy(max_attempts=max_retries + 1) if max_retries > 0 else None,
+        # Recorded runs meter every disclosure at the paper's 1-bit cap, which
+        # requires the two adaptive rounds' cohorts to stay disjoint -- a
+        # redrawn retry cohort could overlap the other round's, so recording
+        # retries the same cohort instead (failed attempts elicit nothing).
+        retry=RetryPolicy(max_attempts=max_retries + 1, redraw_cohort=not recording)
+        if max_retries > 0
+        else None,
         faults=FaultSchedule.load(fault_schedule) if fault_schedule else None,
+        meter=meter,
+        accountant=accountant,
     )
 
-    path = out_path or f"trace_{target}.jsonl"
-    memory = InMemoryExporter()
-    jsonl = JsonLinesExporter(path)
-    tracer = Tracer([memory, jsonl])
+    sim = SimClock(start=1.0, step=0.001) if sim_clock else None
+    profiler = None
+    if profile or trace_malloc or recording:
+        profiler = PhaseProfiler(
+            trace_malloc=trace_malloc and not sim_clock,
+            cpu_clock=sim,
+        )
+
     registry = MetricsRegistry()
+    memory = InMemoryExporter()
+    exporters: list = [memory]
+    # The standalone JSONL trace stays the default; under --record the
+    # artifact's event log subsumes it unless --out asks for both.
+    path = None
+    jsonl = None
+    if out_path is not None or not recording:
+        path = out_path or f"trace_{target}.jsonl"
+        jsonl = JsonLinesExporter(path)
+        exporters.append(jsonl)
+    recorder = None
+    if recording:
+        recorder = FlightRecorder(
+            record_dir,
+            config={
+                "target": target,
+                "quick": quick,
+                "secure_agg": secure_agg,
+                "n_clients": n_clients,
+                "n_bits": encoder.n_bits,
+                "epsilon": epsilon,
+                "max_retries": max_retries,
+                "min_quorum": min_quorum,
+                "sim_clock": sim_clock,
+            },
+            seed=seed,
+            metrics=registry,
+        )
+        exporters.append(recorder)
+    tracer = Tracer(exporters, profiler=profiler, clock=sim, wall_clock=sim)
+
     try:
         with instrumented(tracer, registry):
             estimate = query.run(population, rng=rng)
         snapshot = registry.snapshot()
-        jsonl.export_metrics(snapshot)
+        if jsonl is not None:
+            jsonl.export_metrics(snapshot)
+    except BaseException:
+        if recorder is not None:
+            recorder.close()
+        raise
     finally:
-        jsonl.close()
+        if jsonl is not None:
+            jsonl.close()
+        if profiler is not None:
+            profiler.stop()
+
+    analysis = _lemma31_analysis(estimate, truth, encoder, epsilon)
+    if recorder is not None:
+        recorder.finalize(
+            estimate=estimate,
+            metrics=snapshot,
+            profiler=profiler,
+            accountant=accountant,
+            meter=meter,
+            analysis=analysis,
+        )
 
     counters = snapshot["counters"]
     planned = counters.get("round_reports_planned_total", 0.0)
@@ -286,6 +449,41 @@ def run_traced_round(
         and delivered == sum(s for _, s in history)
     )
 
+    result = {
+        "estimate": estimate,
+        "truth": truth,
+        "path": path,
+        "snapshot": snapshot,
+        "reconciled": reconciled,
+        "n_spans": len(memory.records),
+        "analysis": analysis,
+        "record_dir": str(record_dir) if recording else None,
+    }
+
+    if as_json:
+        payload = {
+            "target": target,
+            "seed": seed,
+            "quick": quick,
+            "secure_agg": secure_agg,
+            "estimate": float(estimate.value),
+            "truth": float(truth),
+            "reconciled": reconciled,
+            "n_spans": len(memory.records),
+            "trace_path": path,
+            "record_dir": result["record_dir"],
+            "analysis": analysis,
+            "recovery": {
+                "round_attempts": estimate.metadata["round_attempts"],
+                "degraded_rounds": estimate.metadata["degraded_rounds"],
+                "backoff_s": estimate.metadata["backoff_s"],
+            },
+            "spans": [record.to_dict() for record in memory.records],
+            "metrics": snapshot,
+        }
+        print(json.dumps(payload, indent=2, default=str), file=stream)
+        return result
+
     print(f"# Traced federated round ({target})", file=stream)
     print(file=stream)
     print(format_span_tree(memory.records), file=stream)
@@ -294,6 +492,11 @@ def run_traced_round(
     print(json.dumps(snapshot, indent=2, default=str), file=stream)
     print(file=stream)
     print(f"estimate: {estimate.value:.4f}  (ground truth {truth:.4f})", file=stream)
+    print(
+        f"lemma 3.1: observed error {analysis['observed_error']:.4f} vs 2-sigma bound "
+        f"{analysis['bound_2sigma']:.4f} (within: {analysis['within_bound']})",
+        file=stream,
+    )
     print(
         f"reports: planned={planned:.0f} delivered={delivered:.0f} lost={lost:.0f}  "
         f"reconciled with RoundOutcome: {reconciled}",
@@ -306,15 +509,38 @@ def run_traced_round(
             f"backoff_s={estimate.metadata['backoff_s']}",
             file=stream,
         )
-    print(f"trace written to {path} ({len(memory.records)} spans + metrics snapshot)", file=stream)
-    return {
-        "estimate": estimate,
-        "truth": truth,
-        "path": path,
-        "snapshot": snapshot,
-        "reconciled": reconciled,
-        "n_spans": len(memory.records),
-    }
+    if accountant is not None:
+        print(f"privacy: epsilon spent = {accountant.spent_epsilon:.4f}", file=stream)
+    if profiler is not None:
+        print(file=stream)
+        print("## Phases (p50/p95/p99 ms)", file=stream)
+        for phase in profiler.phases()[:12]:
+            print(
+                f"{phase.name}: n={phase.count} total={phase.total_s * 1e3:.3f}ms "
+                f"cpu={phase.cpu_total_s * 1e3:.3f}ms p50={phase.p50_s * 1e3:.3f} "
+                f"p95={phase.p95_s * 1e3:.3f} p99={phase.p99_s * 1e3:.3f}",
+                file=stream,
+            )
+    if path is not None:
+        print(
+            f"trace written to {path} ({len(memory.records)} spans + metrics snapshot)",
+            file=stream,
+        )
+    if recorder is not None:
+        print(f"flight-recorder artifact written to {record_dir}", file=stream)
+    return result
+
+
+def run_report_command(run_dir: str, as_json: bool = False, stream=None) -> int:
+    """Render a recorded run directory as Markdown (or JSON with ``--json``)."""
+    stream = stream if stream is not None else sys.stdout
+    artifact = load_run(run_dir)
+    report = build_report(artifact)
+    if as_json:
+        print(json.dumps(report, indent=2, default=str), file=stream)
+    else:
+        print(render_markdown(report), file=stream)
+    return 0
 
 
 def run_selfcheck_command(
@@ -406,8 +632,16 @@ def _dispatch(argv: list[str] | None) -> int:
             max_retries=args.max_retries,
             min_quorum=args.min_quorum,
             fault_schedule=args.fault_schedule,
+            record_dir=args.record,
+            profile=args.profile,
+            trace_malloc=args.trace_malloc,
+            sim_clock=args.sim_clock,
+            as_json=args.json,
         )
         return 0 if result["reconciled"] else 1
+
+    if args.command == "report":
+        return run_report_command(args.run_dir, as_json=args.json)
 
     executor = executor_for(args.workers)
 

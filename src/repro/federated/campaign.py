@@ -45,6 +45,10 @@ class MonitoringCampaign:
         Drift detector fed with each round's estimated bit means; defaults
         to a 3-round window, 2-bit shift threshold, with the noise floor set
         just above zero.
+    recorder:
+        Optional :class:`~repro.observability.recorder.FlightRecorder`; each
+        campaign round appends one ``campaign.round`` event line (estimate,
+        alert, robustness accounting) to the run's event log.
 
     Examples
     --------
@@ -66,11 +70,13 @@ class MonitoringCampaign:
         self,
         query: FederatedMeanQuery,
         monitor: HighBitMonitor | None = None,
+        recorder: Any = None,
     ) -> None:
         self.query = query
         self.monitor = monitor or HighBitMonitor(
             noise_floor=0.01, shift_threshold=2, window=3
         )
+        self.recorder = recorder
         self._records: list[CampaignRecord] = []
 
     # ------------------------------------------------------------------
@@ -98,6 +104,19 @@ class MonitoringCampaign:
             },
         )
         self._records.append(record)
+        if self.recorder is not None:
+            self.recorder.record_event(
+                "campaign.round",
+                {
+                    "round_index": record.round_index,
+                    "estimate": float(estimate.value),
+                    "n_clients": int(estimate.n_clients),
+                    "alert": record.alert.message if record.alert is not None else None,
+                    "round_attempts": record.metadata["round_attempts"],
+                    "degraded": record.metadata["degraded"],
+                    "backoff_s": record.metadata["backoff_s"],
+                },
+            )
         return record
 
     # ------------------------------------------------------------------

@@ -41,7 +41,7 @@ from repro.federated.network import NetworkModel
 from repro.federated.retry import RetryPolicy
 from repro.federated.secure_agg.protocol import SecureAggregationSession
 from repro.observability import get_metrics, get_tracer
-from repro.privacy.accountant import BitMeter
+from repro.privacy.accountant import BitMeter, PrivacyAccountant
 from repro.rng import ensure_rng
 
 __all__ = ["RoundOutcome", "FederatedMeanQuery"]
@@ -144,6 +144,13 @@ class FederatedMeanQuery:
         Optional :class:`~repro.federated.faults.FaultSchedule`; its clock
         advances once per round *attempt* and the active fault overrides
         wrap ``dropout``/``network`` for that attempt.
+    accountant:
+        Optional :class:`~repro.privacy.accountant.PrivacyAccountant`.  When
+        set alongside an LDP ``perturbation``, every *completed* round
+        attempt records one ledger entry of the perturbation's epsilon
+        (sequential composition across rounds; a failed attempt elicits
+        nothing and spends nothing).  Flight-recorder manifests surface the
+        resulting ledger as the run's epsilon-spend timeline.
     """
 
     def __init__(
@@ -170,6 +177,7 @@ class FederatedMeanQuery:
         degraded_fraction: float = 0.5,
         retry: RetryPolicy | None = None,
         faults: FaultSchedule | None = None,
+        accountant: PrivacyAccountant | None = None,
     ) -> None:
         if mode not in _MODES:
             raise ConfigurationError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -217,6 +225,7 @@ class FederatedMeanQuery:
         self.degraded_fraction = degraded_fraction
         self.retry = retry
         self.faults = faults
+        self.accountant = accountant
         self.dropout_tracker = DropoutRateTracker(
             prior_rate=dropout.rate if dropout is not None else 0.0
         )
@@ -514,6 +523,16 @@ class FederatedMeanQuery:
                 round_duration_s=duration,
                 degraded=degraded,
             )
+            if self.accountant is not None and self.perturbation is not None:
+                epsilon = getattr(self.perturbation, "epsilon", None)
+                if epsilon is not None:
+                    self.accountant.spend(
+                        float(epsilon),
+                        note=(
+                            f"round {round_index} attempt {attempt}: randomized response "
+                            f"over {int(survivors.size)} reports"
+                        ),
+                    )
             round_span.set_attribute("surviving_clients", outcome.surviving_clients)
             round_span.set_attribute("round_duration_s", outcome.round_duration_s)
             if degraded:

@@ -24,6 +24,7 @@ from repro.core.protocol import BitPerturbation, bit_means_from_stats
 from repro.core.results import MeanEstimate, RoundSummary
 from repro.exceptions import CohortTooSmallError, ConfigurationError, ProtocolError
 from repro.federated.client import BitReport
+from repro.observability import get_metrics, get_tracer
 
 __all__ = ["StreamingAggregator"]
 
@@ -99,6 +100,7 @@ class StreamingAggregator:
         self._clients_seen.add(report.client_id)
         self._sums[report.bit_index] += report.bit
         self._counts[report.bit_index] += 1
+        get_metrics().counter("streaming_reports_total").inc()
 
     def submit_many(self, reports: Iterable[BitReport]) -> int:
         """Fold in a burst of reports; returns how many were accepted."""
@@ -115,38 +117,50 @@ class StreamingAggregator:
         Non-destructive: accumulation continues afterwards, and later
         snapshots incorporate everything received so far.
         """
+        metrics = get_metrics()
         total = int(self._counts.sum())
-        if total < self.min_reports:
-            raise CohortTooSmallError(
-                f"only {total} reports accumulated; minimum is {self.min_reports}"
+        with get_tracer().span(
+            "streaming.estimate", {"reports": total, "n_bits": self.encoder.n_bits}
+        ) as span:
+            if total < self.min_reports:
+                raise CohortTooSmallError(
+                    f"only {total} reports accumulated; minimum is {self.min_reports}"
+                )
+            means = bit_means_from_stats(
+                self._sums.copy(), self._counts.copy(), self.perturbation
             )
-        means = bit_means_from_stats(self._sums.copy(), self._counts.copy(), self.perturbation)
-        if self.perturbation is not None:
-            means = np.clip(means, 0.0, 1.0)
-        encoded_mean = float(self.encoder.powers @ means)
-        counts = self._counts.copy()
-        summary = RoundSummary(
-            probabilities=np.where(counts > 0, counts / total, 0.0),
-            counts=counts,
-            sums=means * counts,
-            bit_means=means,
-            n_clients=total,
-        )
-        metadata: dict = {"ldp": self.perturbation is not None, "streaming": True}
-        if self.target_reports is not None:
-            metadata["degraded"] = total < self.target_reports
-            metadata["evidence_ratio"] = total / self.target_reports
-        return MeanEstimate(
-            value=self.encoder.decode_scalar(encoded_mean),
-            encoded_value=encoded_mean,
-            bit_means=means,
-            counts=counts,
-            n_clients=total,
-            n_bits=self.encoder.n_bits,
-            method="streaming",
-            rounds=(summary,),
-            metadata=metadata,
-        )
+            if self.perturbation is not None:
+                means = np.clip(means, 0.0, 1.0)
+            encoded_mean = float(self.encoder.powers @ means)
+            counts = self._counts.copy()
+            summary = RoundSummary(
+                probabilities=np.where(counts > 0, counts / total, 0.0),
+                counts=counts,
+                sums=means * counts,
+                bit_means=means,
+                n_clients=total,
+            )
+            metadata: dict = {"ldp": self.perturbation is not None, "streaming": True}
+            if self.target_reports is not None:
+                metadata["degraded"] = total < self.target_reports
+                metadata["evidence_ratio"] = total / self.target_reports
+                if metadata["degraded"]:
+                    span.set_attribute("degraded", True)
+                    metrics.counter("streaming_degraded_snapshots_total").inc()
+            metrics.counter("streaming_snapshots_total").inc()
+            value = self.encoder.decode_scalar(encoded_mean)
+            span.set_attribute("estimate", value)
+            return MeanEstimate(
+                value=value,
+                encoded_value=encoded_mean,
+                bit_means=means,
+                counts=counts,
+                n_clients=total,
+                n_bits=self.encoder.n_bits,
+                method="streaming",
+                rounds=(summary,),
+                metadata=metadata,
+            )
 
     # ------------------------------------------------------------------
     @property

@@ -244,8 +244,13 @@ _FORK_PAYLOAD: tuple[CellTask, type] | None = None
 
 def _forked_chunk(
     chunk_index: int, rep_seeds: Sequence[np.random.SeedSequence]
-) -> tuple[int, np.ndarray, np.ndarray, float]:
-    """Worker entry point: run one chunk from the fork-inherited payload."""
+) -> tuple[int, np.ndarray, np.ndarray, float, float]:
+    """Worker entry point: run one chunk from the fork-inherited payload.
+
+    Returns the chunk's wall and CPU cost alongside its results: workers run
+    with observability disabled, so the parent folds their cost into its own
+    profiler (:meth:`PhaseProfiler.merge_external`) after the fact.
+    """
     from repro import observability
 
     # A forked worker inherits the parent's exporters (shared file
@@ -254,8 +259,15 @@ def _forked_chunk(
     assert _FORK_PAYLOAD is not None, "worker forked without a cell payload"
     task, bitgen_cls = _FORK_PAYLOAD
     start = time.perf_counter()
+    cpu_start = time.process_time()
     estimates, truths = run_rep_chunk(task, rep_seeds, bitgen_cls)
-    return chunk_index, estimates, truths, time.perf_counter() - start
+    return (
+        chunk_index,
+        estimates,
+        truths,
+        time.perf_counter() - start,
+        time.process_time() - cpu_start,
+    )
 
 
 class ParallelExecutor(TrialExecutor):
@@ -313,15 +325,19 @@ class ParallelExecutor(TrialExecutor):
                     pool.submit(_forked_chunk, index, chunk)
                     for index, chunk in enumerate(chunks)
                 ]
+                profiler = getattr(tracer, "profiler", None)
                 for future in futures:
                     with tracer.span("executor.chunk", {"backend": "process-pool"}) as span:
-                        index, chunk_estimates, chunk_truths, duration = future.result()
+                        index, chunk_estimates, chunk_truths, duration, cpu = future.result()
                         lo, hi = bounds[index], bounds[index + 1]
                         estimates[lo:hi] = chunk_estimates
                         truths[lo:hi] = chunk_truths
                         span.set_attribute("chunk", index)
                         span.set_attribute("reps", int(hi - lo))
                         span.set_attribute("worker_duration_s", duration)
+                        span.set_attribute("worker_cpu_s", cpu)
+                        if profiler is not None:
+                            profiler.merge_external("executor.worker", duration, cpu)
         finally:
             _FORK_PAYLOAD = None
         _record_cell_metrics(n_reps, n_chunks, time.perf_counter() - start)

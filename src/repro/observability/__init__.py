@@ -40,19 +40,39 @@ from repro.observability.metrics import (
     NullMetrics,
     NULL_METRICS,
 )
+from repro.observability.profiler import (
+    DEFAULT_PHASE_BUCKETS,
+    PhaseProfiler,
+    PhaseSummary,
+)
+from repro.observability.recorder import (
+    ARTIFACT_FORMAT,
+    FlightRecorder,
+    git_revision,
+)
+from repro.observability.report import (
+    RunArtifact,
+    build_report,
+    load_run,
+    render_markdown,
+)
 from repro.observability.tracing import (
     NullSpan,
     NullTracer,
     NULL_TRACER,
+    SimClock,
     Span,
     SpanRecord,
     Tracer,
 )
 
 __all__ = [
+    "ARTIFACT_FORMAT",
     "ConsoleExporter",
     "Counter",
     "DEFAULT_DURATION_BUCKETS",
+    "DEFAULT_PHASE_BUCKETS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "InMemoryExporter",
@@ -63,15 +83,23 @@ __all__ = [
     "NullMetrics",
     "NullSpan",
     "NullTracer",
+    "PhaseProfiler",
+    "PhaseSummary",
+    "RunArtifact",
+    "SimClock",
     "Span",
     "SpanRecord",
     "Tracer",
+    "build_report",
     "configure",
     "disable",
     "format_span_tree",
     "get_metrics",
     "get_tracer",
+    "git_revision",
     "instrumented",
+    "load_run",
+    "render_markdown",
 ]
 
 # Process-wide instrumentation state.  Plain module globals (not

@@ -75,13 +75,30 @@ class ConsoleExporter:
 
 
 class JsonLinesExporter:
-    """Appends one JSON object per record to a ``.jsonl`` file."""
+    """Writes one JSON object per record to a ``.jsonl`` file.
 
-    def __init__(self, path: str | Path) -> None:
+    Parameters
+    ----------
+    path:
+        Destination file; parent directories are created.
+    flush_every:
+        Flush the OS buffer after this many written lines (default 1: every
+        line reaches disk immediately, so a crashed run keeps its event-log
+        tail).  ``0`` restores the historical buffer-until-close behaviour.
+    append:
+        Open the file in append mode instead of truncating, so a resumed
+        run extends an earlier event log rather than erasing it.
+    """
+
+    def __init__(self, path: str | Path, flush_every: int = 1, append: bool = False) -> None:
+        if flush_every < 0:
+            raise ValueError(f"flush_every must be >= 0, got {flush_every}")
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
-        self._handle: IO[str] | None = self.path.open("w")
+        self._handle: IO[str] | None = self.path.open("a" if append else "w")
+        self._flush_every = int(flush_every)
+        self._unflushed = 0
 
     def export(self, record: SpanRecord) -> None:
         self._write(record.to_dict())
@@ -90,12 +107,20 @@ class JsonLinesExporter:
         """Append a metrics-snapshot line alongside the spans."""
         self._write({"type": "metrics", "metrics": dict(snapshot)})
 
+    def write_line(self, payload: Mapping[str, Any]) -> None:
+        """Append one arbitrary JSON-ready object (flight-recorder events)."""
+        self._write(payload)
+
     def _write(self, payload: Mapping[str, Any]) -> None:
         line = json.dumps(payload, default=str)
         with self._lock:
             if self._handle is None:
                 raise ValueError(f"exporter for {self.path} is closed")
             self._handle.write(line + "\n")
+            self._unflushed += 1
+            if self._flush_every and self._unflushed >= self._flush_every:
+                self._handle.flush()
+                self._unflushed = 0
 
     def close(self) -> None:
         with self._lock:
@@ -112,11 +137,21 @@ class JsonLinesExporter:
 
 
 def format_span_tree(records: Iterable[SpanRecord]) -> str:
-    """Render finished spans as an indented tree (roots in start order)."""
+    """Render finished spans as an indented tree (roots in start order).
+
+    A span whose ``parent_id`` is not among ``records`` -- because an
+    exporter was attached mid-run, or the caller filtered the stream -- is
+    rendered as a synthetic root rather than silently dropped, interleaved
+    with the true roots in start-time order.
+    """
     records = list(records)
+    known_ids = {record.span_id for record in records}
     by_parent: dict[int | None, list[SpanRecord]] = {}
     for record in records:
-        by_parent.setdefault(record.parent_id, []).append(record)
+        parent = record.parent_id
+        if parent is not None and parent not in known_ids:
+            parent = None
+        by_parent.setdefault(parent, []).append(record)
     for siblings in by_parent.values():
         siblings.sort(key=lambda r: r.start_time_s)
 

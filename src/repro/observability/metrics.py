@@ -141,14 +141,60 @@ class Histogram:
     def sum(self) -> float:
         return self._sum
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile of everything observed so far.
+
+        Linear interpolation within the bucket holding the ``q``-th ranked
+        observation, with the first bucket's lower edge taken as 0.0 (these
+        instruments measure non-negative quantities); observations in the
+        implicit overflow bucket clamp to the last finite bound.  The value
+        depends only on the bucket *counts*, never on the raw observations,
+        so two runs whose observations land in the same buckets report
+        identical quantiles -- what keeps recorded run reports stable.
+        Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile q must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        return self._quantile_from_counts(self.buckets, counts, total, q)
+
+    @staticmethod
+    def _quantile_from_counts(
+        buckets: Sequence[float], counts: Sequence[int], total: int, q: float
+    ) -> float:
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for i, count in enumerate(counts):
+            if count and (cumulative + count >= rank or i == len(counts) - 1):
+                if i == len(buckets):
+                    # Overflow bucket: no upper edge to interpolate toward.
+                    return float(buckets[-1])
+                upper = float(buckets[i])
+                lower = 0.0 if i == 0 else float(buckets[i - 1])
+                if i == 0 and upper <= 0.0:
+                    return upper
+                fraction = min(max((rank - cumulative) / count, 0.0), 1.0)
+                return lower + fraction * (upper - lower)
+            cumulative += count
+        return float(buckets[-1])
+
     def to_dict(self) -> dict[str, Any]:
         with self._lock:
-            return {
+            counts = list(self._counts)
+            total = self._count
+            payload = {
                 "buckets": list(self.buckets),
-                "counts": list(self._counts),
+                "counts": counts,
                 "sum": self._sum,
-                "count": self._count,
+                "count": total,
             }
+        for key, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+            payload[key] = self._quantile_from_counts(self.buckets, counts, total, q)
+        return payload
 
 
 class MetricsRegistry:
@@ -227,6 +273,9 @@ class _NullInstrument:
 
     def observe_array(self, values) -> None:
         pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
 
     def to_dict(self) -> dict[str, Any]:
         return {}

@@ -26,7 +26,36 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
-__all__ = ["SpanRecord", "Span", "NullSpan", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = [
+    "SpanRecord",
+    "Span",
+    "NullSpan",
+    "SimClock",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+]
+
+
+class SimClock:
+    """Deterministic clock: the n-th call returns ``start + n * step``.
+
+    Installed as a :class:`Tracer`'s clock (and a profiler's CPU clock) it
+    makes every recorded timestamp and duration a pure function of the call
+    sequence, so two runs with the same seed produce *byte-identical*
+    flight-recorder artifacts and reports (``repro.cli trace --sim-clock``).
+    """
+
+    __slots__ = ("_now", "step")
+
+    def __init__(self, start: float = 0.0, step: float = 0.001) -> None:
+        self._now = float(start)
+        self.step = float(step)
+
+    def __call__(self) -> float:
+        now = self._now
+        self._now = now + self.step
+        return now
 
 
 @dataclass(frozen=True)
@@ -58,7 +87,16 @@ class SpanRecord:
 class Span:
     """A live span: a reentrant-safe context manager owned by one tracer."""
 
-    __slots__ = ("_tracer", "name", "attributes", "span_id", "parent_id", "_start", "_wall_start")
+    __slots__ = (
+        "_tracer",
+        "name",
+        "attributes",
+        "span_id",
+        "parent_id",
+        "_start",
+        "_wall_start",
+        "_profile",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, Any]) -> None:
         self._tracer = tracer
@@ -68,6 +106,7 @@ class Span:
         self.parent_id: int | None = None
         self._start = 0.0
         self._wall_start = 0.0
+        self._profile: Any = None
 
     def set_attribute(self, key: str, value: Any) -> None:
         """Attach one attribute to the span (overwrites an existing key)."""
@@ -76,12 +115,18 @@ class Span:
     def __enter__(self) -> "Span":
         self.span_id = self._tracer._next_id()
         self.parent_id = self._tracer._push(self.span_id)
-        self._wall_start = time.time()
-        self._start = time.perf_counter()
+        profiler = self._tracer.profiler
+        if profiler is not None:
+            self._profile = profiler.begin()
+        self._wall_start = self._tracer._wall()
+        self._start = self._tracer._clock()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        duration = time.perf_counter() - self._start
+        duration = self._tracer._clock() - self._start
+        profiler = self._tracer.profiler
+        if profiler is not None and self._profile is not None:
+            self.attributes.update(profiler.end(self._profile))
         self._tracer._pop()
         record = SpanRecord(
             name=self.name,
@@ -124,14 +169,32 @@ class Tracer:
     exporters:
         Objects with an ``export(record: SpanRecord)`` method.  Exporters
         may be added later with :meth:`add_exporter`.
+    profiler:
+        Optional :class:`~repro.observability.profiler.PhaseProfiler`.  When
+        set, every span is enriched with CPU time (and, opt-in, peak
+        allocation) attributes on close, and the profiler accumulates
+        per-phase latency histograms from the finished records.
+    clock, wall_clock:
+        Monotonic-duration and wall-timestamp clocks (default
+        :func:`time.perf_counter` / :func:`time.time`).  Swap both for one
+        :class:`SimClock` to make recorded timings deterministic.
     """
 
     enabled = True
 
-    def __init__(self, exporters: Sequence[Any] = ()) -> None:
+    def __init__(
+        self,
+        exporters: Sequence[Any] = (),
+        profiler: Any = None,
+        clock: Any = None,
+        wall_clock: Any = None,
+    ) -> None:
         self._exporters = list(exporters)
         self._ids = itertools.count(1)
         self._local = threading.local()
+        self.profiler = profiler
+        self._clock = clock if clock is not None else time.perf_counter
+        self._wall = wall_clock if wall_clock is not None else time.time
 
     def add_exporter(self, exporter: Any) -> None:
         self._exporters.append(exporter)
@@ -165,12 +228,15 @@ class Tracer:
     def _export(self, record: SpanRecord) -> None:
         for exporter in self._exporters:
             exporter.export(record)
+        if self.profiler is not None:
+            self.profiler.observe(record)
 
 
 class NullTracer:
     """Zero-overhead tracer: every ``span()`` call returns the same no-op."""
 
     enabled = False
+    profiler = None
 
     def add_exporter(self, exporter: Any) -> None:
         pass

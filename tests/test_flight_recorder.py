@@ -1,0 +1,197 @@
+"""Flight recorder + run report integration tests (PR 5 tentpole).
+
+A recorded `trace --record` run must produce a complete artifact (event
+log + manifest), render into a report containing every section the issue
+demands (phase percentiles, bits sent, epsilon spend, recovery timeline,
+Lemma 3.1 bound), and -- under ``--sim-clock`` -- be byte-identical across
+two same-seed runs.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main, run_traced_round
+from repro.observability import build_report, load_run, render_markdown
+from repro.observability.recorder import (
+    ARTIFACT_FORMAT,
+    EVENTS_FILENAME,
+    MANIFEST_FILENAME,
+    FlightRecorder,
+)
+from repro.observability.tracing import SpanRecord
+
+
+def _run_recorded(tmp_path, name="run", **kwargs):
+    record_dir = tmp_path / name
+    defaults = dict(
+        target="3a",
+        quick=True,
+        seed=7,
+        sim_clock=True,
+        record_dir=str(record_dir),
+        stream=io.StringIO(),
+    )
+    defaults.update(kwargs)
+    result = run_traced_round(**defaults)
+    return record_dir, result
+
+
+class TestFlightRecorderUnit:
+    def test_round_boundary_snapshot_written(self, tmp_path):
+        class FakeMetrics:
+            def snapshot(self):
+                return {"counters": {"rounds_total": 1.0}}
+
+        recorder = FlightRecorder(tmp_path / "run", metrics=FakeMetrics())
+        recorder.export(
+            SpanRecord(
+                name="federated.round",
+                span_id=1,
+                parent_id=None,
+                start_time_s=0.0,
+                duration_s=0.1,
+                attributes={"round_index": 1, "attempt": 1},
+            )
+        )
+        recorder.record_event("note", {"detail": "hello"})
+        manifest = recorder.finalize()
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / "run" / EVENTS_FILENAME).read_text().splitlines()
+        ]
+        types = [line["type"] for line in lines]
+        assert types == ["span", "round", "event"]
+        assert lines[1]["metrics"]["counters"]["rounds_total"] == 1.0
+        assert manifest["events"] == {
+            "path": EVENTS_FILENAME,
+            "spans": 1,
+            "rounds": 1,
+            "events": 1,
+        }
+
+    def test_finalize_twice_raises(self, tmp_path):
+        recorder = FlightRecorder(tmp_path / "run")
+        recorder.finalize()
+        with pytest.raises(ValueError):
+            recorder.finalize()
+
+    def test_load_run_skips_malformed_tail(self, tmp_path):
+        recorder = FlightRecorder(tmp_path / "run")
+        recorder.record_event("ok")
+        recorder.finalize()
+        events = tmp_path / "run" / EVENTS_FILENAME
+        events.write_text(events.read_text() + '{"type": "span", "trunc')
+        artifact = load_run(tmp_path / "run")
+        assert artifact.skipped_lines == 1
+        assert len(artifact.events) == 1
+
+    def test_load_run_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_run(tmp_path / "nope")
+
+
+class TestRecordedRun:
+    def test_artifact_contents(self, tmp_path):
+        record_dir, result = _run_recorded(tmp_path)
+        assert (record_dir / EVENTS_FILENAME).exists()
+        manifest = json.loads((record_dir / MANIFEST_FILENAME).read_text())
+        assert manifest["format"] == ARTIFACT_FORMAT
+        assert manifest["seed"] == 7
+        assert manifest["config"]["target"] == "3a"
+        assert manifest["config"]["epsilon"] == 2.0
+        # Two adaptive rounds -> two ledger spends of epsilon=2 each.
+        assert manifest["privacy"]["epsilon_spent"] == pytest.approx(4.0)
+        assert len(manifest["privacy"]["ledger"]) == 2
+        # Every delivered report is one metered bit.
+        delivered = manifest["metrics"]["counters"]["round_reports_delivered_total"]
+        assert manifest["bit_meter"]["total_bits"] == int(delivered)
+        assert manifest["bit_meter"]["max_bits_per_value"] == 1
+        assert manifest["estimate"]["n_clients"] == 2000
+        assert manifest["analysis"]["bound_2sigma"] > 0
+        phases = {p["name"] for p in manifest["profile"]["phases"]}
+        assert "federated.round" in phases
+        assert result["reconciled"]
+
+    def test_event_log_has_round_boundaries(self, tmp_path):
+        record_dir, _ = _run_recorded(tmp_path)
+        lines = [
+            json.loads(line)
+            for line in (record_dir / EVENTS_FILENAME).read_text().splitlines()
+        ]
+        rounds = [line for line in lines if line["type"] == "round"]
+        assert len(rounds) == 2
+        assert rounds[0]["boundary"] == 1
+        assert "counters" in rounds[0]["metrics"]
+
+    def test_report_contains_required_sections(self, tmp_path):
+        record_dir, _ = _run_recorded(tmp_path)
+        report = build_report(load_run(record_dir))
+        markdown = render_markdown(report)
+        for needle in (
+            "## Estimate vs. Lemma 3.1",
+            "two-sigma bound",
+            "## Communication budget",
+            "bits sent",
+            "## Privacy spend",
+            "randomized response",
+            "## Retry / degradation timeline",
+            "## Phase profile",
+            "p50 ms | p95 ms | p99 ms",
+            "## Hot-path span tree",
+            "federated.round",
+        ):
+            assert needle in markdown, f"report is missing {needle!r}"
+
+    def test_sim_clock_runs_are_byte_identical(self, tmp_path):
+        dir_a, _ = _run_recorded(tmp_path / "a", name="run")
+        dir_b, _ = _run_recorded(tmp_path / "b", name="run")
+        assert (dir_a / EVENTS_FILENAME).read_bytes() == (dir_b / EVENTS_FILENAME).read_bytes()
+        assert (dir_a / MANIFEST_FILENAME).read_bytes() == (
+            dir_b / MANIFEST_FILENAME
+        ).read_bytes()
+        report_a = render_markdown(build_report(load_run(dir_a)))
+        report_b = render_markdown(build_report(load_run(dir_b)))
+        assert report_a == report_b
+
+    def test_chaos_run_records_retries_and_degradation(self, tmp_path):
+        record_dir, result = _run_recorded(
+            tmp_path,
+            seed=3,
+            max_retries=3,
+            min_quorum=100,
+            fault_schedule="1:blackout;2:loss=0.6",
+        )
+        assert result["reconciled"]
+        report = build_report(load_run(record_dir))
+        kinds = {entry["kind"] for entry in report["recovery"]}
+        assert "failed" in kinds
+        assert "retry" in kinds
+        markdown = render_markdown(report)
+        assert "retry" in markdown
+        assert "below quorum" in markdown
+
+    def test_report_cli_roundtrip(self, tmp_path, capsys):
+        record_dir, _ = _run_recorded(tmp_path)
+        assert main(["report", str(record_dir)]) == 0
+        markdown = capsys.readouterr().out
+        assert "# Run report:" in markdown
+        assert "## Phase profile" in markdown
+        assert main(["report", str(record_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seed"] == 7
+        assert payload["privacy"]["epsilon_spent"] == pytest.approx(4.0)
+        assert payload["communication"]["bits_sent"] > 0
+        assert payload["analysis"]["within_bound"] in (True, False)
+
+    def test_unrecorded_run_has_no_artifact_side_effects(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        result = run_traced_round(
+            "1a", quick=True, seed=0, out_path=str(out), stream=io.StringIO()
+        )
+        assert result["record_dir"] is None
+        assert out.exists()
+        assert list(tmp_path.iterdir()) == [out]
