@@ -1,6 +1,6 @@
 # Convenience targets for the bit-pushing reproduction.
 
-.PHONY: install test lint selfcheck bench bench-check report-demo figures experiments examples clean
+.PHONY: install test lint selfcheck bench bench-check report-demo health-demo figures experiments examples clean
 
 install:
 	pip install -e .[dev]
@@ -38,6 +38,11 @@ bench-check: bench
 report-demo:
 	python -m repro.cli trace 1a --quick --seed 7 --sim-clock --record out/report-demo
 	python -m repro.cli report out/report-demo
+
+# Scripted chaos campaign: the retry-storm alert must fire during the fault
+# burst and resolve over the clean tail, or the target fails.
+health-demo:
+	python scripts/health_demo.py --assert-retry-storm
 
 # Reproduce every paper figure at full scale (tables to stdout).
 figures:

@@ -1,0 +1,134 @@
+"""Deterministic chaos campaign demonstrating the health plane end to end.
+
+Usage::
+
+    python scripts/health_demo.py                       # narrate the campaign
+    python scripts/health_demo.py --assert-retry-storm  # CI gate (exit 1 on miss)
+    python scripts/health_demo.py --out out/health_demo # persist alerts.jsonl
+
+Runs a seeded basic-mode monitoring campaign against the fault schedule
+``2:blackout;4-5:loss=0.6`` with a quorum high enough that a loss=0.6
+attempt fails.  The attempt-tick arithmetic is deterministic: attempt 2
+(the blackout) and attempts 4-5 (the loss bursts) fail and are retried, so
+the retry-storm rule *must* fire mid-campaign, and the quiet tail of clean
+rounds *must* resolve it.  ``--assert-retry-storm`` turns that obligation
+into an exit code -- the CI chaos job runs it next to the failure-injection
+tests.
+
+Every round attempt is reported to the :class:`HealthMonitor` through the
+query's direct hook (no tracer involved), and a :class:`LiveMonitor` on
+stderr shows what an operator watching the campaign would see.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import FixedPointEncoder
+from repro.federated import (
+    ClientDevice,
+    FaultSchedule,
+    FederatedMeanQuery,
+    MonitoringCampaign,
+    NetworkModel,
+    RetryPolicy,
+)
+from repro.observability import ALERTS_FILENAME, HealthMonitor, LiveMonitor, default_rules
+
+FAULT_SPEC = "2:blackout;4-5:loss=0.6"
+
+
+def run_demo(
+    seed: int = 0,
+    rounds: int = 10,
+    n_clients: int = 400,
+    out_dir: str | None = None,
+) -> HealthMonitor:
+    """Run the chaos campaign; returns the health monitor for inspection."""
+    rng = np.random.default_rng(seed)
+    population = [
+        ClientDevice(i, np.clip(rng.normal(600.0, 100.0, 1), 0.0, None))
+        for i in range(n_clients)
+    ]
+    sink = None
+    if out_dir is not None:
+        sink = Path(out_dir) / ALERTS_FILENAME
+    health = HealthMonitor(rules=default_rules(), sink=sink)
+    live = LiveMonitor(planned_rounds=rounds, health=health)
+    query = FederatedMeanQuery(
+        FixedPointEncoder.for_integers(10),
+        mode="basic",
+        network=NetworkModel(loss_rate=0.05, deadline_s=600.0),
+        # loss=0.6 leaves ~38% of the cohort: below half, so the burst rounds
+        # fail and retry; the clean baseline (~95% delivery) clears easily.
+        min_quorum=n_clients // 2,
+        retry=RetryPolicy(max_attempts=4, redraw_cohort=False),
+        faults=FaultSchedule.from_spec(FAULT_SPEC),
+        health=health,
+    )
+    campaign = MonitoringCampaign(query, health=health, live=live)
+    for _ in range(rounds):
+        campaign.run_round(population, rng=rng)
+    live.finish(estimate=campaign.estimates[-1])
+    health.close()
+    return health
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0, help="campaign RNG seed")
+    parser.add_argument("--rounds", type=int, default=10, help="campaign rounds to run")
+    parser.add_argument(
+        "--out", default=None, metavar="DIR", help="also persist alerts.jsonl into DIR"
+    )
+    parser.add_argument(
+        "--assert-retry-storm",
+        action="store_true",
+        help="exit 1 unless the retry-storm alert both fired and resolved",
+    )
+    args = parser.parse_args(argv)
+
+    health = run_demo(seed=args.seed, rounds=args.rounds, out_dir=args.out)
+
+    print(f"# Health demo: chaos campaign under '{FAULT_SPEC}'")
+    print()
+    if health.events:
+        print("| t (s) | rule | severity | state | detail |")
+        print("| --- | --- | --- | --- | --- |")
+        for event in health.events:
+            print(
+                f"| {event.t_s:.3f} | {event.rule} | {event.severity} | "
+                f"{event.state} | {event.detail} |"
+            )
+    else:
+        print("(no alert transitions)")
+    summary = health.summary()
+    print()
+    print(
+        f"fired: {summary['fired_total']}  resolved: {summary['resolved_total']}  "
+        f"active: {len(summary['active'])}"
+    )
+    if args.out:
+        print(f"alerts written to {Path(args.out) / ALERTS_FILENAME}")
+
+    if args.assert_retry_storm:
+        storm = summary["by_rule"].get("retry-storm", {})
+        if not storm.get("fired"):
+            print("ASSERTION FAILED: retry-storm alert never fired", file=sys.stderr)
+            return 1
+        if storm.get("resolved", 0) < storm.get("fired", 0):
+            print(
+                "ASSERTION FAILED: retry-storm alert fired but never resolved",
+                file=sys.stderr,
+            )
+            return 1
+        print("retry-storm alert fired and resolved, as scripted")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -10,6 +10,9 @@ Usage::
     python -m repro.cli trace 1a --quick     # traced federated round -> JSONL
     python -m repro.cli trace 3a --record out/run1 --sim-clock  # flight-recorder artifact
     python -m repro.cli report out/run1      # render the artifact as Markdown
+    python -m repro.cli runs list out        # index recorded runs under a root
+    python -m repro.cli runs compare out/run1 out/run2  # cross-run deltas
+    python -m repro.cli runs check out/run1 out/run2    # regression gate (exit 1)
     python -m repro.cli list
 
 Each figure/ablation command prints the figure's series as a markdown table
@@ -72,18 +75,27 @@ from repro.federated import (
 from repro.analysis import per_report_bit_variance
 from repro.metrics.execution import executor_for
 from repro.observability import (
+    ALERTS_FILENAME,
     FlightRecorder,
+    HealthMonitor,
     InMemoryExporter,
     JsonLinesExporter,
+    LiveMonitor,
     MetricsRegistry,
     PhaseProfiler,
     SimClock,
     Tracer,
     build_report,
+    check_comparison,
+    compare_runs,
+    default_rules,
     format_span_tree,
     instrumented,
     load_run,
+    render_compare_markdown,
+    render_list_markdown,
     render_markdown,
+    scan_runs,
 )
 from repro.privacy import RandomizedResponse
 from repro.privacy.accountant import BitMeter, PrivacyAccountant
@@ -96,6 +108,7 @@ __all__ = [
     "ABLATIONS",
     "run_traced_round",
     "run_report_command",
+    "run_runs_command",
     "run_selfcheck_command",
 ]
 
@@ -231,6 +244,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="time spans with a deterministic simulated clock so same-seed runs "
         "produce byte-identical traces, artifacts, and reports",
     )
+    trace.add_argument(
+        "--watch", action="store_true",
+        help="render live per-round progress (throughput, ETA, active alerts) "
+        "to stderr; stdout output is unchanged",
+    )
 
     report = sub.add_parser(
         "report",
@@ -239,6 +257,40 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("run_dir", help="artifact directory written by `trace --record`")
     report.add_argument(
         "--json", action="store_true", help="emit the report as JSON instead of Markdown"
+    )
+
+    runs = sub.add_parser(
+        "runs",
+        help="query the run registry: list recorded artifacts, compare two runs, "
+        "or gate a candidate run against a baseline",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser(
+        "list", help="index every recorded artifact directory under a root"
+    )
+    runs_list.add_argument("root", help="directory scanned recursively for manifest.json")
+    runs_list.add_argument(
+        "--json", action="store_true", help="emit the index as JSON instead of Markdown"
+    )
+    runs_compare = runs_sub.add_parser(
+        "compare",
+        help="cross-run deltas (phase percentiles, counters, estimate error, alerts)",
+    )
+    runs_compare.add_argument("baseline", help="baseline artifact directory")
+    runs_compare.add_argument("candidate", help="candidate artifact directory")
+    runs_compare.add_argument(
+        "--json", action="store_true", help="emit the comparison as JSON instead of Markdown"
+    )
+    runs_check = runs_sub.add_parser(
+        "check",
+        help="gate a candidate run against a baseline (exit 1 on regression), "
+        "in the style of bench-check",
+    )
+    runs_check.add_argument("baseline", help="baseline artifact directory")
+    runs_check.add_argument("candidate", help="candidate artifact directory")
+    runs_check.add_argument(
+        "--tolerance", type=float, default=1.25,
+        help="ratio past which a phase-p95 or estimate-error regression fails (default 1.25)",
     )
 
     selfcheck = sub.add_parser(
@@ -313,6 +365,8 @@ def run_traced_round(
     trace_malloc: bool = False,
     sim_clock: bool = False,
     as_json: bool = False,
+    watch: bool = False,
+    watch_stream=None,
 ) -> dict:
     """Run one instrumented :class:`FederatedMeanQuery` round pipeline.
 
@@ -329,7 +383,12 @@ def run_traced_round(
     ``sim_clock`` every recorded timing comes from a deterministic
     :class:`SimClock`, so two same-seed runs produce byte-identical
     artifacts (``trace_malloc`` is ignored in that mode -- allocation peaks
-    are not deterministic).  Returns a summary dict (estimate, truth, paths,
+    are not deterministic, but ``alerts.jsonl`` is: alert times derive from
+    span times).  Every run evaluates the default SLO health rules per
+    round; recorded runs persist the transitions to ``alerts.jsonl`` and the
+    summary into the manifest.  ``watch`` renders live per-round progress
+    and active alerts to ``watch_stream`` (stderr by default) without
+    touching stdout.  Returns a summary dict (estimate, truth, paths,
     analysis, reconciliation).
     """
     stream = stream if stream is not None else sys.stdout
@@ -407,6 +466,22 @@ def run_traced_round(
             metrics=registry,
         )
         exporters.append(recorder)
+    # SLO watchdog: every round span is one health sample; recorded runs
+    # persist fire/resolve transitions next to the artifact.  The adaptive
+    # pipeline plans 2 rounds, each spending the perturbation's epsilon.
+    health = HealthMonitor(
+        rules=default_rules(
+            epsilon_budget=2.0 * epsilon if epsilon is not None else None,
+            planned_rounds=2,
+        ),
+        metrics=registry,
+        sink=(recorder.directory / ALERTS_FILENAME) if recorder is not None else None,
+    )
+    exporters.append(health)
+    live = None
+    if watch:
+        live = LiveMonitor(planned_rounds=2, health=health, stream=watch_stream)
+        exporters.append(live)
     tracer = Tracer(exporters, profiler=profiler, clock=sim, wall_clock=sim)
 
     try:
@@ -426,6 +501,11 @@ def run_traced_round(
             profiler.stop()
 
     analysis = _lemma31_analysis(estimate, truth, encoder, epsilon)
+    health.observe_estimate(analysis)
+    health.close()
+    health_summary = health.summary()
+    if live is not None:
+        live.finish(estimate=float(estimate.value))
     if recorder is not None:
         recorder.finalize(
             estimate=estimate,
@@ -434,6 +514,7 @@ def run_traced_round(
             accountant=accountant,
             meter=meter,
             analysis=analysis,
+            extra={"health": health_summary},
         )
 
     counters = snapshot["counters"]
@@ -457,6 +538,7 @@ def run_traced_round(
         "reconciled": reconciled,
         "n_spans": len(memory.records),
         "analysis": analysis,
+        "health": health_summary,
         "record_dir": str(record_dir) if recording else None,
     }
 
@@ -473,6 +555,7 @@ def run_traced_round(
             "trace_path": path,
             "record_dir": result["record_dir"],
             "analysis": analysis,
+            "health": health_summary,
             "recovery": {
                 "round_attempts": estimate.metadata["round_attempts"],
                 "degraded_rounds": estimate.metadata["degraded_rounds"],
@@ -511,6 +594,17 @@ def run_traced_round(
         )
     if accountant is not None:
         print(f"privacy: epsilon spent = {accountant.spent_epsilon:.4f}", file=stream)
+    active = health_summary["active"]
+    print(
+        f"health: {health_summary['fired_total']} alert(s) fired, "
+        f"{health_summary['resolved_total']} resolved"
+        + (
+            "; ACTIVE: " + ", ".join(f"{a['rule']}({a['severity']})" for a in active)
+            if active
+            else ""
+        ),
+        file=stream,
+    )
     if profiler is not None:
         print(file=stream)
         print("## Phases (p50/p95/p99 ms)", file=stream)
@@ -531,16 +625,71 @@ def run_traced_round(
     return result
 
 
-def run_report_command(run_dir: str, as_json: bool = False, stream=None) -> int:
-    """Render a recorded run directory as Markdown (or JSON with ``--json``)."""
+def run_report_command(
+    run_dir: str, as_json: bool = False, stream=None, error_stream=None
+) -> int:
+    """Render a recorded run directory as Markdown (or JSON with ``--json``).
+
+    A missing or corrupt ``manifest.json`` is an operator error, not a bug:
+    it gets one line on stderr and exit code 2, never a traceback.
+    """
     stream = stream if stream is not None else sys.stdout
-    artifact = load_run(run_dir)
+    error_stream = error_stream if error_stream is not None else sys.stderr
+    try:
+        artifact = load_run(run_dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=error_stream)
+        return 2
+    except BrokenPipeError:
+        raise
+    except (json.JSONDecodeError, OSError) as exc:
+        print(
+            f"error: cannot read manifest in {run_dir}: {exc}",
+            file=error_stream,
+        )
+        return 2
     report = build_report(artifact)
     if as_json:
         print(json.dumps(report, indent=2, default=str), file=stream)
     else:
         print(render_markdown(report), file=stream)
     return 0
+
+
+def run_runs_command(args, stream=None, error_stream=None) -> int:
+    """Dispatch ``runs list|compare|check`` against the run registry."""
+    stream = stream if stream is not None else sys.stdout
+    error_stream = error_stream if error_stream is not None else sys.stderr
+    try:
+        if args.runs_command == "list":
+            entries = scan_runs(args.root)
+            if args.json:
+                print(
+                    json.dumps([e.to_dict() for e in entries], indent=2, default=str),
+                    file=stream,
+                )
+            else:
+                print(render_list_markdown(entries, args.root), file=stream)
+            return 0
+        comparison = compare_runs(args.baseline, args.candidate)
+        if args.runs_command == "compare":
+            if args.json:
+                print(json.dumps(comparison, indent=2, default=str), file=stream)
+            else:
+                print(render_compare_markdown(comparison), file=stream)
+            return 0
+        ok, messages = check_comparison(comparison, tolerance=args.tolerance)
+        for message in messages:
+            print(message, file=stream)
+        return 0 if ok else 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=error_stream)
+        return 2
+    except BrokenPipeError:
+        raise
+    except (json.JSONDecodeError, OSError) as exc:
+        print(f"error: cannot read artifact: {exc}", file=error_stream)
+        return 2
 
 
 def run_selfcheck_command(
@@ -637,11 +786,15 @@ def _dispatch(argv: list[str] | None) -> int:
             trace_malloc=args.trace_malloc,
             sim_clock=args.sim_clock,
             as_json=args.json,
+            watch=args.watch,
         )
         return 0 if result["reconciled"] else 1
 
     if args.command == "report":
         return run_report_command(args.run_dir, as_json=args.json)
+
+    if args.command == "runs":
+        return run_runs_command(args)
 
     executor = executor_for(args.workers)
 

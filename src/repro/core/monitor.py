@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.observability import get_metrics, get_tracer
 
 __all__ = ["MonitorAlert", "HighBitMonitor"]
 
@@ -130,6 +131,22 @@ class HighBitMonitor:
                     ),
                 )
                 self._alerts.append(alert)
+                # Surface the shift in flight-recorder timelines and health
+                # rules: a zero-duration marker span plus a counter.
+                with get_tracer().span(
+                    "monitor.shift",
+                    {
+                        "round_index": alert.round_index,
+                        "baseline_bit": alert.baseline_bit,
+                        "observed_bit": alert.observed_bit,
+                        "shift": alert.shift,
+                        "upper_bound": alert.upper_bound,
+                    },
+                ):
+                    pass
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.counter("monitor_shifts_total").inc()
         self._recent.append(observed)
         return alert
 

@@ -49,6 +49,15 @@ class MonitoringCampaign:
         Optional :class:`~repro.observability.recorder.FlightRecorder`; each
         campaign round appends one ``campaign.round`` event line (estimate,
         alert, robustness accounting) to the run's event log.
+    health:
+        Optional :class:`~repro.observability.health.HealthMonitor`; each
+        campaign round reports its drift-monitor outcome through
+        :meth:`~repro.observability.health.HealthMonitor.observe_campaign_round`
+        (pass the same monitor to the query for per-attempt round samples).
+    live:
+        Optional :class:`~repro.observability.live.LiveMonitor`; each
+        campaign round emits one progress line.  Only used when the live
+        monitor is not already attached as a tracer exporter.
 
     Examples
     --------
@@ -71,12 +80,16 @@ class MonitoringCampaign:
         query: FederatedMeanQuery,
         monitor: HighBitMonitor | None = None,
         recorder: Any = None,
+        health: Any = None,
+        live: Any = None,
     ) -> None:
         self.query = query
         self.monitor = monitor or HighBitMonitor(
             noise_floor=0.01, shift_threshold=2, window=3
         )
         self.recorder = recorder
+        self.health = health
+        self.live = live
         self._records: list[CampaignRecord] = []
 
     # ------------------------------------------------------------------
@@ -104,6 +117,22 @@ class MonitoringCampaign:
             },
         )
         self._records.append(record)
+        if self.health is not None:
+            self.health.observe_campaign_round(
+                round_index=record.round_index,
+                shift=alert is not None,
+                degraded=bool(record.metadata["degraded"]),
+            )
+        if self.live is not None:
+            planned = estimate.metadata.get("planned_clients", [])
+            survived = estimate.metadata.get("surviving_clients", [])
+            self.live.update(
+                round_index=record.round_index,
+                survived=int(sum(survived)),
+                planned=int(sum(planned)),
+                degraded=bool(record.metadata["degraded"]),
+                duration_s=float(estimate.metadata.get("total_duration_s", 0.0)),
+            )
         if self.recorder is not None:
             self.recorder.record_event(
                 "campaign.round",

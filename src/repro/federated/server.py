@@ -40,7 +40,7 @@ from repro.federated.multivalue import elicit_batch
 from repro.federated.network import NetworkModel
 from repro.federated.retry import RetryPolicy
 from repro.federated.secure_agg.protocol import SecureAggregationSession
-from repro.observability import get_metrics, get_tracer
+from repro.observability import HealthMonitor, get_metrics, get_tracer
 from repro.privacy.accountant import BitMeter, PrivacyAccountant
 from repro.rng import ensure_rng
 
@@ -151,6 +151,13 @@ class FederatedMeanQuery:
         (sequential composition across rounds; a failed attempt elicits
         nothing and spends nothing).  Flight-recorder manifests surface the
         resulting ledger as the run's epsilon-spend timeline.
+    health:
+        Optional :class:`~repro.observability.health.HealthMonitor`.  Every
+        round attempt -- failed ones included -- is reported through
+        :meth:`~repro.observability.health.HealthMonitor.observe_round`,
+        timed on the *simulated* round durations, so SLO rules evaluate
+        even when no tracer is installed.  Do not also register the same
+        monitor as a tracer exporter, or rounds evaluate twice.
     """
 
     def __init__(
@@ -178,6 +185,7 @@ class FederatedMeanQuery:
         retry: RetryPolicy | None = None,
         faults: FaultSchedule | None = None,
         accountant: PrivacyAccountant | None = None,
+        health: HealthMonitor | None = None,
     ) -> None:
         if mode not in _MODES:
             raise ConfigurationError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -226,6 +234,7 @@ class FederatedMeanQuery:
         self.retry = retry
         self.faults = faults
         self.accountant = accountant
+        self.health = health
         self.dropout_tracker = DropoutRateTracker(
             prior_rate=dropout.rate if dropout is not None else 0.0
         )
@@ -379,6 +388,19 @@ class FederatedMeanQuery:
                 outcome = self._run_round(clients, schedule, gen, round_index, attempt)
             except RoundFailedError as exc:
                 history.append((exc.planned, exc.survived))
+                if self.health is not None:
+                    self.health.observe_round(
+                        round_index=round_index,
+                        attempt=attempt,
+                        planned=exc.planned,
+                        survived=exc.survived,
+                        failed=True,
+                        epsilon_spent=(
+                            float(self.accountant.spent_epsilon)
+                            if self.accountant is not None
+                            else None
+                        ),
+                    )
                 if attempt >= max_attempts:
                     raise
                 backoff = self.retry.backoff_s(attempt)
@@ -403,6 +425,20 @@ class FederatedMeanQuery:
                 attempt += 1
                 continue
             history.append((outcome.planned_clients, outcome.surviving_clients))
+            if self.health is not None:
+                self.health.observe_round(
+                    round_index=round_index,
+                    attempt=attempt,
+                    planned=outcome.planned_clients,
+                    survived=outcome.surviving_clients,
+                    degraded=outcome.degraded,
+                    duration_s=outcome.round_duration_s,
+                    epsilon_spent=(
+                        float(self.accountant.spent_epsilon)
+                        if self.accountant is not None
+                        else None
+                    ),
+                )
             return replace(
                 outcome,
                 attempts=attempt,

@@ -30,9 +30,13 @@ Closures (figure cell factories) are not picklable, so the parallel backend
 relies on ``fork`` semantics: the cell task is parked in a module global
 immediately before the pool forks, and workers inherit it by memory copy.
 On platforms without ``fork`` the parallel executor degrades to serial
-execution with a warning.  Worker processes run with observability disabled
-(a forked JSONL exporter would interleave writes on a shared descriptor);
-the parent records one span per chunk plus the engine metrics
+execution with a warning.  Worker processes run with tracing disabled (a
+forked JSONL exporter would interleave writes on a shared descriptor), but
+record metrics into a worker-private registry whose closing snapshot rides
+back with the chunk results and is folded into the parent registry
+(:meth:`MetricsRegistry.merge_snapshot`) -- so counters and histograms
+incremented inside trial code match serial execution exactly.  The parent
+additionally records one span per chunk plus the engine metrics
 (``trials_executed_total``, ``executor_workers``,
 ``trial_cell_duration_s``) documented in ``docs/performance.md``.
 """
@@ -244,18 +248,29 @@ _FORK_PAYLOAD: tuple[CellTask, type] | None = None
 
 def _forked_chunk(
     chunk_index: int, rep_seeds: Sequence[np.random.SeedSequence]
-) -> tuple[int, np.ndarray, np.ndarray, float, float]:
+) -> tuple[int, np.ndarray, np.ndarray, float, float, dict | None]:
     """Worker entry point: run one chunk from the fork-inherited payload.
 
     Returns the chunk's wall and CPU cost alongside its results: workers run
-    with observability disabled, so the parent folds their cost into its own
-    profiler (:meth:`PhaseProfiler.merge_external`) after the fact.
+    with tracing disabled, so the parent folds their cost into its own
+    profiler (:meth:`PhaseProfiler.merge_external`) after the fact.  If the
+    parent had metrics enabled at fork time, the worker records into a fresh
+    private registry and ships the closing snapshot back, so counters and
+    histograms incremented inside trial code survive the fork (the parent
+    folds them via :meth:`MetricsRegistry.merge_snapshot`).
     """
     from repro import observability
+    from repro.observability import MetricsRegistry
 
     # A forked worker inherits the parent's exporters (shared file
-    # descriptors); drop to no-op instrumentation so traces stay coherent.
+    # descriptors); drop to no-op instrumentation so traces stay coherent,
+    # then re-enable metrics alone into a worker-private registry.
+    parent_metrics_enabled = observability.get_metrics().enabled
     observability.disable()
+    worker_metrics: MetricsRegistry | None = None
+    if parent_metrics_enabled:
+        worker_metrics = MetricsRegistry()
+        observability.configure(metrics=worker_metrics)
     assert _FORK_PAYLOAD is not None, "worker forked without a cell payload"
     task, bitgen_cls = _FORK_PAYLOAD
     start = time.perf_counter()
@@ -267,6 +282,7 @@ def _forked_chunk(
         truths,
         time.perf_counter() - start,
         time.process_time() - cpu_start,
+        worker_metrics.snapshot() if worker_metrics is not None else None,
     )
 
 
@@ -326,9 +342,20 @@ class ParallelExecutor(TrialExecutor):
                     for index, chunk in enumerate(chunks)
                 ]
                 profiler = getattr(tracer, "profiler", None)
+                metrics = get_metrics()
+                # Futures resolve in submit (= chunk) order, so worker
+                # snapshots merge deterministically regardless of which
+                # worker finished first.
                 for future in futures:
                     with tracer.span("executor.chunk", {"backend": "process-pool"}) as span:
-                        index, chunk_estimates, chunk_truths, duration, cpu = future.result()
+                        (
+                            index,
+                            chunk_estimates,
+                            chunk_truths,
+                            duration,
+                            cpu,
+                            worker_snapshot,
+                        ) = future.result()
                         lo, hi = bounds[index], bounds[index + 1]
                         estimates[lo:hi] = chunk_estimates
                         truths[lo:hi] = chunk_truths
@@ -338,6 +365,8 @@ class ParallelExecutor(TrialExecutor):
                         span.set_attribute("worker_cpu_s", cpu)
                         if profiler is not None:
                             profiler.merge_external("executor.worker", duration, cpu)
+                        if worker_snapshot is not None and metrics.enabled:
+                            metrics.merge_snapshot(worker_snapshot)
         finally:
             _FORK_PAYLOAD = None
         _record_cell_metrics(n_reps, n_chunks, time.perf_counter() - start)

@@ -31,6 +31,16 @@ from repro.observability.exporters import (
     JsonLinesExporter,
     format_span_tree,
 )
+from repro.observability.health import (
+    ALERTS_FILENAME,
+    AlertEvent,
+    HealthMonitor,
+    HealthRule,
+    HealthSample,
+    default_rules,
+    load_alerts,
+)
+from repro.observability.live import LiveMonitor
 from repro.observability.metrics import (
     DEFAULT_DURATION_BUCKETS,
     Counter,
@@ -50,6 +60,14 @@ from repro.observability.recorder import (
     FlightRecorder,
     git_revision,
 )
+from repro.observability.registry import (
+    RunIndexEntry,
+    check_comparison,
+    compare_runs,
+    render_compare_markdown,
+    render_list_markdown,
+    scan_runs,
+)
 from repro.observability.report import (
     RunArtifact,
     build_report,
@@ -67,16 +85,22 @@ from repro.observability.tracing import (
 )
 
 __all__ = [
+    "ALERTS_FILENAME",
     "ARTIFACT_FORMAT",
+    "AlertEvent",
     "ConsoleExporter",
     "Counter",
     "DEFAULT_DURATION_BUCKETS",
     "DEFAULT_PHASE_BUCKETS",
     "FlightRecorder",
     "Gauge",
+    "HealthMonitor",
+    "HealthRule",
+    "HealthSample",
     "Histogram",
     "InMemoryExporter",
     "JsonLinesExporter",
+    "LiveMonitor",
     "MetricsRegistry",
     "NULL_METRICS",
     "NULL_TRACER",
@@ -86,20 +110,28 @@ __all__ = [
     "PhaseProfiler",
     "PhaseSummary",
     "RunArtifact",
+    "RunIndexEntry",
     "SimClock",
     "Span",
     "SpanRecord",
     "Tracer",
     "build_report",
+    "check_comparison",
+    "compare_runs",
     "configure",
+    "default_rules",
     "disable",
     "format_span_tree",
     "get_metrics",
     "get_tracer",
     "git_revision",
     "instrumented",
+    "load_alerts",
     "load_run",
+    "render_compare_markdown",
+    "render_list_markdown",
     "render_markdown",
+    "scan_runs",
 ]
 
 # Process-wide instrumentation state.  Plain module globals (not

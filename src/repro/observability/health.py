@@ -1,0 +1,698 @@
+"""Campaign health plane: declarative SLO/alert rules over round samples.
+
+Long campaigns are *services*, and services need health signals while they
+run, not just post-hoc reports.  A :class:`HealthMonitor` evaluates a set of
+declarative :class:`HealthRule` objects against a stream of
+:class:`HealthSample` observations -- one per round attempt (plus optional
+estimate/campaign/streaming samples) -- and turns threshold crossings into
+**alerts with fire/resolve semantics**: a rule that starts failing emits one
+``fired`` event, stays silently active while it keeps failing, and emits one
+``resolved`` event when the condition clears.  Every transition is appended
+to the monitor's event list and, when a sink is configured, to an
+``alerts.jsonl`` file next to the flight-recorder artifact.
+
+Two wirings exist (use one per run, not both, or rounds evaluate twice):
+
+* **Span-driven** -- the monitor is a tracer exporter: each closing
+  ``federated.round`` span becomes a round sample whose time is the span's
+  end time, so ``--sim-clock`` runs produce byte-identical ``alerts.jsonl``
+  across same-seed runs.  This is what ``repro.cli trace --record`` does.
+* **Direct** -- ``FederatedMeanQuery(health=...)``,
+  ``MonitoringCampaign(health=...)``, and ``StreamingAggregator(health=...)``
+  call the ``observe_*`` hooks, timing samples on the *simulated* round
+  durations, so untraced campaign loops get the same watchdog.
+
+The built-in rule set (:func:`default_rules`) covers the SLOs the ROADMAP's
+scaling arc needs visible: epsilon-budget burn rate vs. schedule, retry
+storms, quorum degradation, dropout-rate clipping, encoding-range shifts
+from the :class:`~repro.core.monitor.HighBitMonitor`, and
+estimate-vs-Lemma-3.1 variance drift scored with the
+:mod:`repro.verification.statcheck` normal tail.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.observability.exporters import JsonLinesExporter
+from repro.observability.tracing import SpanRecord
+
+__all__ = [
+    "ALERTS_FILENAME",
+    "SEVERITIES",
+    "AlertEvent",
+    "DropoutClipRule",
+    "EpsilonBurnRateRule",
+    "HealthMonitor",
+    "HealthRule",
+    "HealthSample",
+    "MonitorShiftRule",
+    "QuorumDegradationRule",
+    "Reading",
+    "RetryStormRule",
+    "VarianceDriftRule",
+    "default_rules",
+]
+
+#: Alert transition log written next to a flight-recorder artifact.
+ALERTS_FILENAME = "alerts.jsonl"
+
+#: Valid rule severities, mildest first.
+SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class HealthSample:
+    """One health observation: a round attempt, estimate, or snapshot.
+
+    ``kind`` is one of ``"round"`` (a round attempt completed or failed),
+    ``"estimate"`` (an end-of-run estimate with its Lemma 3.1 analysis),
+    ``"campaign"`` (one campaign round's drift-monitor outcome), or
+    ``"streaming"`` (a streaming-aggregator snapshot).  Rules ignore kinds
+    they do not understand.  ``counters`` is the metrics-registry counter
+    snapshot at sample time (empty when no registry is installed).
+    """
+
+    kind: str
+    t_s: float
+    round_index: int | None = None
+    attempt: int | None = None
+    planned: int | None = None
+    survived: int | None = None
+    failed: bool = False
+    degraded: bool = False
+    epsilon_spent: float | None = None
+    observed_error: float | None = None
+    predicted_std: float | None = None
+    shift: bool = False
+    evidence_ratio: float | None = None
+    counters: Mapping[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Reading:
+    """One rule evaluation: firing, clear, or no opinion (``firing=None``)."""
+
+    firing: bool | None
+    value: float | None = None
+    detail: str = ""
+
+
+class HealthRule:
+    """One declarative SLO: a named, severity-tagged condition over samples.
+
+    Subclasses implement :meth:`evaluate`; returning ``Reading(None)``
+    leaves the rule's fired/resolved state untouched (insufficient data or
+    an irrelevant sample kind).  Rules may keep internal window state; the
+    monitor evaluates them in registration order, one pass per sample.
+    """
+
+    name: str = "rule"
+    severity: str = "warning"
+    description: str = ""
+
+    def evaluate(self, sample: HealthSample) -> Reading:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One fire/resolve transition, as persisted to ``alerts.jsonl``."""
+
+    rule: str
+    severity: str
+    state: str  # "fired" | "resolved"
+    t_s: float
+    round_index: int | None
+    value: float | None
+    detail: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "alert",
+            "rule": self.rule,
+            "severity": self.severity,
+            "state": self.state,
+            "t_s": self.t_s,
+            "round_index": self.round_index,
+            "value": self.value,
+            "detail": self.detail,
+        }
+
+
+# ----------------------------------------------------------------------
+# Built-in rules
+# ----------------------------------------------------------------------
+
+
+class EpsilonBurnRateRule(HealthRule):
+    """Cumulative epsilon spend is ahead of its schedule.
+
+    With a budget and a planned round count, each completed round is allowed
+    ``budget / planned_rounds`` of spend; the rule fires when the observed
+    cumulative spend exceeds ``headroom`` times the allowance earned so far
+    (and resolves if later on-schedule rounds catch the allowance back up).
+    Without ``planned_rounds`` the whole budget is the allowance, so the
+    rule degenerates to "spent more than ``headroom * budget``".
+    """
+
+    name = "epsilon-burn-rate"
+    severity = "critical"
+    description = "epsilon spend ahead of the budgeted burn schedule"
+
+    def __init__(
+        self,
+        budget: float,
+        planned_rounds: int | None = None,
+        headroom: float = 1.05,
+    ) -> None:
+        if budget <= 0:
+            raise ConfigurationError(f"epsilon budget must be positive, got {budget}")
+        if planned_rounds is not None and planned_rounds < 1:
+            raise ConfigurationError(f"planned_rounds must be >= 1, got {planned_rounds}")
+        if headroom < 1.0:
+            raise ConfigurationError(f"headroom must be >= 1.0, got {headroom}")
+        self.budget = float(budget)
+        self.planned_rounds = planned_rounds
+        self.headroom = float(headroom)
+        self._completed = 0
+
+    def evaluate(self, sample: HealthSample) -> Reading:
+        if sample.kind != "round":
+            return Reading(None)
+        if not sample.failed:
+            self._completed += 1
+        spent = sample.epsilon_spent
+        if spent is None:
+            spent = sample.counters.get("privacy_epsilon_spent_total")
+        if spent is None:
+            return Reading(None)
+        if self.planned_rounds is None:
+            allowance = self.budget
+        else:
+            allowance = self.budget * min(1.0, self._completed / self.planned_rounds)
+        firing = spent > self.headroom * allowance + 1e-12
+        return Reading(
+            firing,
+            value=float(spent),
+            detail=(
+                f"spent {spent:.4g} eps vs allowance {allowance:.4g} "
+                f"after {self._completed} completed round(s)"
+            ),
+        )
+
+
+class RetryStormRule(HealthRule):
+    """Too many retried attempts inside the trailing attempt window.
+
+    Each round sample with ``attempt > 1`` marks one retry; the rule fires
+    when at least ``threshold`` marks land inside the last ``window``
+    attempts, and resolves once enough clean attempts push them out.
+    """
+
+    name = "retry-storm"
+    severity = "warning"
+    description = "retried round attempts clustered inside the window"
+
+    def __init__(self, window: int = 5, threshold: int = 2) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if threshold < 1:
+            raise ConfigurationError(f"threshold must be >= 1, got {threshold}")
+        self.window = window
+        self.threshold = threshold
+        self._recent: deque[int] = deque(maxlen=window)
+
+    def evaluate(self, sample: HealthSample) -> Reading:
+        if sample.kind != "round":
+            return Reading(None)
+        self._recent.append(1 if (sample.attempt or 1) > 1 else 0)
+        retries = sum(self._recent)
+        return Reading(
+            retries >= self.threshold,
+            value=float(retries),
+            detail=f"{retries} retried attempt(s) in the last {len(self._recent)}",
+        )
+
+
+class QuorumDegradationRule(HealthRule):
+    """Failed or degraded rounds dominate the trailing window.
+
+    Counts round attempts that failed outright or completed degraded (and
+    streaming snapshots flagged under-evidenced) over the last ``window``
+    samples; fires when the rate reaches ``max_rate`` with a full window.
+    """
+
+    name = "quorum-degradation"
+    severity = "warning"
+    description = "failed/degraded rounds exceed the tolerated rate"
+
+    def __init__(self, window: int = 5, max_rate: float = 0.4) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if not 0.0 < max_rate <= 1.0:
+            raise ConfigurationError(f"max_rate must be in (0, 1], got {max_rate}")
+        self.window = window
+        self.max_rate = max_rate
+        self._recent: deque[int] = deque(maxlen=window)
+
+    def evaluate(self, sample: HealthSample) -> Reading:
+        if sample.kind not in ("round", "streaming"):
+            return Reading(None)
+        self._recent.append(1 if (sample.failed or sample.degraded) else 0)
+        if len(self._recent) < self.window:
+            return Reading(None)
+        rate = sum(self._recent) / len(self._recent)
+        return Reading(
+            rate >= self.max_rate,
+            value=rate,
+            detail=f"{sum(self._recent)}/{len(self._recent)} recent rounds failed or degraded",
+        )
+
+
+class DropoutClipRule(HealthRule):
+    """Dropout-rate clips observed inside the trailing window.
+
+    Watches the ``dropout_rate_clips_total`` counter: a clip means a fault
+    override pushed the effective dropout rate past the model's ceiling --
+    the statistical weather is worse than anything the plan budgeted for.
+    """
+
+    name = "dropout-clip"
+    severity = "warning"
+    description = "dropout rate clipped at the model ceiling"
+
+    def __init__(self, window: int = 5, threshold: int = 1) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if threshold < 1:
+            raise ConfigurationError(f"threshold must be >= 1, got {threshold}")
+        self.window = window
+        self.threshold = threshold
+        self._recent: deque[float] = deque(maxlen=window + 1)
+
+    def evaluate(self, sample: HealthSample) -> Reading:
+        if sample.kind != "round":
+            return Reading(None)
+        clips = sample.counters.get("dropout_rate_clips_total")
+        if clips is None:
+            return Reading(None)
+        self._recent.append(float(clips))
+        delta = self._recent[-1] - self._recent[0]
+        return Reading(
+            delta >= self.threshold,
+            value=delta,
+            detail=f"{delta:.0f} dropout-rate clip(s) in the last {len(self._recent) - 1} round(s)",
+        )
+
+
+class MonitorShiftRule(HealthRule):
+    """The occupied bit range shifted (heavy tail / distribution change).
+
+    Fires on a campaign sample flagged by the
+    :class:`~repro.core.monitor.HighBitMonitor`, or on a round sample whose
+    ``monitor_shifts_total`` counter advanced; resolves on the next quiet
+    sample.
+    """
+
+    name = "monitor-shift"
+    severity = "info"
+    description = "encoding-range (top occupied bit) shift detected"
+
+    def __init__(self) -> None:
+        self._last_total: float | None = None
+
+    def evaluate(self, sample: HealthSample) -> Reading:
+        if sample.kind == "campaign":
+            return Reading(sample.shift, detail="HighBitMonitor flagged a bit-range shift")
+        if sample.kind != "round":
+            return Reading(None)
+        total = sample.counters.get("monitor_shifts_total")
+        if total is None:
+            return Reading(None)
+        previous, self._last_total = self._last_total, float(total)
+        if previous is None:
+            return Reading(float(total) > 0, value=float(total))
+        return Reading(
+            float(total) > previous,
+            value=float(total),
+            detail=f"monitor_shifts_total advanced to {total:.0f}",
+        )
+
+
+class VarianceDriftRule(HealthRule):
+    """The observed estimate error is inconsistent with Lemma 3.1.
+
+    Standardizes the observed error by the lemma's predicted standard
+    deviation (evaluated at realized counts) and scores the two-sided
+    normal tail with :func:`repro.verification.statcheck.normal_sf`; fires
+    when the p-value drops below ``alpha``.  A correct pipeline trips this
+    with probability ``alpha`` per estimate, so the default is far out in
+    the tail -- a fire means the variance model and reality have drifted
+    apart (a wrong debias constant, an unaccounted failure mode).
+    """
+
+    name = "variance-drift"
+    severity = "critical"
+    description = "estimate error outside the Lemma 3.1 variance model"
+
+    def __init__(self, alpha: float = 1e-4) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+        self.alpha = alpha
+
+    def evaluate(self, sample: HealthSample) -> Reading:
+        if sample.kind != "estimate":
+            return Reading(None)
+        error, std = sample.observed_error, sample.predicted_std
+        if error is None or std is None or std <= 0.0 or std != std or std == float("inf"):
+            return Reading(None)
+        # Lazy import: repro.verification pulls in estimator modules that
+        # import this package; at evaluate time everything is initialized.
+        from repro.verification.statcheck import normal_sf
+
+        z = float(error) / float(std)
+        p = min(1.0, 2.0 * normal_sf(z))
+        return Reading(
+            p < self.alpha,
+            value=z,
+            detail=f"|z| = {z:.3f} (two-sided p = {p:.3g}) vs alpha = {self.alpha:g}",
+        )
+
+
+def default_rules(
+    epsilon_budget: float | None = None,
+    planned_rounds: int | None = None,
+    window: int = 5,
+    retry_threshold: int = 2,
+    degradation_rate: float = 0.4,
+    drift_alpha: float = 1e-4,
+) -> list[HealthRule]:
+    """The standard SLO set; the burn-rate rule needs a budget to exist."""
+    rules: list[HealthRule] = [
+        RetryStormRule(window=window, threshold=retry_threshold),
+        QuorumDegradationRule(window=window, max_rate=degradation_rate),
+        DropoutClipRule(window=window),
+        MonitorShiftRule(),
+        VarianceDriftRule(alpha=drift_alpha),
+    ]
+    if epsilon_budget is not None:
+        rules.insert(0, EpsilonBurnRateRule(epsilon_budget, planned_rounds=planned_rounds))
+    return rules
+
+
+# ----------------------------------------------------------------------
+# The monitor
+# ----------------------------------------------------------------------
+
+
+class HealthMonitor:
+    """Evaluate SLO rules per sample and record fire/resolve transitions.
+
+    Parameters
+    ----------
+    rules:
+        The rule set (default :func:`default_rules` with no budget).  Rule
+        names must be unique -- they key the fire/resolve state.
+    metrics:
+        Optional :class:`~repro.observability.metrics.MetricsRegistry`
+        snapshotted into every span-driven sample's ``counters``.  ``None``
+        falls back to the process-wide registry at sample time.
+    sink:
+        Where alert transitions are persisted: a path (an ``alerts.jsonl``
+        file, opened with line-level flushing like the flight recorder's
+        event log) or any object with a ``write_line(dict)`` method.
+        ``None`` keeps transitions in memory only.
+    round_span:
+        Span name treated as a round-attempt boundary when the monitor is
+        installed as a tracer exporter.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[HealthRule] | None = None,
+        metrics: Any = None,
+        sink: str | Path | Any | None = None,
+        round_span: str = "federated.round",
+    ) -> None:
+        self.rules = list(rules) if rules is not None else default_rules()
+        names = [rule.name for rule in self.rules]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"health rule names must be unique, got {names}")
+        for rule in self.rules:
+            if rule.severity not in SEVERITIES:
+                raise ConfigurationError(
+                    f"rule {rule.name!r} severity must be one of {SEVERITIES}, "
+                    f"got {rule.severity!r}"
+                )
+        self._metrics = metrics
+        self._owns_sink = isinstance(sink, (str, Path))
+        self._sink = JsonLinesExporter(sink, flush_every=1) if self._owns_sink else sink
+        self._round_span = round_span
+        self._active: dict[str, AlertEvent] = {}
+        self._fired: dict[str, int] = {}
+        self._resolved: dict[str, int] = {}
+        self._events: list[AlertEvent] = []
+        self._evaluations = 0
+        self._t = 0.0
+
+    # -- sample construction -------------------------------------------
+    def _counters(self) -> dict[str, float]:
+        registry = self._metrics
+        if registry is None:
+            from repro.observability import get_metrics
+
+            registry = get_metrics()
+        if not getattr(registry, "enabled", False):
+            return {}
+        return dict(registry.snapshot().get("counters", {}))
+
+    def _advance(self, t_s: float | None, duration_s: float) -> float:
+        if t_s is not None:
+            self._t = max(self._t, float(t_s))
+        else:
+            self._t += float(duration_s)
+        return self._t
+
+    # -- exporter protocol (span-driven wiring) ------------------------
+    def export(self, record: SpanRecord) -> None:
+        """Evaluate one round sample per closing round span."""
+        if record.name != self._round_span:
+            return
+        attrs = record.attributes
+        sample = HealthSample(
+            kind="round",
+            t_s=self._advance(record.start_time_s + record.duration_s, 0.0),
+            round_index=attrs.get("round_index"),
+            attempt=attrs.get("attempt"),
+            planned=attrs.get("planned_clients"),
+            survived=attrs.get("surviving_clients"),
+            failed=bool(attrs.get("failed")),
+            degraded=bool(attrs.get("degraded")),
+            counters=self._counters(),
+        )
+        self.evaluate(sample)
+
+    # -- direct wiring (server / campaign / streaming hooks) -----------
+    def observe_round(
+        self,
+        round_index: int,
+        attempt: int,
+        planned: int,
+        survived: int,
+        failed: bool = False,
+        degraded: bool = False,
+        duration_s: float = 0.0,
+        epsilon_spent: float | None = None,
+        t_s: float | None = None,
+    ) -> list[AlertEvent]:
+        """One round attempt from :class:`FederatedMeanQuery` (no tracer needed)."""
+        return self.evaluate(
+            HealthSample(
+                kind="round",
+                t_s=self._advance(t_s, duration_s),
+                round_index=round_index,
+                attempt=attempt,
+                planned=planned,
+                survived=survived,
+                failed=failed,
+                degraded=degraded,
+                epsilon_spent=epsilon_spent,
+                counters=self._counters(),
+            )
+        )
+
+    def observe_estimate(
+        self, analysis: Mapping[str, Any], t_s: float | None = None
+    ) -> list[AlertEvent]:
+        """An end-of-run estimate with its Lemma 3.1 analysis dict."""
+        return self.evaluate(
+            HealthSample(
+                kind="estimate",
+                t_s=self._advance(t_s, 0.0),
+                observed_error=analysis.get("observed_error"),
+                predicted_std=analysis.get("predicted_std"),
+                counters=self._counters(),
+            )
+        )
+
+    def observe_campaign_round(
+        self,
+        round_index: int,
+        shift: bool = False,
+        degraded: bool = False,
+        t_s: float | None = None,
+    ) -> list[AlertEvent]:
+        """One campaign round's drift-monitor outcome."""
+        return self.evaluate(
+            HealthSample(
+                kind="campaign",
+                t_s=self._advance(t_s, 0.0),
+                round_index=round_index,
+                shift=shift,
+                degraded=degraded,
+                counters=self._counters(),
+            )
+        )
+
+    def observe_streaming(
+        self,
+        reports: int,
+        degraded: bool = False,
+        evidence_ratio: float | None = None,
+        t_s: float | None = None,
+    ) -> list[AlertEvent]:
+        """One streaming-aggregator snapshot."""
+        return self.evaluate(
+            HealthSample(
+                kind="streaming",
+                t_s=self._advance(t_s, 0.0),
+                survived=reports,
+                degraded=degraded,
+                evidence_ratio=evidence_ratio,
+                counters=self._counters(),
+            )
+        )
+
+    # -- the engine -----------------------------------------------------
+    def evaluate(self, sample: HealthSample) -> list[AlertEvent]:
+        """Run every rule against ``sample``; returns the transitions."""
+        self._evaluations += 1
+        transitions: list[AlertEvent] = []
+        for rule in self.rules:
+            reading = rule.evaluate(sample)
+            if reading.firing is None:
+                continue
+            active = rule.name in self._active
+            if reading.firing and not active:
+                event = self._transition(rule, "fired", sample, reading)
+                self._active[rule.name] = event
+                self._fired[rule.name] = self._fired.get(rule.name, 0) + 1
+                transitions.append(event)
+            elif not reading.firing and active:
+                event = self._transition(rule, "resolved", sample, reading)
+                del self._active[rule.name]
+                self._resolved[rule.name] = self._resolved.get(rule.name, 0) + 1
+                transitions.append(event)
+        return transitions
+
+    def _transition(
+        self, rule: HealthRule, state: str, sample: HealthSample, reading: Reading
+    ) -> AlertEvent:
+        event = AlertEvent(
+            rule=rule.name,
+            severity=rule.severity,
+            state=state,
+            t_s=sample.t_s,
+            round_index=sample.round_index,
+            value=reading.value,
+            detail=reading.detail or rule.description,
+        )
+        self._events.append(event)
+        if self._sink is not None:
+            self._sink.write_line(event.to_dict())
+        return event
+
+    # -- reporting ------------------------------------------------------
+    @property
+    def events(self) -> tuple[AlertEvent, ...]:
+        """Every fire/resolve transition so far, in order."""
+        return tuple(self._events)
+
+    def active_alerts(self) -> list[dict[str, Any]]:
+        """Currently-firing alerts (rule, severity, since, value, detail)."""
+        return [
+            {
+                "rule": event.rule,
+                "severity": event.severity,
+                "since_t_s": event.t_s,
+                "value": event.value,
+                "detail": event.detail,
+            }
+            for event in sorted(self._active.values(), key=lambda e: e.t_s)
+        ]
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-ready summary for the flight-recorder manifest."""
+        by_severity: dict[str, int] = {}
+        for name, count in self._fired.items():
+            severity = next(r.severity for r in self.rules if r.name == name)
+            by_severity[severity] = by_severity.get(severity, 0) + count
+        return {
+            "rules": [
+                {"name": r.name, "severity": r.severity, "description": r.description}
+                for r in self.rules
+            ],
+            "evaluations": self._evaluations,
+            "fired_total": sum(self._fired.values()),
+            "resolved_total": sum(self._resolved.values()),
+            "by_rule": {
+                name: {
+                    "fired": self._fired.get(name, 0),
+                    "resolved": self._resolved.get(name, 0),
+                }
+                for name in sorted(set(self._fired) | set(self._resolved))
+            },
+            "by_severity": {k: by_severity[k] for k in sorted(by_severity)},
+            "active": self.active_alerts(),
+        }
+
+    def close(self) -> None:
+        """Close a path-opened sink (no-op for injected sink objects)."""
+        if self._owns_sink and self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+
+def load_alerts(directory: str | Path) -> list[dict[str, Any]]:
+    """Parse an artifact directory's ``alerts.jsonl`` ([] when absent).
+
+    Like the event log, a truncated tail line (crashed run) is skipped.
+    """
+    import json
+
+    path = Path(directory) / ALERTS_FILENAME
+    if not path.exists():
+        return []
+    events: list[dict[str, Any]] = []
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return events
+
+
+def _severity_rank(severity: str) -> int:
+    return SEVERITIES.index(severity) if severity in SEVERITIES else len(SEVERITIES)
+
+
+def rank_active(alerts: Iterable[Mapping[str, Any]]) -> list[Mapping[str, Any]]:
+    """Active alerts ordered most severe first (for live displays)."""
+    return sorted(alerts, key=lambda a: (-_severity_rank(str(a.get("severity", ""))), a.get("rule")))

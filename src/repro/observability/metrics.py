@@ -196,6 +196,30 @@ class Histogram:
             payload[key] = self._quantile_from_counts(self.buckets, counts, total, q)
         return payload
 
+    def merge_dict(self, payload: dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`to_dict` payload into this one.
+
+        Bucket layouts must match exactly -- a merge across different
+        layouts would silently misplace counts.
+        """
+        bounds = tuple(float(b) for b in payload.get("buckets", ()))
+        if bounds != self.buckets:
+            raise ConfigurationError(
+                f"histogram {self.name!r} bucket mismatch on merge: "
+                f"{bounds} vs {self.buckets}"
+            )
+        counts = payload.get("counts", [])
+        if len(counts) != len(self._counts):
+            raise ConfigurationError(
+                f"histogram {self.name!r} expects {len(self._counts)} bucket counts, "
+                f"got {len(counts)}"
+            )
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += int(c)
+            self._sum += float(payload.get("sum", 0.0))
+            self._count += int(payload.get("count", 0))
+
 
 class MetricsRegistry:
     """Name-addressed instruments with get-or-create semantics."""
@@ -244,6 +268,28 @@ class MetricsRegistry:
             else:
                 out["histograms"][name] = instrument.to_dict()
         return out
+
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The primitive behind worker-metric merging: a forked
+        ``ParallelExecutor`` worker records into its own registry, returns
+        the snapshot, and the parent folds it here.  Counters add, gauges
+        take the incoming value (last write wins -- point-in-time values
+        have no meaningful sum), histograms merge bucket-by-bucket (layouts
+        must match; see :meth:`Histogram.merge_dict`).  Instruments missing
+        on this side are created on demand.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            if value:
+                self.counter(name).inc(value)
+            else:
+                self.counter(name)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, payload in snapshot.get("histograms", {}).items():
+            buckets = payload.get("buckets") or DEFAULT_DURATION_BUCKETS
+            self.histogram(name, buckets=buckets).merge_dict(payload)
 
     def reset(self) -> None:
         """Drop every instrument (tests and repeated CLI runs)."""
@@ -302,6 +348,9 @@ class NullMetrics:
 
     def snapshot(self) -> dict[str, Any]:
         return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
+        pass
 
     def reset(self) -> None:
         pass

@@ -18,11 +18,12 @@ byte-identical across same-seed runs, timings included.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 from repro.observability.exporters import format_span_tree
+from repro.observability.health import load_alerts
 from repro.observability.profiler import DEFAULT_PHASE_BUCKETS
 from repro.observability.metrics import Histogram
 from repro.observability.recorder import EVENTS_FILENAME, MANIFEST_FILENAME
@@ -39,6 +40,7 @@ class RunArtifact:
     manifest: dict[str, Any]
     events: list[dict[str, Any]]
     skipped_lines: int = 0
+    alerts: list[dict[str, Any]] = field(default_factory=list)
 
     def spans(self) -> list[SpanRecord]:
         """Reconstruct the span stream in its original (completion) order."""
@@ -86,7 +88,11 @@ def load_run(directory: str | Path) -> RunArtifact:
             except json.JSONDecodeError:
                 skipped += 1
     return RunArtifact(
-        directory=directory, manifest=manifest, events=events, skipped_lines=skipped
+        directory=directory,
+        manifest=manifest,
+        events=events,
+        skipped_lines=skipped,
+        alerts=load_alerts(directory),
     )
 
 
@@ -238,6 +244,8 @@ def build_report(artifact: RunArtifact) -> dict[str, Any]:
         "recovery": _recovery_timeline(artifact),
         "phases": phases,
         "counters": {k: counters[k] for k in sorted(counters)},
+        "health": manifest.get("health"),
+        "alerts": artifact.alerts,
         "span_tree": format_span_tree(artifact.spans()),
     }
 
@@ -334,6 +342,37 @@ def render_markdown(report: dict[str, Any]) -> str:
                 f"{_num(entry['cumulative_epsilon'])} | {entry['note']} |"
             )
     out("")
+
+    health = report.get("health")
+    alerts = report.get("alerts", [])
+    if health is not None or alerts:
+        out("## Alerts")
+        out("")
+        if health is not None:
+            active = health.get("active", [])
+            out(
+                f"health: {health.get('fired_total', 0)} fired, "
+                f"{health.get('resolved_total', 0)} resolved, "
+                f"{len(active)} still active over {health.get('evaluations', 0)} evaluation(s)"
+            )
+            for alert in active:
+                out(
+                    f"- ACTIVE [{alert.get('severity')}] {alert.get('rule')}: "
+                    f"{alert.get('detail')}"
+                )
+            out("")
+        if alerts:
+            out("| t (s) | rule | severity | state | round | detail |")
+            out("| --- | --- | --- | --- | --- | --- |")
+            for alert in alerts:
+                out(
+                    f"| {float(alert.get('t_s', 0.0)):.3f} | {alert.get('rule')} | "
+                    f"{alert.get('severity')} | {alert.get('state')} | "
+                    f"{alert.get('round_index')} | {alert.get('detail')} |"
+                )
+        else:
+            out("(no alert transitions recorded)")
+        out("")
 
     recovery = report.get("recovery", [])
     out("## Retry / degradation timeline")

@@ -1,0 +1,106 @@
+"""Worker metric merging (PR 6): parallel runs must not lose counters.
+
+Before this PR, forked trial workers ran with observability disabled, so
+any counter incremented *inside* trial code (e.g. the adaptive
+estimator's ``adaptive_estimates_total``) silently vanished under
+``REPRO_WORKERS > 1`` while the estimates stayed bit-identical.  Workers
+now record into a private registry whose closing snapshot the parent
+folds in deterministically; these tests pin the fold semantics and the
+serial-vs-parallel equivalence it buys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveBitPushing, FixedPointEncoder
+from repro.exceptions import ConfigurationError
+from repro.metrics.execution import ParallelExecutor, SerialExecutor
+from repro.metrics.experiment import run_trials
+from repro.observability import MetricsRegistry, NullMetrics, instrumented
+from repro.observability.metrics import DEFAULT_DURATION_BUCKETS
+
+
+class TestMergeSnapshot:
+    def _registry_with_activity(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc(2)
+        registry.gauge("level").set(5.0)
+        registry.histogram("dur_s").observe(0.01)
+        return registry
+
+    def test_counters_add_gauges_overwrite_histograms_fold(self):
+        parent = self._registry_with_activity()
+        worker = MetricsRegistry()
+        worker.counter("a_total").inc(3)
+        worker.counter("b_total").inc(1)
+        worker.gauge("level").set(9.0)
+        worker.histogram("dur_s").observe(0.02)
+        worker.histogram("dur_s").observe(0.03)
+        parent.merge_snapshot(worker.snapshot())
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["a_total"] == 5.0
+        assert snapshot["counters"]["b_total"] == 1.0
+        assert snapshot["gauges"]["level"] == 9.0
+        hist = snapshot["histograms"]["dur_s"]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(0.06)
+
+    def test_merge_is_additive_across_repeats(self):
+        parent = MetricsRegistry()
+        worker_snapshot = self._registry_with_activity().snapshot()
+        parent.merge_snapshot(worker_snapshot)
+        parent.merge_snapshot(worker_snapshot)
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["a_total"] == 4.0
+        assert snapshot["histograms"]["dur_s"]["count"] == 2
+
+    def test_bucket_mismatch_rejected(self):
+        parent = MetricsRegistry()
+        parent.histogram("dur_s", buckets=(1.0, 2.0)).observe(0.5)
+        worker = MetricsRegistry()
+        worker.histogram("dur_s", buckets=DEFAULT_DURATION_BUCKETS).observe(0.5)
+        with pytest.raises(ConfigurationError, match="bucket"):
+            parent.merge_snapshot(worker.snapshot())
+
+    def test_null_metrics_merge_is_a_noop(self):
+        NullMetrics().merge_snapshot(self._registry_with_activity().snapshot())
+
+
+class TestSerialParallelEquivalence:
+    def _instrumented_run(self, executor, n_reps=8):
+        estimator = AdaptiveBitPushing(FixedPointEncoder.for_integers(10))
+        registry = MetricsRegistry()
+        with instrumented(metrics=registry):
+            stats = run_trials(
+                lambda rng: np.clip(rng.normal(600.0, 100.0, size=400), 0.0, None),
+                lambda values, rng: estimator.estimate(values, rng).value,
+                n_reps=n_reps,
+                seed=7,
+                executor=executor,
+            )
+        return stats, registry.snapshot()
+
+    def test_worker_side_counters_survive_the_fork(self):
+        serial_stats, serial = self._instrumented_run(SerialExecutor())
+        parallel_stats, parallel = self._instrumented_run(ParallelExecutor(2))
+        np.testing.assert_array_equal(serial_stats.estimates, parallel_stats.estimates)
+        # The engine-level counter and the trial-internal counter both match.
+        assert serial["counters"]["trials_executed_total"] == 8.0
+        assert parallel["counters"]["trials_executed_total"] == 8.0
+        assert serial["counters"]["adaptive_estimates_total"] == 8.0
+        assert parallel["counters"]["adaptive_estimates_total"] == 8.0
+        assert (
+            serial["counters"]["adaptive_cache_hits_total"]
+            == parallel["counters"]["adaptive_cache_hits_total"]
+        )
+
+    def test_counter_and_histogram_counts_identical_across_worker_counts(self):
+        _, serial = self._instrumented_run(SerialExecutor())
+        for workers in (2, 3):
+            _, parallel = self._instrumented_run(ParallelExecutor(workers))
+            assert serial["counters"] == parallel["counters"]
+            assert set(serial["histograms"]) == set(parallel["histograms"])
+            for name, hist in serial["histograms"].items():
+                assert parallel["histograms"][name]["count"] == hist["count"], name

@@ -23,6 +23,7 @@ TOP_LEVEL_TYPES = {
     "n_spans": int,
     "trace_path": str,
     "analysis": dict,
+    "health": dict,
     "recovery": dict,
     "spans": list,
     "metrics": dict,
@@ -93,6 +94,20 @@ class TestTraceJsonSchema:
             "backoff_s",
         }
         assert isinstance(payload["recovery"]["round_attempts"], list)
+
+    def test_health_section_shape(self, tmp_path):
+        payload = _trace_json(tmp_path)
+        health = payload["health"]
+        assert {
+            "rules",
+            "evaluations",
+            "fired_total",
+            "resolved_total",
+            "by_rule",
+            "by_severity",
+            "active",
+        } <= set(health)
+        assert health["evaluations"] >= 1
 
     def test_metrics_snapshot_shape(self, tmp_path):
         payload = _trace_json(tmp_path)
