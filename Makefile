@@ -1,6 +1,6 @@
 # Convenience targets for the bit-pushing reproduction.
 
-.PHONY: install test lint selfcheck bench bench-check report-demo health-demo figures experiments examples clean
+.PHONY: install test lint selfcheck bench bench-check bench-scale report-demo health-demo figures experiments examples clean
 
 install:
 	pip install -e .[dev]
@@ -32,6 +32,14 @@ bench:
 # previous entry (same-machine comparison, so the strict default applies).
 bench-check: bench
 	python scripts/bench_summary.py --check BENCH_micro.json
+
+# Columnar client-plane scale study at full size (10**5..10**7 clients):
+# clients/sec per population size, object-path speedup, tracemalloc peak.
+# Appends to the repo-root BENCH_scale.json trajectory.
+bench-scale:
+	REPRO_SCALE_CLIENTS=100000,1000000,10000000 \
+		pytest benchmarks/bench_scale.py -k columnar --benchmark-only -s
+	python scripts/bench_summary.py --scale benchmarks/results/scale.json BENCH_scale.json
 
 # Record one deterministic flight-recorder run and render its report --
 # the quickest way to see the whole observability surface end to end.

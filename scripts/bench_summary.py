@@ -6,6 +6,7 @@ Usage::
     python scripts/bench_summary.py benchmarks/results/benchmark.json BENCH_micro.json --label pr2
     python scripts/bench_summary.py --check BENCH_micro.json
     python scripts/bench_summary.py --check BENCH_micro.json --baseline seed --tolerance 1.5
+    python scripts/bench_summary.py --scale benchmarks/results/scale.json BENCH_scale.json
 
 The pytest-benchmark report carries per-round samples, machine info, and
 warmup details; for tracking performance across PRs only a handful of
@@ -23,6 +24,13 @@ previous entry) and exits non-zero naming every benchmark whose mean
 slowed by more than ``--tolerance`` (a ratio; default 1.25).  The strict
 default suits same-machine comparisons (``make bench-check``); CI compares
 cross-runner numbers and passes a looser tolerance.
+
+``--scale`` summarizes the columnar scale study instead: the source is the
+``benchmarks/results/scale.json`` payload written by
+``benchmarks/bench_scale.py::test_columnar_round_throughput`` (clients/sec
+per population size, object-path speedup, tracemalloc peak), appended to a
+``BENCH_scale.json`` trajectory with the same labelling rules
+(``make bench-scale`` drives the full 10**7 run).
 """
 
 from __future__ import annotations
@@ -60,6 +68,31 @@ def summarize(report: dict, label: str | None = None) -> dict:
         else None,
         "n_benchmarks": len(benchmarks),
         "benchmarks": benchmarks,
+    }
+
+
+def summarize_scale(payload: dict, label: str | None = None) -> dict:
+    """Reduce one ``scale.json`` payload to a scale-trajectory entry.
+
+    The stable numbers: clients/sec at each benched population size, the
+    object-path speedup at the reference size, the streaming chunk, and the
+    tracemalloc peak per client at the largest size.
+    """
+    columnar = payload.get("columnar", {})
+    reference = payload.get("object_reference", {})
+    memory = payload.get("tracemalloc", {})
+    return {
+        "label": label or "unlabeled",
+        "chunk": payload.get("chunk"),
+        "clients_per_s": {
+            n: row.get("clients_per_s") for n, row in sorted(
+                columnar.items(), key=lambda item: int(item[0])
+            )
+        },
+        "speedup_vs_object": payload.get("speedup_vs_object"),
+        "object_reference_n": reference.get("n"),
+        "peak_bytes_per_client": memory.get("peak_bytes_per_client"),
+        "peak_at_n": memory.get("n"),
     }
 
 
@@ -172,6 +205,12 @@ def main(argv: list[str] | None = None) -> int:
         "baseline and exit 1 naming any benchmark slower than the tolerance",
     )
     parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="summarize a columnar scale payload (benchmarks/results/scale.json) "
+        "into a BENCH_scale.json trajectory instead of a pytest-benchmark report",
+    )
+    parser.add_argument(
         "--baseline",
         default=None,
         metavar="LABEL",
@@ -207,16 +246,26 @@ def main(argv: list[str] | None = None) -> int:
     try:
         report = json.loads(source.read_text())
     except FileNotFoundError:
-        print(
-            f"error: {source} not found -- run "
-            f"`pytest benchmarks/ --benchmark-only --benchmark-json={source}` first "
-            "(or just `make bench`)",
-            file=sys.stderr,
+        hint = (
+            "`make bench-scale`"
+            if args.scale
+            else f"`pytest benchmarks/ --benchmark-only --benchmark-json={source}` "
+            "first (or just `make bench`)"
         )
+        print(f"error: {source} not found -- run {hint}", file=sys.stderr)
         return 1
     except json.JSONDecodeError as exc:
         print(f"error: {source} is not valid JSON: {exc}", file=sys.stderr)
         return 1
+    if args.scale:
+        entry = summarize_scale(report, label=args.label)
+        entries = append_entry(destination, entry)
+        print(
+            f"scale study summarized into {destination} as {entry['label']!r} "
+            f"({len(entries)} trajectory entries; speedup "
+            f"{entry['speedup_vs_object']:.1f}x at n={entry['object_reference_n']})"
+        )
+        return 0
     entry = summarize(report, label=args.label)
     entries = append_entry(destination, entry)
     print(

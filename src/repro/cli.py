@@ -64,6 +64,7 @@ from repro.experiments import (
     variance_decomposition,
 )
 from repro.federated import (
+    ClientBatch,
     ClientDevice,
     DropoutModel,
     FaultSchedule,
@@ -198,6 +199,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("target", choices=FIGURE_PANELS + sorted(ABLATIONS))
     trace.add_argument("--quick", action="store_true", help="smaller cohort")
+    trace.add_argument(
+        "--clients", type=int, default=None, metavar="N",
+        help="population size; switches the round to the columnar client plane "
+        "(one ClientBatch instead of N ClientDevice objects)",
+    )
+    trace.add_argument(
+        "--chunk", type=int, default=None, metavar="SIZE",
+        help="stream elicitation/collection in chunks of SIZE clients "
+        "(default: $REPRO_BATCH_CHUNK or 65536); emits per-chunk "
+        "client_plane.* spans",
+    )
     trace.add_argument("--secure-agg", action="store_true", help="route through secure aggregation")
     trace.add_argument("--seed", type=int, default=0, help="round RNG seed")
     trace.add_argument(
@@ -353,6 +365,8 @@ def _lemma31_analysis(estimate, truth: float, encoder, epsilon: float | None) ->
 def run_traced_round(
     target: str,
     quick: bool = False,
+    clients: int | None = None,
+    chunk: int | None = None,
     secure_agg: bool = False,
     seed: int = 0,
     out_path: str | None = None,
@@ -377,6 +391,13 @@ def run_traced_round(
     ``fault_schedule`` configure round-failure recovery (a chaos run: see
     ``docs/operations.md``).
 
+    ``clients`` overrides the target's population size and builds the
+    population as one columnar :class:`ClientBatch` (struct-of-arrays)
+    instead of ``ClientDevice`` objects, exercising the vectorized client
+    plane; ``chunk`` bounds the streaming chunk size so elicitation and
+    report collection emit per-chunk ``client_plane.*`` spans (see
+    ``docs/performance.md``).
+
     ``record_dir`` captures a flight-recorder artifact (event log +
     manifest, including the privacy ledger and bit-meter totals) for
     ``repro.cli report``; recording implies the phase profiler.  With
@@ -392,17 +413,30 @@ def run_traced_round(
     analysis, reconciliation).
     """
     stream = stream if stream is not None else sys.stdout
-    n_clients = 2_000 if quick else 20_000
+    columnar = clients is not None
+    n_clients = int(clients) if columnar else (2_000 if quick else 20_000)
+    if columnar and n_clients < 2:
+        raise ValueError(f"--clients must be >= 2, got {n_clients}")
     encoder = FixedPointEncoder.for_integers(10)
     epsilon = 2.0 if target in _LDP_TRACE_TARGETS else None
     perturbation = RandomizedResponse(epsilon=epsilon) if epsilon is not None else None
 
     rng = np.random.default_rng(seed)
-    population = [
-        ClientDevice(i, np.clip(rng.normal(600.0, 100.0, rng.integers(1, 4)), 0.0, None))
-        for i in range(n_clients)
-    ]
-    truth = ground_truth_mean([c.values for c in population])
+    if columnar:
+        # One struct-of-arrays batch: same value distribution as the object
+        # path, drawn column-wise (sizes then one flat value draw).
+        sizes = rng.integers(1, 4, n_clients)
+        flat = np.clip(rng.normal(600.0, 100.0, int(sizes.sum())), 0.0, None)
+        offsets = np.zeros(n_clients + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        population = ClientBatch(values=flat, offsets=offsets)
+        truth = ground_truth_mean(population)
+    else:
+        population = [
+            ClientDevice(i, np.clip(rng.normal(600.0, 100.0, rng.integers(1, 4)), 0.0, None))
+            for i in range(n_clients)
+        ]
+        truth = ground_truth_mean([c.values for c in population])
 
     recording = record_dir is not None
     accountant = PrivacyAccountant() if recording else None
@@ -426,6 +460,7 @@ def run_traced_round(
         faults=FaultSchedule.load(fault_schedule) if fault_schedule else None,
         meter=meter,
         accountant=accountant,
+        chunk_clients=chunk,
     )
 
     sim = SimClock(start=1.0, step=0.001) if sim_clock else None
@@ -456,6 +491,8 @@ def run_traced_round(
                 "quick": quick,
                 "secure_agg": secure_agg,
                 "n_clients": n_clients,
+                "columnar": columnar,
+                "chunk": chunk,
                 "n_bits": encoder.n_bits,
                 "epsilon": epsilon,
                 "max_retries": max_retries,
@@ -547,6 +584,9 @@ def run_traced_round(
             "target": target,
             "seed": seed,
             "quick": quick,
+            "clients": n_clients,
+            "columnar": columnar,
+            "chunk": chunk,
             "secure_agg": secure_agg,
             "estimate": float(estimate.value),
             "truth": float(truth),
@@ -569,6 +609,13 @@ def run_traced_round(
 
     print(f"# Traced federated round ({target})", file=stream)
     print(file=stream)
+    if columnar:
+        print(
+            f"population: columnar ClientBatch, n={n_clients}"
+            + (f", chunk={chunk}" if chunk is not None else ""),
+            file=stream,
+        )
+        print(file=stream)
     print(format_span_tree(memory.records), file=stream)
     print(file=stream)
     print("## Metrics", file=stream)
@@ -775,6 +822,8 @@ def _dispatch(argv: list[str] | None) -> int:
         result = run_traced_round(
             args.target,
             quick=args.quick,
+            clients=args.clients,
+            chunk=args.chunk,
             secure_agg=args.secure_agg,
             seed=args.seed,
             out_path=args.out,

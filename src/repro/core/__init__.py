@@ -9,7 +9,11 @@ Public surface:
   :class:`AdaptiveBitPushing` (Algorithm 2), :class:`VarianceEstimator`
   (Section 3.4), plus the :func:`estimate_mean` convenience;
 * DP support: :func:`squash_bit_means` and friends (Section 3.3);
-* operations: :class:`HighBitMonitor` for heavy-tail detection.
+* operations: :class:`HighBitMonitor` for heavy-tail detection;
+* scale: :class:`ClientBatch` and the chunk-streamed columnar kernels
+  (:func:`elicit_values`, :func:`accumulate_bit_reports`,
+  :func:`collect_client_reports`, tuned by ``REPRO_BATCH_CHUNK`` via
+  :func:`batch_chunk_size`).
 """
 
 from repro.core.adaptive import AdaptiveBitPushing
@@ -22,6 +26,13 @@ from repro.core.aggregates import (
     skewness,
 )
 from repro.core.basic import BasicBitPushing, estimate_mean
+from repro.core.client_plane import (
+    ClientBatch,
+    accumulate_bit_reports,
+    batch_chunk_size,
+    collect_client_reports,
+    elicit_values,
+)
 from repro.core.covariance import CovarianceEstimate, CovarianceEstimator
 from repro.core.histogram import FederatedHistogram, HistogramEstimate
 from repro.core.encoding import (
@@ -64,6 +75,7 @@ __all__ = [
     "BasicBitPushing",
     "BitPerturbation",
     "BitSamplingSchedule",
+    "ClientBatch",
     "CovarianceEstimate",
     "CovarianceEstimator",
     "FederatedHistogram",
@@ -83,13 +95,17 @@ __all__ = [
     "VarianceEstimator",
     "VectorMeanEstimate",
     "VectorMeanEstimator",
+    "accumulate_bit_reports",
     "apportion_counts",
+    "batch_chunk_size",
     "bit_matrix",
     "bit_means",
     "bit_means_from_stats",
     "central_assignment",
     "collect_bit_reports",
+    "collect_client_reports",
     "combine_round_stats",
+    "elicit_values",
     "estimate_mean",
     "extract_bit",
     "kurtosis",

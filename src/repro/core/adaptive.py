@@ -23,11 +23,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.client_plane import (
+    ClientBatch,
+    accumulate_bit_reports,
+    elicit_values,
+)
 from repro.core.encoding import FixedPointEncoder
 from repro.core.protocol import (
     BitPerturbation,
     bit_means_from_stats,
-    collect_bit_reports,
     combine_round_stats,
 )
 from repro.core.results import MeanEstimate, RoundSummary
@@ -225,6 +229,23 @@ class AdaptiveBitPushing:
             },
         )
 
+    def estimate_clients(
+        self,
+        batch: ClientBatch,
+        strategy: str = "sample",
+        rng: np.random.Generator | int | None = None,
+        chunk: int | None = None,
+    ) -> MeanEstimate:
+        """Estimate straight from a columnar :class:`ClientBatch`.
+
+        Columnar chunk-streamed elicitation followed by the standard
+        two-round protocol; bit-identical to the object path for
+        ``"sample"``/``"max"``/``"latest"`` elicitation.
+        """
+        gen = ensure_rng(rng)
+        values = elicit_values(batch, strategy, gen, chunk=chunk)
+        return self.estimate(values, gen)
+
     # ------------------------------------------------------------------
     def _run_round(
         self,
@@ -237,7 +258,9 @@ class AdaptiveBitPushing:
             assignment = central_assignment(n, schedule, gen)
         else:
             assignment = local_assignment(n, schedule, gen)
-        sums, counts = collect_bit_reports(
+        # Chunk-streamed collection; bit-identical to collect_bit_reports
+        # for any chunk size (see repro.core.client_plane).
+        sums, counts = accumulate_bit_reports(
             cohort, self.encoder.n_bits, assignment, self.perturbation, gen
         )
         means = bit_means_from_stats(sums, counts, self.perturbation)

@@ -17,11 +17,15 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.client_plane import (
+    ClientBatch,
+    accumulate_bit_reports,
+    elicit_values,
+)
 from repro.core.encoding import FixedPointEncoder
 from repro.core.protocol import (
     BitPerturbation,
     bit_means_from_stats,
-    collect_bit_reports,
 )
 from repro.core.results import MeanEstimate, RoundSummary
 from repro.core.sampling import (
@@ -129,7 +133,11 @@ class BasicBitPushing:
             raise ConfigurationError("cannot estimate a mean from zero clients")
 
         assignment = self._draw_assignment(n_clients, gen)
-        sums, counts = collect_bit_reports(
+        # Chunk-streamed collection (bounded memory for million-client
+        # cohorts); bit-identical to collect_bit_reports for any chunk size,
+        # and a cohort that fits in one REPRO_BATCH_CHUNK takes exactly the
+        # legacy single-pass path.
+        sums, counts = accumulate_bit_reports(
             encoded, self.encoder.n_bits, assignment, self.perturbation, gen
         )
         means = bit_means_from_stats(sums, counts, self.perturbation)
@@ -160,6 +168,25 @@ class BasicBitPushing:
                 "ldp": self.perturbation is not None,
             },
         )
+
+    def estimate_clients(
+        self,
+        batch: ClientBatch,
+        strategy: str = "sample",
+        rng: np.random.Generator | int | None = None,
+        chunk: int | None = None,
+    ) -> MeanEstimate:
+        """Estimate straight from a columnar :class:`ClientBatch`.
+
+        Elicits one value per client with the chunk-streamed columnar
+        kernels, then runs the standard protocol.  Bit-identical to
+        ``estimate(elicit_batch([c.values for c in devices], strategy, gen),
+        gen)`` for ``"sample"``/``"max"``/``"latest"`` elicitation (see
+        :mod:`repro.core.client_plane` for the ``"mean"`` ulp caveat).
+        """
+        gen = ensure_rng(rng)
+        values = elicit_values(batch, strategy, gen, chunk=chunk)
+        return self.estimate(values, gen)
 
     # ------------------------------------------------------------------
     def estimate_batch(

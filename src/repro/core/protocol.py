@@ -40,6 +40,13 @@ class BitPerturbation(Protocol):
     Implementations (e.g. :class:`repro.privacy.RandomizedResponse`) must be
     *unbiasable*: ``unbias_bit_means`` applied to the mean of perturbed bits
     must be an unbiased estimate of the mean of the true bits.
+
+    Implementations must also consume their randomness *element-sequentially
+    in C order* (one draw per bit, row-major -- e.g. ``gen.random(bits.shape)``)
+    so that perturbing a ``(n, b)`` array in row chunks yields the identical
+    stream as one full-array call.  The chunk-streamed columnar kernels in
+    :mod:`repro.core.client_plane` rely on this to stay bit-identical to the
+    object path for any chunk size.
     """
 
     def perturb_bits(self, bits: np.ndarray, rng: np.random.Generator) -> np.ndarray:

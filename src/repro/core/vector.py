@@ -150,15 +150,27 @@ class VectorMeanEstimator:
         # distinct coordinates per client, every group the same size.
         order = gen.permutation(n_clients)
         offset = max(1, self.n_dims // self.dims_per_client)
-        groups: list[list[int]] = [[] for _ in range(self.n_dims)]
-        for position, client in enumerate(order):
-            for j in range(self.dims_per_client):
-                groups[(position + j * offset) % self.n_dims].append(int(client))
+        # Vectorized grouping: build all (position, slot) -> coordinate pairs
+        # at once and bucket them with a stable sort.  Stability preserves
+        # the (position-major, slot-minor) order the original append loop
+        # produced, keeping per-group client order -- and therefore every
+        # downstream estimate -- bit-identical to the object-path loop
+        # (pinned in tests/test_client_plane.py).
+        slots = np.arange(self.dims_per_client, dtype=np.int64)
+        flat_dims = (
+            (np.arange(n_clients, dtype=np.int64)[:, None] + slots[None, :] * offset)
+            % self.n_dims
+        ).ravel()
+        flat_clients = np.repeat(order.astype(np.int64), self.dims_per_client)
+        by_dim = np.argsort(flat_dims, kind="stable")
+        boundaries = np.searchsorted(flat_dims[by_dim], np.arange(self.n_dims + 1))
+        grouped_clients = flat_clients[by_dim]
 
         per_dim_estimates: list[MeanEstimate] = []
         values = np.empty(self.n_dims)
         for dim in range(self.n_dims):
-            group = matrix[groups[dim], dim]
+            members = grouped_clients[boundaries[dim] : boundaries[dim + 1]]
+            group = matrix[members, dim]
             estimator = self._make_estimator()
             result = estimator.estimate(group, gen)
             per_dim_estimates.append(result)

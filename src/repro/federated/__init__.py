@@ -1,6 +1,7 @@
 """Federated simulation substrate: clients, cohorts, dropout, network, server,
 and the secure-aggregation protocol (paper Sections 3.3 and 4.3)."""
 
+from repro.core.client_plane import ClientBatch
 from repro.federated.campaign import CampaignRecord, MonitoringCampaign
 from repro.federated.client import BitReport, ClientDevice
 from repro.federated.cohort import CohortSelector, attribute_equals
@@ -41,6 +42,7 @@ __all__ = [
     "ActiveFaults",
     "BitReport",
     "CampaignRecord",
+    "ClientBatch",
     "ClientDevice",
     "CohortSelector",
     "MonitoringCampaign",

@@ -6,14 +6,24 @@ predicates, and privacy policy requires "a minimum cohort size": a query
 whose eligible population is too small must not run.
 :class:`CohortSelector` implements both, plus uniform sub-sampling when a
 target cohort size is requested.
+
+Selection is index-based: :meth:`CohortSelector.select_indices` draws
+*positions* into the population, so a million-client draw touches only the
+chosen rows -- no eligible-list copy when no predicate is set, and O(cohort)
+instead of O(population) materialization when subsampling.  It works
+uniformly over object populations (``Sequence[ClientDevice]``) and columnar
+ones (:class:`~repro.core.client_plane.ClientBatch`); for the latter,
+predicates built by :func:`attribute_equals` evaluate as a single vectorized
+mask over the attribute column.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Sequence, Union
 
 import numpy as np
 
+from repro.core.client_plane import ClientBatch
 from repro.exceptions import CohortTooSmallError, ConfigurationError
 from repro.federated.client import ClientDevice
 from repro.rng import ensure_rng
@@ -23,17 +33,45 @@ __all__ = ["CohortSelector", "attribute_equals"]
 #: Eligibility predicate signature.
 Eligibility = Callable[[ClientDevice], bool]
 
+#: Populations a cohort can be drawn from.
+Population = Union[Sequence[ClientDevice], ClientBatch]
 
-def attribute_equals(key: str, value: object) -> Eligibility:
+
+class _AttributeEquals:
+    """Equality predicate usable on both device objects and columnar batches.
+
+    Callable per device (``client.attributes[key] == value``) and
+    vectorizable per batch via :meth:`mask`.  Missing attributes make a
+    client ineligible rather than erroring -- a fleet always contains
+    devices that never reported the attribute.
+    """
+
+    def __init__(self, key: str, value: object) -> None:
+        self.key = key
+        self.value = value
+
+    def __call__(self, client: ClientDevice) -> bool:
+        return client.attributes.get(self.key) == self.value
+
+    def mask(self, batch: ClientBatch) -> np.ndarray:
+        """Boolean eligibility column for every client in the batch."""
+        column = batch.attributes.get(self.key)
+        if column is None:
+            return np.zeros(len(batch), dtype=bool)
+        return np.asarray(column == self.value, dtype=bool)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"attribute_equals({self.key!r}, {self.value!r})"
+
+
+def attribute_equals(key: str, value: object) -> _AttributeEquals:
     """Predicate factory: ``client.attributes[key] == value``.
 
-    Missing attributes make a client ineligible rather than erroring -- a
-    fleet always contains devices that never reported the attribute.
+    The returned predicate is callable on a single :class:`ClientDevice`
+    *and* exposes ``mask(batch)`` for vectorized evaluation over a
+    :class:`~repro.core.client_plane.ClientBatch` attribute column.
     """
-    def predicate(client: ClientDevice) -> bool:
-        return client.attributes.get(key) == value
-
-    return predicate
+    return _AttributeEquals(key, value)
 
 
 class CohortSelector:
@@ -59,35 +97,80 @@ class CohortSelector:
             raise ConfigurationError(f"min_cohort_size must be >= 1, got {min_cohort_size}")
         self.min_cohort_size = min_cohort_size
 
-    def select(
+    def select_indices(
         self,
-        population: Sequence[ClientDevice],
+        population: Population,
         eligibility: Eligibility | None = None,
         cohort_size: int | None = None,
         rng: np.random.Generator | int | None = None,
-    ) -> list[ClientDevice]:
-        """Filter by eligibility, enforce the minimum, optionally subsample.
+    ) -> np.ndarray:
+        """Draw cohort *positions* into ``population`` (int64 array).
 
-        Returns the eligible clients (all of them, or a uniform sample of
-        ``cohort_size``).  Raises :class:`CohortTooSmallError` if either
-        the eligible population or the requested cohort would violate the
-        minimum size.
+        Consumes randomness exactly as the historical object-returning
+        ``select`` did (one ``gen.choice`` over the eligible count, only
+        when subsampling), so index-based and object-based selection are
+        bit-identical for the same seed.  With no eligibility predicate the
+        eligible set is the whole population and no per-client pass or copy
+        happens at all.
         """
-        eligible = [c for c in population if eligibility is None or eligibility(c)]
-        if len(eligible) < self.min_cohort_size:
+        n_population = len(population)
+        eligible_idx: np.ndarray | None = None  # None == all of population
+        n_eligible = n_population
+        if eligibility is not None:
+            if isinstance(population, ClientBatch):
+                mask = getattr(eligibility, "mask", None)
+                if mask is None:
+                    raise ConfigurationError(
+                        "eligibility predicates over a columnar ClientBatch must "
+                        "expose a vectorized .mask(batch) (see attribute_equals); "
+                        "got a plain per-device callable"
+                    )
+                eligible_idx = np.flatnonzero(np.asarray(mask(population), dtype=bool))
+            else:
+                eligible_idx = np.fromiter(
+                    (i for i, client in enumerate(population) if eligibility(client)),
+                    dtype=np.int64,
+                )
+            n_eligible = int(eligible_idx.size)
+        if n_eligible < self.min_cohort_size:
             raise CohortTooSmallError(
-                f"only {len(eligible)} eligible clients; minimum cohort size is "
+                f"only {n_eligible} eligible clients; minimum cohort size is "
                 f"{self.min_cohort_size}"
             )
-        if cohort_size is None:
-            return eligible
-        if cohort_size < self.min_cohort_size:
+        if cohort_size is not None and cohort_size < self.min_cohort_size:
             raise CohortTooSmallError(
                 f"requested cohort of {cohort_size} is below the minimum "
                 f"{self.min_cohort_size}"
             )
-        if cohort_size >= len(eligible):
-            return eligible
+        if cohort_size is None or cohort_size >= n_eligible:
+            if eligible_idx is None:
+                return np.arange(n_population, dtype=np.int64)
+            return eligible_idx
         gen = ensure_rng(rng)
-        picked = gen.choice(len(eligible), size=cohort_size, replace=False)
-        return [eligible[i] for i in picked]
+        picked = gen.choice(n_eligible, size=cohort_size, replace=False)
+        if eligible_idx is None:
+            return np.asarray(picked, dtype=np.int64)
+        return eligible_idx[picked]
+
+    def select(
+        self,
+        population: Population,
+        eligibility: Eligibility | None = None,
+        cohort_size: int | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> Population:
+        """Filter by eligibility, enforce the minimum, optionally subsample.
+
+        Returns the eligible clients (all of them, or a uniform sample of
+        ``cohort_size``) in the same representation as the input: a list for
+        object populations, a :class:`ClientBatch` for columnar ones (the
+        unfiltered full-population case returns the batch itself, copy-free).
+        Raises :class:`CohortTooSmallError` if either the eligible population
+        or the requested cohort would violate the minimum size.
+        """
+        indices = self.select_indices(population, eligibility, cohort_size, rng)
+        if isinstance(population, ClientBatch):
+            if indices.size == len(population) and eligibility is None:
+                return population
+            return population.take(indices)
+        return [population[int(i)] for i in indices]

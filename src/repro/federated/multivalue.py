@@ -11,10 +11,11 @@ the matching population ground truth.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Union
 
 import numpy as np
 
+from repro.core.client_plane import ClientBatch
 from repro.exceptions import ConfigurationError
 from repro.rng import ensure_rng
 
@@ -88,7 +89,10 @@ def elicit_batch(
     )
 
 
-def ground_truth_mean(per_client_values: Sequence[np.ndarray], strategy: str = "sample") -> float:
+def ground_truth_mean(
+    per_client_values: Union[Sequence[np.ndarray], ClientBatch],
+    strategy: str = "sample",
+) -> float:
     """Population mean consistent with the elicitation strategy.
 
     For ``"sample"`` the expected elicited value of a client is its local
@@ -96,7 +100,30 @@ def ground_truth_mean(per_client_values: Sequence[np.ndarray], strategy: str = "
     *not* the mean over all raw observations, which over-weights chatty
     clients (the discrepancy the paper calls out).  For deterministic
     strategies the ground truth is the mean of the per-client reductions.
+
+    Accepts either a sequence of per-client arrays or a columnar
+    :class:`~repro.core.client_plane.ClientBatch` (reduced with vectorized
+    ``reduceat`` kernels -- last-ulp summation-order differences from the
+    per-array object path are possible for long multisets).
     """
+    if isinstance(per_client_values, ClientBatch):
+        batch = per_client_values
+        if strategy in ("sample", "mean"):
+            reductions = batch.local_means()
+        elif strategy == "max":
+            reductions = (
+                batch.values
+                if batch.uniform
+                else np.maximum.reduceat(batch.values, batch.offsets[:-1])
+            )
+        elif strategy == "latest":
+            reductions = batch.values[batch.offsets[1:] - 1]
+        else:
+            raise ConfigurationError(
+                f"unknown elicitation strategy {strategy!r}; expected one of "
+                f"{ELICITATION_STRATEGIES}"
+            )
+        return float(np.mean(reductions))
     if not per_client_values:
         raise ConfigurationError("need at least one client")
     if strategy == "sample":

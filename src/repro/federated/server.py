@@ -21,11 +21,15 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.client_plane import (
+    ClientBatch,
+    collect_client_reports,
+    elicit_values,
+)
 from repro.core.encoding import FixedPointEncoder
 from repro.core.protocol import (
     BitPerturbation,
     bit_means_from_stats,
-    collect_bit_reports,
     combine_round_stats,
 )
 from repro.core.results import MeanEstimate, RoundSummary
@@ -33,7 +37,7 @@ from repro.core.sampling import BitSamplingSchedule, central_assignment
 from repro.core.squashing import per_bit_squash_thresholds, squash_bit_means
 from repro.exceptions import ConfigurationError, RoundFailedError
 from repro.federated.client import ClientDevice
-from repro.federated.cohort import CohortSelector, Eligibility
+from repro.federated.cohort import CohortSelector, Eligibility, Population
 from repro.federated.dropout import DropoutModel, DropoutRateTracker
 from repro.federated.faults import FaultSchedule
 from repro.federated.multivalue import elicit_batch
@@ -47,6 +51,13 @@ from repro.rng import ensure_rng
 __all__ = ["RoundOutcome", "FederatedMeanQuery"]
 
 _MODES = ("basic", "adaptive")
+
+
+def _subset(clients: Population, indices: np.ndarray) -> Population:
+    """Positional subset preserving the population representation."""
+    if isinstance(clients, ClientBatch):
+        return clients.take(indices)
+    return [clients[int(i)] for i in indices]
 
 
 @dataclass(frozen=True)
@@ -158,6 +169,20 @@ class FederatedMeanQuery:
         timed on the *simulated* round durations, so SLO rules evaluate
         even when no tracer is installed.  Do not also register the same
         monitor as a tracer exporter, or rounds evaluate twice.
+    chunk_clients:
+        Chunk size for the columnar client-plane kernels (``None``: the
+        ``REPRO_BATCH_CHUNK`` default).  A pure performance/memory knob --
+        results are bit-identical for every value.
+
+    The population handed to :meth:`run` may be a ``Sequence[ClientDevice]``
+    (the object path) or a columnar
+    :class:`~repro.core.client_plane.ClientBatch`; the two are bit-identical
+    for the same seed (``"sample"``/``"max"``/``"latest"`` elicitation; see
+    :mod:`repro.core.client_plane` for the ``"mean"`` caveat).  The columnar
+    path elicits, encodes, perturbs, and aggregates in bounded-memory chunks,
+    never materializing per-client objects.  Secure aggregation is the
+    documented exception: its masking sessions are per-client by nature
+    (O(shard**2) work dominates), so both paths feed the same shard loop.
     """
 
     def __init__(
@@ -186,6 +211,7 @@ class FederatedMeanQuery:
         faults: FaultSchedule | None = None,
         accountant: PrivacyAccountant | None = None,
         health: HealthMonitor | None = None,
+        chunk_clients: int | None = None,
     ) -> None:
         if mode not in _MODES:
             raise ConfigurationError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -201,6 +227,8 @@ class FederatedMeanQuery:
             raise ConfigurationError(f"shard_size must be >= 2, got {shard_size}")
         if min_quorum < 1:
             raise ConfigurationError(f"min_quorum must be >= 1, got {min_quorum}")
+        if chunk_clients is not None and chunk_clients < 1:
+            raise ConfigurationError(f"chunk_clients must be >= 1, got {chunk_clients}")
         if not 0.0 < degraded_fraction <= 1.0:
             raise ConfigurationError(
                 f"degraded_fraction must be in (0, 1], got {degraded_fraction}"
@@ -235,6 +263,7 @@ class FederatedMeanQuery:
         self.faults = faults
         self.accountant = accountant
         self.health = health
+        self.chunk_clients = chunk_clients
         self.dropout_tracker = DropoutRateTracker(
             prior_rate=dropout.rate if dropout is not None else 0.0
         )
@@ -242,12 +271,16 @@ class FederatedMeanQuery:
     # ------------------------------------------------------------------
     def run(
         self,
-        population: Sequence[ClientDevice],
+        population: Population,
         rng: np.random.Generator | int | None = None,
         eligibility: Eligibility | None = None,
         cohort_size: int | None = None,
     ) -> MeanEstimate:
-        """Execute the query end-to-end and return the mean estimate."""
+        """Execute the query end-to-end and return the mean estimate.
+
+        ``population`` may be a ``Sequence[ClientDevice]`` or a columnar
+        :class:`~repro.core.client_plane.ClientBatch`.
+        """
         gen = ensure_rng(rng)
         tracer = get_tracer()
         metrics = get_metrics()
@@ -274,8 +307,8 @@ class FederatedMeanQuery:
             else:
                 n_round1 = min(max(int(round(self.delta * len(cohort))), 1), len(cohort) - 1)
                 order = gen.permutation(len(cohort))
-                cohort1 = [cohort[i] for i in order[:n_round1]]
-                cohort2 = [cohort[i] for i in order[n_round1:]]
+                cohort1 = _subset(cohort, order[:n_round1])
+                cohort2 = _subset(cohort, order[n_round1:])
 
                 schedule1 = BitSamplingSchedule.geometric(self.encoder.n_bits, gamma=self.gamma)
                 outcome1 = self._run_round_with_recovery(
@@ -354,17 +387,18 @@ class FederatedMeanQuery:
                     "secure_aggregation": self.secure_aggregation,
                     "elicitation": self.elicitation,
                     "ldp": self.perturbation is not None,
+                    "columnar": isinstance(population, ClientBatch),
                 },
             )
 
     # ------------------------------------------------------------------
     def _run_round_with_recovery(
         self,
-        clients: Sequence[ClientDevice],
+        clients: Population,
         schedule: BitSamplingSchedule,
         gen: np.random.Generator,
         round_index: int = 1,
-        population: Sequence[ClientDevice] | None = None,
+        population: Population | None = None,
         eligibility: Eligibility | None = None,
     ) -> RoundOutcome:
         """Run one round, retrying failed attempts under the configured policy.
@@ -449,7 +483,7 @@ class FederatedMeanQuery:
     # ------------------------------------------------------------------
     def _run_round(
         self,
-        clients: Sequence[ClientDevice],
+        clients: Population,
         schedule: BitSamplingSchedule,
         gen: np.random.Generator,
         round_index: int = 1,
@@ -520,28 +554,56 @@ class FederatedMeanQuery:
 
             # Client-side: elicit one value each, meter the single-bit disclosure.
             # Batched across survivors -- stream-identical to per-client
-            # elicit() calls, and one meter transaction per round.
-            with tracer.span("round.elicit", {"n_clients": int(survivors.size)}):
-                values = elicit_batch(
-                    [clients[i].values for i in survivors], self.elicitation, gen
-                )
-                if self.meter is not None:
-                    self.meter.record_batch(
-                        [clients[i].client_id for i in survivors], self.metric_name
+            # elicit() calls, and one meter transaction per round.  Columnar
+            # populations elicit straight from the flat value arrays in
+            # bounded-memory chunks.
+            columnar = isinstance(clients, ClientBatch)
+            with tracer.span(
+                "round.elicit",
+                {"n_clients": int(survivors.size), "columnar": columnar},
+            ):
+                if columnar:
+                    live = clients.take(survivors)
+                    values = elicit_values(
+                        live, self.elicitation, gen, chunk=self.chunk_clients
                     )
-            encoded = self.encoder.encode(values)
+                    if self.meter is not None:
+                        self.meter.record_batch(
+                            [int(i) for i in live.client_ids], self.metric_name
+                        )
+                else:
+                    values = elicit_batch(
+                        [clients[i].values for i in survivors], self.elicitation, gen
+                    )
+                    if self.meter is not None:
+                        self.meter.record_batch(
+                            [clients[i].client_id for i in survivors], self.metric_name
+                        )
             live_assignment = assignment[survivors]
 
             if self.secure_aggregation:
+                # Documented fallback: masking sessions are inherently
+                # per-client (O(shard**2)), so the cohort-sized encoded array
+                # is materialized for both population representations.
+                encoded = self.encoder.encode(values)
                 with tracer.span(
                     "round.secure_agg",
                     {"n_clients": int(survivors.size), "shard_size": self.shard_size},
                 ):
                     sums, counts = self._secure_collect(encoded, live_assignment, gen)
             else:
+                # Chunk-streamed encode + extract + perturb + aggregate
+                # (client_plane.collect spans per chunk); bit-identical to
+                # the historical encode-then-collect_bit_reports for any
+                # chunk size, for both population representations.
                 with tracer.span("round.collect", {"n_clients": int(survivors.size)}):
-                    sums, counts = collect_bit_reports(
-                        encoded, self.encoder.n_bits, live_assignment, self.perturbation, gen
+                    sums, counts = collect_client_reports(
+                        values,
+                        self.encoder,
+                        live_assignment,
+                        self.perturbation,
+                        gen,
+                        chunk=self.chunk_clients,
                     )
             means = bit_means_from_stats(sums, counts, self.perturbation)
             summary = RoundSummary(

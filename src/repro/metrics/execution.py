@@ -21,10 +21,13 @@ worker counts (asserted by ``tests/test_execution.py``).
 **Batch dispatch.**  If a cell's ``run_estimator`` callable exposes an
 ``estimate_batch(values_2d, rngs) -> estimates`` attribute (see
 :meth:`repro.core.basic.BasicBitPushing.estimate_batch`), the chunk runner
-stacks same-shape populations into ``(r, n)`` arrays -- sliced to stay
-cache-resident, and only while populations are small enough for
-vectorization to win (``_BATCH_MAX_POPULATION``) -- and calls the kernel
-once per slice, again bit-identical to the per-repetition loop.
+stacks same-shape populations into ``(r, n)`` arrays and calls the kernel
+once per slice, again bit-identical to the per-repetition loop.  Slices are
+bounded by the same ``REPRO_BATCH_CHUNK`` element budget the columnar client
+plane streams with (:func:`repro.core.client_plane.batch_chunk_size`): a
+population larger than the budget flushes alone and runs the scalar
+estimator, whose own collection stage chunk-streams internally -- so there
+is no population-size cap on dispatch, just one memory knob.
 
 Closures (figure cell factories) are not picklable, so the parallel backend
 relies on ``fork`` semantics: the cell task is parked in a module global
@@ -54,6 +57,7 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro.core.client_plane import batch_chunk_size
 from repro.exceptions import ConfigurationError
 from repro.observability import get_metrics, get_tracer
 
@@ -72,22 +76,14 @@ __all__ = [
 
 _FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
 
-#: Ceiling on elements per stacked batch-kernel call (reps x population).
-#: Vectorized cells win by amortizing per-repetition overhead, but a stacked
-#: (R, n) working set that outgrows the CPU cache loses more to memory
-#: traffic than the batching saves -- the per-rep loop's n-sized working set
-#: is cache-resident.  Chunking repetitions to ~this many elements keeps the
-#: kernel in its winning regime (repetitions are independent, so slicing
-#: cannot change results).
-_BATCH_SLICE_ELEMENTS = 512 * 1024
-
-#: Populations above this size skip the batch kernel and run per-repetition.
-#: Vectorization pays off when per-repetition call overhead is comparable to
-#: the array work; past a few thousand clients the arrays dominate and the
-#: stacked kernel's extra copies make it a net loss (measured crossover
-#: ~2-4k on one core -- see docs/performance.md).  Dispatch is a pure
-#: performance decision: both paths are bit-identical.
-_BATCH_MAX_POPULATION = 2048
+# The ceiling on elements per stacked batch-kernel call (reps x population)
+# is the shared REPRO_BATCH_CHUNK budget (batch_chunk_size()): a stacked
+# (R, n) working set that outgrows the cache loses more to memory traffic
+# than the batching saves, and slicing repetitions cannot change results
+# (they are independent).  A single population at or above the budget
+# flushes alone through the scalar estimator, whose collection stage
+# chunk-streams with the same knob -- dispatch is a pure performance
+# decision, both paths are bit-identical.
 
 
 @dataclass(frozen=True)
@@ -159,6 +155,7 @@ def run_rep_chunk(
     pending: list[np.ndarray] = []
     pending_rngs: list[np.random.Generator] = []
     pending_start = 0
+    slice_elements = batch_chunk_size()
 
     def flush() -> None:
         if not pending:
@@ -178,7 +175,7 @@ def run_rep_chunk(
         data_rng, est_rng = gen.spawn(2)
         values = np.asarray(task.make_data(data_rng))
         truths[i] = task.truth_fn(values)
-        batchable = values.ndim == 1 and 0 < values.size <= _BATCH_MAX_POPULATION
+        batchable = values.ndim == 1 and values.size > 0
         if pending and (not batchable or values.shape != pending[0].shape):
             flush()
         if not batchable:
@@ -188,7 +185,7 @@ def run_rep_chunk(
             pending_start = i
         pending.append(values)
         pending_rngs.append(est_rng)
-        if len(pending) * values.size >= _BATCH_SLICE_ELEMENTS:
+        if len(pending) * values.size >= slice_elements:
             flush()
     flush()
     return estimates, truths

@@ -27,11 +27,17 @@ import numpy as np
 from repro.baselines import RangeMeanEstimator
 from repro.core.adaptive import AdaptiveBitPushing
 from repro.core.basic import BasicBitPushing
+from repro.core.client_plane import ClientBatch
 from repro.core.encoding import FixedPointEncoder
 from repro.core.protocol import BitPerturbation, theoretical_variance
 from repro.core.sampling import BitSamplingSchedule
 from repro.core.variance import VarianceEstimator
+from repro.federated.client import ClientDevice
+from repro.federated.cohort import attribute_equals
+from repro.federated.dropout import DropoutModel
+from repro.federated.network import NetworkModel
 from repro.federated.secure_agg.protocol import SecureAggregationSession
+from repro.federated.server import FederatedMeanQuery
 from repro.metrics.execution import ParallelExecutor, SerialExecutor, TrialExecutor
 from repro.metrics.experiment import run_trials
 from repro.privacy.randomized_response import RandomizedResponse
@@ -45,6 +51,7 @@ __all__ = [
     "baseline_unbiasedness_oracle",
     "basic_unbiasedness_oracle",
     "basic_variance_bound_oracle",
+    "columnar_twin_oracle",
     "executor_twin_oracle",
     "rr_debias_oracle",
     "secure_agg_oracle",
@@ -379,6 +386,88 @@ def executor_twin_oracle(
         ),
         statistic=max_diff,
         n_reps=n_reps,
+    )
+
+
+def columnar_twin_oracle(
+    seed: int = 0,
+    n_clients: int = 600,
+    n_bits: int = 8,
+    mode: str = "adaptive",
+    perturbation: BitPerturbation | None = None,
+    chunk: int = 37,
+) -> OracleResult:
+    """A columnar federated round is bit-identical to the object-path round.
+
+    Runs the same :class:`FederatedMeanQuery` configuration (dropout +
+    lossy network + eligibility filter + subsampled cohort) three times
+    from one seed: over ``ClientDevice`` objects, over the equivalent
+    :class:`ClientBatch` with a deliberately awkward chunk size, and over
+    the batch again with ``chunk = 1`` (every chunk boundary exercised).
+    All three estimates, bit-mean vectors, and report counts must be
+    exactly equal -- the PR-2 twin discipline extended to the whole
+    columnar client plane.
+    """
+    parent = ensure_rng(seed)
+    pop_gen, seed_gen = parent.spawn(2)
+    sizes = pop_gen.integers(1, 4, size=n_clients)
+    devices = [
+        ClientDevice(
+            i,
+            pop_gen.integers(0, 2**n_bits, size=int(sizes[i])).astype(np.float64),
+            {"geo": "us" if i % 2 else "eu"},
+        )
+        for i in range(n_clients)
+    ]
+    batch = ClientBatch.from_devices(devices)
+    run_seed = int(seed_gen.integers(0, 2**31))
+
+    def run(population, chunk_clients):
+        # Fresh query per run: DropoutRateTracker state must not leak
+        # between the twins.
+        query = FederatedMeanQuery(
+            FixedPointEncoder.for_integers(n_bits),
+            mode=mode,
+            perturbation=perturbation,
+            dropout=DropoutModel(rate=0.1),
+            network=NetworkModel(loss_rate=0.05),
+            chunk_clients=chunk_clients,
+        )
+        return query.run(
+            population,
+            rng=np.random.default_rng(run_seed),
+            eligibility=attribute_equals("geo", "us"),
+            cohort_size=max(2, n_clients // 3),
+        )
+
+    reference = run(devices, None)
+    results = {
+        f"chunk={chunk}": run(batch, chunk),
+        "chunk=1": run(batch, 1),
+    }
+    for label, result in results.items():
+        identical = (
+            result.value == reference.value
+            and np.array_equal(result.bit_means, reference.bit_means)
+            and np.array_equal(result.counts, reference.counts)
+        )
+        if not identical:
+            return OracleResult(
+                name=f"twin-columnar-vs-object[{mode},ldp={perturbation is not None}]",
+                passed=False,
+                detail=(
+                    f"columnar path ({label}) diverged: "
+                    f"|diff| = {abs(result.value - reference.value):.3e}"
+                ),
+                statistic=abs(result.value - reference.value),
+                n_reps=1,
+            )
+    return OracleResult(
+        name=f"twin-columnar-vs-object[{mode},ldp={perturbation is not None}]",
+        passed=True,
+        detail=f"bit-identical across object/columnar paths (chunks: {chunk}, 1)",
+        statistic=0.0,
+        n_reps=1,
     )
 
 

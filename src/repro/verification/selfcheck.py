@@ -222,6 +222,10 @@ def _oracle_runs(
         ),
         ("secure-agg/exact-sum", lambda: _oracles.secure_agg_oracle(seed=seed + 7)),
         (
+            "twin/columnar-vs-object",
+            lambda: _oracles.columnar_twin_oracle(seed=seed + 18),
+        ),
+        (
             "variance-estimator/centered",
             lambda: _oracles.variance_estimator_oracle(seed=seed + 8, n_reps=24),
         ),
@@ -281,6 +285,14 @@ def _oracle_runs(
                 lambda: _oracles.secure_agg_oracle(
                     seed=seed + 17, n_clients=48, vector_length=32, n_dropouts=8
                 ),
+            ),
+            (
+                "twin/columnar-vs-object/basic",
+                lambda: _oracles.columnar_twin_oracle(seed=seed + 30, mode="basic"),
+            ),
+            (
+                "twin/columnar-vs-object/ldp",
+                lambda: _oracles.columnar_twin_oracle(seed=seed + 31, perturbation=rr),
             ),
         ]
         for offset, baseline in enumerate(

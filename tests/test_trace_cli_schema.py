@@ -16,6 +16,8 @@ TOP_LEVEL_TYPES = {
     "target": str,
     "seed": int,
     "quick": bool,
+    "clients": int,
+    "columnar": bool,
     "secure_agg": bool,
     "estimate": float,
     "truth": float,
@@ -66,10 +68,21 @@ def _trace_json(tmp_path, **kwargs):
 class TestTraceJsonSchema:
     def test_top_level_keys_and_types(self, tmp_path):
         payload = _trace_json(tmp_path)
-        assert set(payload) == set(TOP_LEVEL_TYPES) | {"record_dir"}
+        assert set(payload) == set(TOP_LEVEL_TYPES) | {"record_dir", "chunk"}
         for key, expected in TOP_LEVEL_TYPES.items():
             assert isinstance(payload[key], expected), (key, type(payload[key]))
         assert payload["record_dir"] is None
+        # chunk is nullable: None means the REPRO_BATCH_CHUNK default.
+        assert payload["chunk"] is None or isinstance(payload["chunk"], int)
+
+    def test_columnar_round_trip(self, tmp_path):
+        payload = _trace_json(tmp_path, clients=500, chunk=64)
+        assert payload["columnar"] is True
+        assert payload["clients"] == 500
+        assert payload["chunk"] == 64
+        names = {span["name"] for span in payload["spans"]}
+        assert "client_plane.elicit" in names
+        assert "client_plane.collect" in names
 
     def test_span_record_fields(self, tmp_path):
         payload = _trace_json(tmp_path)
