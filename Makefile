@@ -33,13 +33,18 @@ bench:
 bench-check: bench
 	python scripts/bench_summary.py --check BENCH_micro.json
 
-# Columnar client-plane scale study at full size (10**5..10**7 clients):
-# clients/sec per population size, object-path speedup, tracemalloc peak.
-# Appends to the repo-root BENCH_scale.json trajectory.
+# Scale studies at full size: the columnar client plane (10**5..10**7
+# clients -- clients/sec per population size, object-path speedup,
+# tracemalloc peak) and the secure-aggregation hierarchy (vectorized
+# masking vs the per-client submit loop at 10**4 clients).  Appends to the
+# repo-root BENCH_scale.json trajectory, then gates on it: the run fails
+# if any shared clients/sec rate dropped past the tolerance vs the
+# previous entry.
 bench-scale:
 	REPRO_SCALE_CLIENTS=100000,1000000,10000000 \
-		pytest benchmarks/bench_scale.py -k columnar --benchmark-only -s
+		pytest benchmarks/bench_scale.py -k "columnar or secure" --benchmark-only -s
 	python scripts/bench_summary.py --scale benchmarks/results/scale.json BENCH_scale.json
+	python scripts/bench_summary.py --check --scale BENCH_scale.json
 
 # Record one deterministic flight-recorder run and render its report --
 # the quickest way to see the whole observability surface end to end.
@@ -47,10 +52,12 @@ report-demo:
 	python -m repro.cli trace 1a --quick --seed 7 --sim-clock --record out/report-demo
 	python -m repro.cli report out/report-demo
 
-# Scripted chaos campaign: the retry-storm alert must fire during the fault
-# burst and resolve over the clean tail, or the target fails.
+# Scripted chaos campaigns: the retry-storm alert must fire during the
+# fault burst and resolve over the clean tail, and the secure campaign's
+# shard blackout must degrade (not abort) its round with the shard-failure
+# alert firing and resolving -- or the target fails.
 health-demo:
-	python scripts/health_demo.py --assert-retry-storm
+	python scripts/health_demo.py --assert-retry-storm --assert-shard-failure
 
 # Reproduce every paper figure at full scale (tables to stdout).
 figures:

@@ -77,6 +77,20 @@ def _scale_sizes() -> tuple[int, ...]:
     return tuple(sorted({int(tok) for tok in raw.split(",") if tok.strip()}))
 
 
+def _merge_scale_payload(update: dict) -> None:
+    """Merge ``update`` into ``scale.json`` so the columnar and secure-agg
+    studies can run in either order (or alone) without clobbering each
+    other's sections."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "scale.json"
+    try:
+        payload = json.loads(path.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        payload = {}
+    payload.update(update)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
 def _columnar_population(n: int, rng: np.random.Generator) -> ClientBatch:
     return ClientBatch.from_values(np.clip(rng.normal(600.0, 100.0, n), 0.0, None))
 
@@ -137,8 +151,7 @@ def test_columnar_round_throughput(benchmark, emit):
         "tracemalloc": {"n": n_top, "peak_bytes": peak_bytes,
                         "peak_bytes_per_client": bytes_per_client},
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "scale.json").write_text(json.dumps(payload, indent=2) + "\n")
+    _merge_scale_payload(payload)
 
     lines = [
         "### Columnar client plane: round throughput",
@@ -166,4 +179,109 @@ def test_columnar_round_throughput(benchmark, emit):
     assert bytes_per_client < 150.0, (
         f"round peak {bytes_per_client:.0f} B/client; chunked streaming should "
         "stay well under 150 B/client"
+    )
+
+
+#: Secure-aggregation study size: the acceptance target is >= 5x the
+#: per-client loop's clients/sec at 10**4 clients.
+SECURE_N = 10_000
+SECURE_VECTOR_LENGTH = 16
+SECURE_SHARD_SIZE = 32
+
+
+def test_secure_agg_throughput(benchmark, emit):
+    """Hierarchical vectorized masking vs the per-client submit loop.
+
+    Both paths run the identical protocol over the identical shard tree
+    (same sessions, same seeds, same Shamir recovery) and must produce the
+    same total; the only difference is ``submit_batch`` + array kernels vs
+    one ``submit`` call per client.
+    """
+    from repro.federated.secure_agg import (
+        SecureAggregationSession,
+        default_threshold,
+        hierarchical_secure_sum,
+        shard_bounds,
+    )
+
+    rng = np.random.default_rng(17)
+    vectors = rng.integers(0, 2, size=(SECURE_N, SECURE_VECTOR_LENGTH)).astype(np.int64)
+
+    def per_client_loop() -> tuple[np.ndarray, float]:
+        start = time.perf_counter()
+        total = np.zeros(SECURE_VECTOR_LENGTH, dtype=np.int64)
+        for lo, hi in shard_bounds(SECURE_N, SECURE_SHARD_SIZE):
+            k = hi - lo
+            session = SecureAggregationSession(
+                k,
+                SECURE_VECTOR_LENGTH,
+                threshold=default_threshold(k),
+                rng=np.random.default_rng(lo),
+            )
+            for local in range(k):
+                session.submit(local, [int(v) for v in vectors[lo + local]])
+            total += np.asarray(session.finalize(), dtype=np.int64)
+        return total, time.perf_counter() - start
+
+    def run():
+        # Best of two for the vectorized path (first pass pays warmup).
+        vec_seconds = float("inf")
+        for _ in range(2):
+            start = time.perf_counter()
+            result = hierarchical_secure_sum(
+                vectors, shard_size=SECURE_SHARD_SIZE, rng=1
+            )
+            vec_seconds = min(vec_seconds, time.perf_counter() - start)
+        loop_total, loop_seconds = per_client_loop()
+        np.testing.assert_array_equal(result.total, vectors.sum(axis=0))
+        np.testing.assert_array_equal(loop_total, vectors.sum(axis=0))
+        return vec_seconds, loop_seconds, len(result.shards)
+
+    vec_seconds, loop_seconds, n_shards = run_once(benchmark, run)
+    vec_rate = SECURE_N / vec_seconds
+    loop_rate = SECURE_N / loop_seconds
+    speedup = loop_seconds / vec_seconds
+
+    _merge_scale_payload(
+        {
+            "secure_agg": {
+                "n": SECURE_N,
+                "vector_length": SECURE_VECTOR_LENGTH,
+                "shard_size": SECURE_SHARD_SIZE,
+                "shards": n_shards,
+                "seconds": vec_seconds,
+                "clients_per_s": vec_rate,
+                "per_client_loop": {
+                    "seconds": loop_seconds,
+                    "clients_per_s": loop_rate,
+                },
+                "speedup_vs_loop": speedup,
+            }
+        }
+    )
+
+    emit(
+        "scale_secure",
+        "\n".join(
+            [
+                "### Secure aggregation: hierarchical vectorized masking",
+                "",
+                f"(n = {SECURE_N:,} clients, vector length "
+                f"{SECURE_VECTOR_LENGTH}, shard size {SECURE_SHARD_SIZE}, "
+                f"{n_shards} shards)",
+                "",
+                "| path | s per round | clients/sec |",
+                "|---|---|---|",
+                f"| vectorized hierarchical | {vec_seconds:.3f} | {vec_rate:,.0f} |",
+                f"| per-client submit loop | {loop_seconds:.3f} | {loop_rate:,.0f} |",
+                "",
+                f"speedup: {speedup:.1f}x",
+            ]
+        )
+        + "\n",
+    )
+
+    assert speedup >= 5.0, (
+        f"secure-agg vectorized path is {speedup:.1f}x the per-client loop; "
+        "acceptance floor is 5x"
     )

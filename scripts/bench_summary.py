@@ -28,9 +28,13 @@ cross-runner numbers and passes a looser tolerance.
 ``--scale`` summarizes the columnar scale study instead: the source is the
 ``benchmarks/results/scale.json`` payload written by
 ``benchmarks/bench_scale.py::test_columnar_round_throughput`` (clients/sec
-per population size, object-path speedup, tracemalloc peak), appended to a
-``BENCH_scale.json`` trajectory with the same labelling rules
-(``make bench-scale`` drives the full 10**7 run).
+per population size, object-path speedup, tracemalloc peak) and
+``test_secure_agg_throughput`` (hierarchical masking clients/sec), appended
+to a ``BENCH_scale.json`` trajectory with the same labelling rules
+(``make bench-scale`` drives the full 10**7 run).  ``--check --scale``
+gates the scale trajectory the same way ``--check`` gates the micro one,
+except the compared numbers are throughput rates (higher is better): the
+newest entry fails when any shared rate dropped past the tolerance.
 """
 
 from __future__ import annotations
@@ -75,13 +79,16 @@ def summarize_scale(payload: dict, label: str | None = None) -> dict:
     """Reduce one ``scale.json`` payload to a scale-trajectory entry.
 
     The stable numbers: clients/sec at each benched population size, the
-    object-path speedup at the reference size, the streaming chunk, and the
-    tracemalloc peak per client at the largest size.
+    object-path speedup at the reference size, the streaming chunk, the
+    tracemalloc peak per client at the largest size, and -- when the
+    secure-aggregation study ran -- the hierarchical masking throughput
+    and its speedup over the per-client submit loop.
     """
     columnar = payload.get("columnar", {})
     reference = payload.get("object_reference", {})
     memory = payload.get("tracemalloc", {})
-    return {
+    secure = payload.get("secure_agg", {})
+    entry = {
         "label": label or "unlabeled",
         "chunk": payload.get("chunk"),
         "clients_per_s": {
@@ -94,6 +101,14 @@ def summarize_scale(payload: dict, label: str | None = None) -> dict:
         "peak_bytes_per_client": memory.get("peak_bytes_per_client"),
         "peak_at_n": memory.get("n"),
     }
+    if secure:
+        entry["secure_agg"] = {
+            "n": secure.get("n"),
+            "shard_size": secure.get("shard_size"),
+            "clients_per_s": secure.get("clients_per_s"),
+            "speedup_vs_loop": secure.get("speedup_vs_loop"),
+        }
+    return entry
 
 
 def load_trajectory(destination: Path) -> list[dict]:
@@ -178,6 +193,73 @@ def check_regressions(
     return not regressions, messages + regressions
 
 
+def _scale_rates(entry: dict) -> dict[str, float]:
+    """The higher-is-better throughput rates of one scale-trajectory entry."""
+    rates = {}
+    for n, rate in (entry.get("clients_per_s") or {}).items():
+        if rate:
+            rates[f"columnar@{n}"] = float(rate)
+    secure = entry.get("secure_agg") or {}
+    if secure.get("clients_per_s"):
+        rates[f"secure_agg@{secure.get('n')}"] = float(secure["clients_per_s"])
+    return rates
+
+
+def check_scale_regressions(
+    entries: list[dict],
+    baseline_label: str | None = None,
+    tolerance: float = 1.25,
+) -> tuple[bool, list[str]]:
+    """Like :func:`check_regressions`, for scale entries (rates, not means).
+
+    Each rate is clients/sec, so a regression is the newest rate dropping
+    below ``baseline / tolerance``.  Rates present in only one entry (e.g.
+    the secure-agg section before it existed) are skipped.
+    """
+    if tolerance <= 0:
+        return False, [f"tolerance must be positive, got {tolerance}"]
+    if not entries:
+        return False, ["trajectory is empty; nothing to check"]
+    newest = entries[-1]
+    if baseline_label is None:
+        if len(entries) < 2:
+            return False, [
+                "trajectory has a single entry; need a previous entry (or --baseline) "
+                "to compare against"
+            ]
+        baseline = entries[-2]
+    else:
+        labelled = [e for e in entries if e.get("label") == baseline_label]
+        if not labelled:
+            known = ", ".join(repr(e.get("label")) for e in entries)
+            return False, [f"no trajectory entry labelled {baseline_label!r} (have: {known})"]
+        baseline = labelled[-1]
+    base_rates = _scale_rates(baseline)
+    messages = []
+    regressions = []
+    compared = 0
+    for name, rate in _scale_rates(newest).items():
+        base_rate = base_rates.get(name)
+        if base_rate is None or base_rate <= 0:
+            continue
+        compared += 1
+        ratio = base_rate / rate
+        line = (
+            f"{name}: {rate:,.0f} clients/s vs {base_rate:,.0f} clients/s "
+            f"({ratio:.2f}x slowdown vs baseline {baseline.get('label')!r})"
+        )
+        if ratio > tolerance:
+            regressions.append(f"REGRESSION {line} exceeds tolerance {tolerance:.2f}x")
+        else:
+            messages.append(f"ok {line}")
+    if compared == 0:
+        return False, [
+            f"entries {newest.get('label')!r} and {baseline.get('label')!r} share no "
+            "throughput rates; nothing compared"
+        ]
+    return not regressions, messages + regressions
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python scripts/bench_summary.py",
@@ -226,12 +308,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.check:
-        trajectory_path = Path(args.source or "BENCH_micro.json")
+        default_path = "BENCH_scale.json" if args.scale else "BENCH_micro.json"
+        trajectory_path = Path(args.source or default_path)
         entries = load_trajectory(trajectory_path)
         if not entries and not trajectory_path.exists():
             print(f"error: {trajectory_path} not found", file=sys.stderr)
             return 1
-        ok, messages = check_regressions(
+        checker = check_scale_regressions if args.scale else check_regressions
+        ok, messages = checker(
             entries, baseline_label=args.baseline, tolerance=args.tolerance
         )
         for message in messages:
@@ -260,10 +344,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.scale:
         entry = summarize_scale(report, label=args.label)
         entries = append_entry(destination, entry)
+        details = []
+        if entry.get("speedup_vs_object") is not None:
+            details.append(
+                f"columnar {entry['speedup_vs_object']:.1f}x at "
+                f"n={entry['object_reference_n']}"
+            )
+        secure = entry.get("secure_agg") or {}
+        if secure.get("speedup_vs_loop") is not None:
+            details.append(
+                f"secure-agg {secure['speedup_vs_loop']:.1f}x at n={secure['n']}"
+            )
         print(
             f"scale study summarized into {destination} as {entry['label']!r} "
-            f"({len(entries)} trajectory entries; speedup "
-            f"{entry['speedup_vs_object']:.1f}x at n={entry['object_reference_n']})"
+            f"({len(entries)} trajectory entries; {'; '.join(details) or 'no sections'})"
         )
         return 0
     entry = summarize(report, label=args.label)

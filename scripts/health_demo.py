@@ -1,19 +1,28 @@
-"""Deterministic chaos campaign demonstrating the health plane end to end.
+"""Deterministic chaos campaigns demonstrating the health plane end to end.
 
 Usage::
 
-    python scripts/health_demo.py                       # narrate the campaign
-    python scripts/health_demo.py --assert-retry-storm  # CI gate (exit 1 on miss)
-    python scripts/health_demo.py --out out/health_demo # persist alerts.jsonl
+    python scripts/health_demo.py                        # narrate both campaigns
+    python scripts/health_demo.py --assert-retry-storm   # CI gate (exit 1 on miss)
+    python scripts/health_demo.py --assert-shard-failure # CI gate, secure campaign
+    python scripts/health_demo.py --out out/health_demo  # persist alerts.jsonl
 
-Runs a seeded basic-mode monitoring campaign against the fault schedule
-``2:blackout;4-5:loss=0.6`` with a quorum high enough that a loss=0.6
-attempt fails.  The attempt-tick arithmetic is deterministic: attempt 2
-(the blackout) and attempts 4-5 (the loss bursts) fail and are retried, so
-the retry-storm rule *must* fire mid-campaign, and the quiet tail of clean
-rounds *must* resolve it.  ``--assert-retry-storm`` turns that obligation
-into an exit code -- the CI chaos job runs it next to the failure-injection
-tests.
+Two scripted campaigns, each deterministic down to the alert transitions:
+
+1. A basic-mode campaign against the fault schedule ``2:blackout;4-5:loss=0.6``
+   with a quorum high enough that a loss=0.6 attempt fails.  Attempt 2 (the
+   blackout) and attempts 4-5 (the loss bursts) fail and are retried, so the
+   retry-storm rule *must* fire mid-campaign, and the quiet tail of clean
+   rounds *must* resolve it.
+2. A secure-aggregation campaign against ``3:shard=0``: round 3 blacks out
+   every client in shard 0, whose masking session falls below its recovery
+   threshold.  The round *degrades* (shard excluded, variance inflated)
+   rather than aborting, the shard-failure rule fires on the counter delta,
+   and the clean tail resolves it.
+
+``--assert-retry-storm`` / ``--assert-shard-failure`` turn those
+obligations into exit codes -- the CI chaos job runs both next to the
+failure-injection tests.
 
 Every round attempt is reported to the :class:`HealthMonitor` through the
 query's direct hook (no tracer involved), and a :class:`LiveMonitor` on
@@ -37,9 +46,21 @@ from repro.federated import (
     NetworkModel,
     RetryPolicy,
 )
-from repro.observability import ALERTS_FILENAME, HealthMonitor, LiveMonitor, default_rules
+from repro.observability import (
+    ALERTS_FILENAME,
+    HealthMonitor,
+    LiveMonitor,
+    MetricsRegistry,
+    configure,
+    default_rules,
+    disable,
+)
 
 FAULT_SPEC = "2:blackout;4-5:loss=0.6"
+
+#: Secure campaign: round 3 blacks out shard 0 (8 clients of 64).
+SECURE_FAULT_SPEC = "3:shard=0"
+SECURE_SHARD_SIZE = 8
 
 
 def run_demo(
@@ -78,24 +99,50 @@ def run_demo(
     return health
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--seed", type=int, default=0, help="campaign RNG seed")
-    parser.add_argument("--rounds", type=int, default=10, help="campaign rounds to run")
-    parser.add_argument(
-        "--out", default=None, metavar="DIR", help="also persist alerts.jsonl into DIR"
-    )
-    parser.add_argument(
-        "--assert-retry-storm",
-        action="store_true",
-        help="exit 1 unless the retry-storm alert both fired and resolved",
-    )
-    args = parser.parse_args(argv)
+def run_secure_demo(
+    seed: int = 0,
+    rounds: int = 10,
+    n_clients: int = 64,
+    out_dir: str | None = None,
+) -> tuple[HealthMonitor, MonitoringCampaign]:
+    """Run the secure-aggregation shard-blackout campaign.
 
-    health = run_demo(seed=args.seed, rounds=args.rounds, out_dir=args.out)
+    The shard-failure rule reads the ``secure_shard_failures_total``
+    counter delta, so the monitor needs the same metrics registry the
+    masking sessions increment into.
+    """
+    rng = np.random.default_rng(seed)
+    population = [
+        ClientDevice(i, np.clip(rng.normal(600.0, 100.0, 1), 0.0, None))
+        for i in range(n_clients)
+    ]
+    sink = None
+    if out_dir is not None:
+        sink = Path(out_dir) / "secure" / ALERTS_FILENAME
+    registry = MetricsRegistry()
+    configure(metrics=registry)
+    try:
+        health = HealthMonitor(rules=default_rules(), metrics=registry, sink=sink)
+        live = LiveMonitor(planned_rounds=rounds, health=health)
+        query = FederatedMeanQuery(
+            FixedPointEncoder.for_integers(10),
+            mode="basic",
+            secure_aggregation=True,
+            shard_size=SECURE_SHARD_SIZE,
+            faults=FaultSchedule.from_spec(SECURE_FAULT_SPEC),
+            health=health,
+        )
+        campaign = MonitoringCampaign(query, health=health, live=live)
+        for _ in range(rounds):
+            campaign.run_round(population, rng=rng)
+        live.finish(estimate=campaign.estimates[-1])
+        health.close()
+    finally:
+        disable()
+    return health, campaign
 
-    print(f"# Health demo: chaos campaign under '{FAULT_SPEC}'")
-    print()
+
+def _print_events(health: HealthMonitor) -> None:
     if health.events:
         print("| t (s) | rule | severity | state | detail |")
         print("| --- | --- | --- | --- | --- |")
@@ -112,22 +159,80 @@ def main(argv: list[str] | None = None) -> int:
         f"fired: {summary['fired_total']}  resolved: {summary['resolved_total']}  "
         f"active: {len(summary['active'])}"
     )
+
+
+def _assert_fired_and_resolved(health: HealthMonitor, rule: str) -> int:
+    """Exit code 1 with a message unless ``rule`` both fired and resolved."""
+    counts = health.summary()["by_rule"].get(rule, {})
+    if not counts.get("fired"):
+        print(f"ASSERTION FAILED: {rule} alert never fired", file=sys.stderr)
+        return 1
+    if counts.get("resolved", 0) < counts.get("fired", 0):
+        print(
+            f"ASSERTION FAILED: {rule} alert fired but never resolved",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{rule} alert fired and resolved, as scripted")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0, help="campaign RNG seed")
+    parser.add_argument("--rounds", type=int, default=10, help="campaign rounds to run")
+    parser.add_argument(
+        "--out", default=None, metavar="DIR", help="also persist alerts.jsonl into DIR"
+    )
+    parser.add_argument(
+        "--assert-retry-storm",
+        action="store_true",
+        help="exit 1 unless the retry-storm alert both fired and resolved",
+    )
+    parser.add_argument(
+        "--assert-shard-failure",
+        action="store_true",
+        help="exit 1 unless the secure campaign degraded (not aborted) and the "
+        "shard-failure alert both fired and resolved",
+    )
+    args = parser.parse_args(argv)
+
+    health = run_demo(seed=args.seed, rounds=args.rounds, out_dir=args.out)
+    print(f"# Health demo: chaos campaign under '{FAULT_SPEC}'")
+    print()
+    _print_events(health)
     if args.out:
         print(f"alerts written to {Path(args.out) / ALERTS_FILENAME}")
 
+    secure_health, secure_campaign = run_secure_demo(
+        seed=args.seed, rounds=args.rounds, out_dir=args.out
+    )
+    print()
+    print(
+        f"# Secure-aggregation campaign under '{SECURE_FAULT_SPEC}' "
+        f"(shard size {SECURE_SHARD_SIZE})"
+    )
+    print()
+    _print_events(secure_health)
+    print(
+        f"rounds degraded: {secure_campaign.rounds_degraded} of "
+        f"{secure_campaign.rounds_run} (shard excluded, round completed)"
+    )
+    if args.out:
+        print(f"alerts written to {Path(args.out) / 'secure' / ALERTS_FILENAME}")
+
+    status = 0
     if args.assert_retry_storm:
-        storm = summary["by_rule"].get("retry-storm", {})
-        if not storm.get("fired"):
-            print("ASSERTION FAILED: retry-storm alert never fired", file=sys.stderr)
-            return 1
-        if storm.get("resolved", 0) < storm.get("fired", 0):
+        status = _assert_fired_and_resolved(health, "retry-storm") or status
+    if args.assert_shard_failure:
+        if secure_campaign.rounds_degraded < 1:
             print(
-                "ASSERTION FAILED: retry-storm alert fired but never resolved",
+                "ASSERTION FAILED: the shard blackout never degraded a round",
                 file=sys.stderr,
             )
-            return 1
-        print("retry-storm alert fired and resolved, as scripted")
-    return 0
+            status = 1
+        status = _assert_fired_and_resolved(secure_health, "shard-failure") or status
+    return status
 
 
 if __name__ == "__main__":

@@ -211,6 +211,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "client_plane.* spans",
     )
     trace.add_argument("--secure-agg", action="store_true", help="route through secure aggregation")
+    trace.add_argument(
+        "--shard-size", type=int, default=32, metavar="K",
+        help="clients per secure-aggregation shard (with --secure-agg; shards "
+        "run masking sessions independently and in parallel under "
+        "$REPRO_WORKERS)",
+    )
     trace.add_argument("--seed", type=int, default=0, help="round RNG seed")
     trace.add_argument(
         "--out", default=None, help="JSONL output path (default: trace_<target>.jsonl)"
@@ -368,6 +374,7 @@ def run_traced_round(
     clients: int | None = None,
     chunk: int | None = None,
     secure_agg: bool = False,
+    shard_size: int = 32,
     seed: int = 0,
     out_path: str | None = None,
     stream=None,
@@ -448,6 +455,7 @@ def run_traced_round(
         dropout=DropoutModel(rate=0.05),
         network=NetworkModel(loss_rate=0.05, deadline_s=600.0),
         secure_aggregation=secure_agg,
+        shard_size=shard_size,
         min_reports_per_bit=2,
         min_quorum=min_quorum,
         # Recorded runs meter every disclosure at the paper's 1-bit cap, which
@@ -490,6 +498,7 @@ def run_traced_round(
                 "target": target,
                 "quick": quick,
                 "secure_agg": secure_agg,
+                "shard_size": shard_size,
                 "n_clients": n_clients,
                 "columnar": columnar,
                 "chunk": chunk,
@@ -588,6 +597,7 @@ def run_traced_round(
             "columnar": columnar,
             "chunk": chunk,
             "secure_agg": secure_agg,
+            "shard_size": shard_size,
             "estimate": float(estimate.value),
             "truth": float(truth),
             "reconciled": reconciled,
@@ -825,6 +835,7 @@ def _dispatch(argv: list[str] | None) -> int:
             clients=args.clients,
             chunk=args.chunk,
             secure_agg=args.secure_agg,
+            shard_size=args.shard_size,
             seed=args.seed,
             out_path=args.out,
             max_retries=args.max_retries,

@@ -86,6 +86,12 @@ class FaultEvent:
         Ignored when the base network has no deadline.
     latency_factor:
         Multiply the network's median report latency.
+    shard_blackout:
+        Secure-aggregation shard indices (0-based) whose clients all fail to
+        submit to their masking session this round.  Exercises per-shard
+        dropout recovery and failure containment: the shard falls below its
+        threshold and is excluded, degrading -- not aborting -- the round.
+        Ignored when secure aggregation is off.
     """
 
     first_round: int
@@ -95,6 +101,7 @@ class FaultEvent:
     loss_rate: float | None = None
     deadline_factor: float | None = None
     latency_factor: float | None = None
+    shard_blackout: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.first_round < 1:
@@ -116,12 +123,19 @@ class FaultEvent:
             value = getattr(self, name)
             if value is not None and value <= 0:
                 raise ConfigurationError(f"{name} must be positive, got {value}")
+        object.__setattr__(self, "shard_blackout", tuple(self.shard_blackout))
+        for shard in self.shard_blackout:
+            if not isinstance(shard, int) or shard < 0:
+                raise ConfigurationError(
+                    f"shard_blackout indices must be ints >= 0, got {shard!r}"
+                )
         if not (
             self.blackout
             or self.dropout_rate is not None
             or self.loss_rate is not None
             or self.deadline_factor is not None
             or self.latency_factor is not None
+            or self.shard_blackout
         ):
             raise ConfigurationError("fault event specifies no effect")
 
@@ -146,6 +160,7 @@ class ActiveFaults:
     loss_rate: float | None = None
     deadline_factor: float | None = None
     latency_factor: float | None = None
+    shard_blackout: tuple[int, ...] = ()
 
     @property
     def any(self) -> bool:
@@ -155,6 +170,7 @@ class ActiveFaults:
             or self.loss_rate is not None
             or self.deadline_factor is not None
             or self.latency_factor is not None
+            or bool(self.shard_blackout)
         )
 
     def describe(self) -> dict[str, object]:
@@ -164,6 +180,8 @@ class ActiveFaults:
             value = getattr(self, name)
             if value not in (None, False):
                 out[name] = value
+        if self.shard_blackout:
+            out["shard_blackout"] = list(self.shard_blackout)
         return out
 
     def apply_dropout(
@@ -229,6 +247,7 @@ class FaultSchedule:
         if round_index < 1:
             raise ConfigurationError(f"round_index is 1-based, got {round_index}")
         merged: dict[str, object] = {}
+        shard_blackout: list[int] = []
         for event in self.events:
             if not event.covers(round_index):
                 continue
@@ -238,6 +257,13 @@ class FaultSchedule:
                 value = getattr(event, name)
                 if value is not None:
                     merged[name] = value
+            for shard in event.shard_blackout:
+                # Shard blackouts union across overlapping events (killing
+                # shard 0 and shard 2 are not competing overrides).
+                if shard not in shard_blackout:
+                    shard_blackout.append(shard)
+        if shard_blackout:
+            merged["shard_blackout"] = tuple(shard_blackout)
         return ActiveFaults(round_index=round_index, **merged)
 
     # -- constructors ---------------------------------------------------
@@ -265,7 +291,8 @@ class FaultSchedule:
         ``;``-separated events, each ``ROUNDS:EFFECT[,EFFECT...]`` where
         ``ROUNDS`` is ``k`` or ``k-m`` (1-based, inclusive) and ``EFFECT``
         is one of ``blackout``, ``dropout=R``, ``loss=R``, ``deadline*F``,
-        ``latency*F``.
+        ``latency*F``, or ``shard=K`` (black out secure-aggregation shard
+        ``K``; repeat the effect to kill several shards).
         """
         events = []
         for chunk in filter(None, (part.strip() for part in text.split(";"))):
@@ -294,10 +321,15 @@ class FaultSchedule:
                         kwargs["deadline_factor"] = float(effect.removeprefix("deadline*"))
                     elif effect.startswith("latency*"):
                         kwargs["latency_factor"] = float(effect.removeprefix("latency*"))
+                    elif effect.startswith("shard="):
+                        shards = tuple(kwargs.get("shard_blackout", ()))
+                        kwargs["shard_blackout"] = shards + (
+                            int(effect.removeprefix("shard=")),
+                        )
                     else:
                         raise ConfigurationError(
                             f"unknown fault effect {effect!r} (want blackout, dropout=R, "
-                            f"loss=R, deadline*F, or latency*F)"
+                            f"loss=R, deadline*F, latency*F, or shard=K)"
                         )
                 except ValueError as exc:
                     raise ConfigurationError(f"bad fault effect {effect!r}: {exc}") from exc

@@ -52,9 +52,52 @@ def _is_prime(n: int) -> bool:
     return True
 
 
+#: Largest modulus for which two field elements can be added in uint64
+#: without wrapping (the array kernels' overflow precondition).
+_MAX_VECTORIZED_MODULUS = 1 << 63
+
+_M61 = np.uint64(DEFAULT_PRIME)
+_M61_BITS = np.uint64(61)
+_LOW31 = np.uint64(0x7FFFFFFF)
+_SHIFT31 = np.uint64(31)
+_SHIFT30 = np.uint64(30)
+_ONE = np.uint64(1)
+
+
+def _reduce_m61(x: np.ndarray) -> np.ndarray:
+    """Fold ``x < 2**63`` into ``[0, 2**61 - 1)``.
+
+    For the Mersenne prime ``2**61 ≡ 1 (mod p)``, so one shift-and-add fold
+    lands below ``2 p`` and a single conditional subtract finishes.
+    """
+    x = (x >> _M61_BITS) + (x & _M61)
+    return np.where(x >= _M61, x - _M61, x)
+
+
+def _mul_m61(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise ``(a * b) mod (2**61 - 1)`` for reduced uint64 arrays.
+
+    Splits each 61-bit factor into 31/30-bit halves; every partial product
+    fits uint64, and the ``2**62`` / ``2**31`` scale factors reduce via the
+    Mersenne identities ``2**62 ≡ 2`` and ``x * 2**31 ≡ rotl61(x, 31)``.
+    """
+    a_hi, a_lo = a >> _SHIFT31, a & _LOW31
+    b_hi, b_lo = b >> _SHIFT31, b & _LOW31
+    low = _reduce_m61(a_lo * b_lo)
+    high = _reduce_m61((a_hi * b_hi) << _ONE)
+    mid = _reduce_m61(a_hi * b_lo + a_lo * b_hi)
+    mid = _reduce_m61(((mid << _SHIFT31) & _M61) + (mid >> _SHIFT30))
+    return _reduce_m61(low + high + mid)
+
+
 @dataclass(frozen=True)
 class PrimeField:
     """Arithmetic modulo a prime ``modulus``.
+
+    Scalar and list methods operate on exact Python ints.  The ``*_array``
+    methods are the vectorized twins over ``uint64`` numpy arrays -- exact
+    for any modulus below ``2**63`` (so a single addition never wraps), which
+    covers the default 61-bit Mersenne prime with headroom.
 
     Examples
     --------
@@ -128,3 +171,104 @@ class PrimeField:
         """
         x = x % self.modulus
         return x - self.modulus if x > self.modulus // 2 else x
+
+    # ------------------------------------------------------------------
+    # Array kernels: exact uint64 arithmetic for the vectorized masking
+    # path.  All of them assume (and _require_vectorizable checks) that
+    # the modulus leaves one bit of uint64 headroom, so `a + b` with
+    # a, b < p cannot wrap.
+    # ------------------------------------------------------------------
+    def _require_vectorizable(self) -> None:
+        if self.modulus >= _MAX_VECTORIZED_MODULUS:
+            raise ConfigurationError(
+                f"array field ops need modulus < 2**63, got {self.modulus}"
+            )
+
+    def reduce_array(self, values: np.ndarray) -> np.ndarray:
+        """Reduce an integer array into ``[0, p)`` as ``uint64``.
+
+        Negative inputs are accepted (numpy's remainder is non-negative for
+        a positive modulus), so callers can feed raw signed contributions.
+        """
+        self._require_vectorizable()
+        arr = np.asarray(values)
+        if arr.dtype == np.uint64:
+            return arr % np.uint64(self.modulus)
+        return (np.asarray(arr, dtype=np.int64) % np.int64(self.modulus)).astype(np.uint64)
+
+    def add_arrays(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise ``(a + b) mod p`` over reduced ``uint64`` arrays."""
+        self._require_vectorizable()
+        return (a + b) % np.uint64(self.modulus)
+
+    def sub_arrays(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise ``(a - b) mod p``; safe against unsigned underflow."""
+        self._require_vectorizable()
+        p = np.uint64(self.modulus)
+        return (a + (p - b)) % p
+
+    def mul_arrays(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise ``(a * b) mod p`` over reduced ``uint64`` arrays.
+
+        Broadcasts like numpy multiplication.  The default Mersenne prime
+        runs entirely in uint64 split/rotate arithmetic (exact -- pinned
+        against scalar :meth:`mul` by a near-modulus stress test); other
+        moduli fall back to exact Python-int products elementwise.
+        """
+        self._require_vectorizable()
+        a = np.asarray(a, dtype=np.uint64)
+        b = np.asarray(b, dtype=np.uint64)
+        if self.modulus == DEFAULT_PRIME:
+            return _mul_m61(a, b)
+        a2, b2 = np.broadcast_arrays(a, b)
+        out = [
+            (x * y) % self.modulus
+            for x, y in zip(a2.ravel().tolist(), b2.ravel().tolist())
+        ]
+        return np.array(out, dtype=np.uint64).reshape(a2.shape)
+
+    def sum_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Exact mod-``p`` column sum of a ``(k, length)`` reduced array.
+
+        Rows are folded in blocks small enough that the running uint64
+        partial sums cannot wrap: with ``p < 2**63`` at least 2 rows fit per
+        block, and the default 61-bit prime allows 7 -- so the reduction is
+        O(k/block) numpy passes, not O(k) Python additions.
+        """
+        self._require_vectorizable()
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.uint64))
+        p = np.uint64(self.modulus)
+        # How many (p-1)-sized values fit in uint64 alongside the (p-1)-sized
+        # accumulator: block * (p-1) + (p-1) <= 2**64 - 1.
+        block = max(1, ((1 << 64) - 1) // (self.modulus - 1) - 1)
+        total = np.zeros(rows.shape[-1], dtype=np.uint64)
+        for start in range(0, rows.shape[0], block):
+            total = (total + rows[start : start + block].sum(axis=0)) % p
+        return total
+
+    def sum_indexed(self, rows: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Per-row mod-``p`` sums of gathered rows.
+
+        ``out[i] = sum_j rows[indices[i, j]] mod p`` -- the vectorized twin
+        of one :meth:`sum_rows` call per index row, for ragged "each output
+        sums a different subset" workloads (pad short index lists with the
+        index of an all-zero row appended to ``rows``).  Same block-folded
+        overflow discipline as :meth:`sum_rows`.
+        """
+        self._require_vectorizable()
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.uint64))
+        indices = np.atleast_2d(indices)
+        p = np.uint64(self.modulus)
+        block = max(1, ((1 << 64) - 1) // (self.modulus - 1) - 1)
+        total = np.zeros((indices.shape[0], rows.shape[-1]), dtype=np.uint64)
+        for start in range(0, indices.shape[1], block):
+            chunk = rows[indices[:, start : start + block]]
+            total = (total + chunk.sum(axis=1)) % p
+        return total
+
+    def centered_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`centered`: field elements to signed ``int64``."""
+        self._require_vectorizable()
+        arr = np.asarray(values, dtype=np.uint64) % np.uint64(self.modulus)
+        out = arr.astype(np.int64)
+        return np.where(arr > np.uint64(self.modulus // 2), out - np.int64(self.modulus), out)

@@ -1,0 +1,415 @@
+"""Hierarchical (sharded) secure aggregation with per-shard dropout recovery.
+
+A single flat masking session is O(n**2) in both setup and recovery, which
+is why a central aggregator bottlenecks past a few hundred clients (the
+DisAgg line of work distributes exactly this).  This module arranges the
+cohort as a two-level tree instead:
+
+* **Leaves**: contiguous *shards* of ``shard_size`` clients, each running
+  its own :class:`~repro.federated.secure_agg.protocol.SecureAggregationSession`
+  with the canonical 2/3 threshold.  Dropout recovery -- survivor seed
+  reveal plus Shamir reconstruction -- happens *inside* the shard, so a
+  client's disappearance costs O(shard_size) work, not O(n).
+* **Root**: per-shard partial sums are already unmasked exact integers, so
+  the root aggregator is plain integer addition -- commutative and exact,
+  which makes the merge order (and therefore the worker schedule) irrelevant
+  to the result.
+
+**Failure containment.**  A shard whose submissions fall below its threshold
+cannot be unmasked; it is reported as *failed* (``recovered=False``) and its
+clients are excluded from the total, but the other shards' sums still
+aggregate.  Callers degrade rather than abort: the server widens the round's
+variance accounting and raises a health alert instead of failing the round.
+
+**Parallelism.**  Shards are independent sessions, so they fan out over a
+``fork``-based process pool (one worker per shard, bounded by ``workers``).
+Determinism follows the executor discipline of
+:func:`repro.metrics.execution.spawn_seed_sequences`: shard ``i`` always
+seeds its session from the ``i``-th spawned child of the caller's generator,
+so results are bit-identical for every worker count and completion order.
+Workers run with tracing disabled and ship a private metrics snapshot back
+for the parent to merge, exactly like the trial executors.  Shard inputs are
+consumed lazily with at most ``workers`` shards in flight, so aggregating a
+large cohort never materializes cohort-sized arrays.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SecureAggregationError
+from repro.federated.secure_agg.protocol import (
+    SecureAggregationSession,
+    default_threshold,
+)
+from repro.metrics.execution import (
+    _FORK_AVAILABLE,
+    resolve_workers,
+    spawn_seed_sequences,
+)
+from repro.observability import get_metrics, get_tracer
+from repro.rng import ensure_rng
+
+__all__ = [
+    "ShardTask",
+    "ShardOutcome",
+    "HierarchicalResult",
+    "shard_bounds",
+    "aggregate_shards",
+    "hierarchical_secure_sum",
+]
+
+
+def shard_bounds(n_clients: int, shard_size: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` shard bounds over ``n_clients``.
+
+    A remainder of exactly one client folds into the previous shard instead
+    of standing alone: a lone client cannot be masked against peers, and the
+    historical fallback of adding its counter to the aggregate in the clear
+    was a plaintext leak (the ``n % shard_size == 1`` bug).  The last shard
+    may therefore hold ``shard_size + 1`` clients.  ``n_clients == 1`` still
+    yields a single singleton shard -- there is no previous shard to fold
+    into -- which the aggregator reports as failed rather than leaking.
+    """
+    if shard_size < 2:
+        raise ConfigurationError(f"shard_size must be >= 2, got {shard_size}")
+    if n_clients < 0:
+        raise ConfigurationError(f"n_clients must be >= 0, got {n_clients}")
+    starts = list(range(0, n_clients, shard_size))
+    if len(starts) > 1 and n_clients - starts[-1] == 1:
+        starts.pop()
+    return [
+        (start, stop)
+        for start, stop in zip(starts, starts[1:] + [n_clients])
+    ]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's input to the aggregation tree.
+
+    ``submitted_ids`` are *shard-local* client ids (``0 .. n_clients - 1``)
+    that actually submit; ``vectors`` holds one row per submitted id, in the
+    same order.  Clients present in the shard but absent from
+    ``submitted_ids`` are the shard's dropouts -- the session recovers their
+    masks from the survivors.
+    """
+
+    index: int
+    start: int
+    n_clients: int
+    submitted_ids: np.ndarray
+    vectors: np.ndarray
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One shard's result: the partial sum, or a contained failure.
+
+    ``submitted_global_ids`` are the cohort-level indices of the clients
+    whose vectors this shard's session actually contains (``start`` plus
+    the task's shard-local submitted ids).
+    """
+
+    index: int
+    start: int
+    n_clients: int
+    submitted_global_ids: np.ndarray
+    threshold: int
+    recovered: bool
+    total: np.ndarray | None
+    duration_s: float = 0.0
+
+    @property
+    def submitted(self) -> int:
+        return int(self.submitted_global_ids.size)
+
+    @property
+    def dropouts(self) -> int:
+        return self.n_clients - self.submitted
+
+
+@dataclass(frozen=True)
+class HierarchicalResult:
+    """Root-level aggregate plus the per-shard ledger.
+
+    ``total`` sums the *recovered* shards only; ``included`` /
+    ``excluded`` partition the cohort's global client indices accordingly,
+    so callers can reconcile the aggregate against exactly the clients it
+    contains.
+    """
+
+    total: np.ndarray
+    shards: tuple[ShardOutcome, ...]
+
+    @property
+    def failed_shards(self) -> tuple[ShardOutcome, ...]:
+        return tuple(s for s in self.shards if not s.recovered)
+
+    @property
+    def included(self) -> np.ndarray:
+        """Global indices of the submitted clients inside recovered shards.
+
+        Exactly the clients whose vectors :attr:`total` contains.
+        """
+        parts = [s.submitted_global_ids for s in self.shards if s.recovered]
+        return (
+            np.concatenate(parts).astype(np.int64)
+            if parts
+            else np.empty(0, dtype=np.int64)
+        )
+
+    @property
+    def included_submitters(self) -> int:
+        return sum(s.submitted for s in self.shards if s.recovered)
+
+    @property
+    def excluded_clients(self) -> int:
+        return sum(s.n_clients for s in self.shards if not s.recovered)
+
+
+def _execute_shard(
+    task: ShardTask,
+    vector_length: int,
+    seed: np.random.SeedSequence,
+    bitgen_cls: type,
+) -> ShardOutcome:
+    """Run one shard's masking session end to end (any process).
+
+    A shard that cannot complete -- a singleton (no peer to mask against) or
+    a below-threshold survivor set -- returns ``recovered=False`` instead of
+    raising: shard failure is a contained, reportable outcome, not an error
+    of the tree.
+    """
+    start = time.perf_counter()
+    global_ids = (task.start + np.asarray(task.submitted_ids)).astype(np.int64)
+    if task.n_clients < 2:
+        return ShardOutcome(
+            index=task.index,
+            start=task.start,
+            n_clients=task.n_clients,
+            submitted_global_ids=global_ids,
+            threshold=2,
+            recovered=False,
+            total=None,
+            duration_s=time.perf_counter() - start,
+        )
+    threshold = default_threshold(task.n_clients)
+    session = SecureAggregationSession(
+        n_clients=task.n_clients,
+        vector_length=vector_length,
+        threshold=threshold,
+        rng=np.random.Generator(bitgen_cls(seed)),
+    )
+    session.submit_batch(task.submitted_ids, task.vectors)
+    try:
+        total = np.array(session.finalize(), dtype=np.int64)
+    except SecureAggregationError:
+        total = None
+    return ShardOutcome(
+        index=task.index,
+        start=task.start,
+        n_clients=task.n_clients,
+        submitted_global_ids=global_ids,
+        threshold=threshold,
+        recovered=total is not None,
+        total=total,
+        duration_s=time.perf_counter() - start,
+    )
+
+
+def _forked_shard(
+    task: ShardTask,
+    vector_length: int,
+    seed: np.random.SeedSequence,
+    bitgen_cls: type,
+    parent_metrics_enabled: bool,
+) -> tuple[ShardOutcome, dict | None]:
+    """Worker entry point: one shard with worker-private observability.
+
+    Mirrors the trial executors' fork discipline: tracing off (a forked
+    exporter would interleave writes on the shared descriptor), metrics into
+    a private registry whose snapshot rides back for the parent to merge --
+    so session counters match serial execution exactly.
+    """
+    from repro import observability
+    from repro.observability import MetricsRegistry
+
+    observability.disable()
+    worker_metrics: MetricsRegistry | None = None
+    if parent_metrics_enabled:
+        worker_metrics = MetricsRegistry()
+        observability.configure(metrics=worker_metrics)
+    outcome = _execute_shard(task, vector_length, seed, bitgen_cls)
+    return outcome, worker_metrics.snapshot() if worker_metrics is not None else None
+
+
+def _record_shard(outcome: ShardOutcome, tracer, metrics) -> None:
+    """Fold one shard outcome into the parent's spans and counters."""
+    attrs = {
+        "shard": outcome.index,
+        "planned": outcome.n_clients,
+        "submitted": outcome.submitted,
+        "threshold": outcome.threshold,
+        "recovered": outcome.recovered,
+        "duration_s": outcome.duration_s,
+    }
+    with tracer.span("shard.session", attrs):
+        pass
+    if not outcome.recovered:
+        with tracer.span(
+            "shard.failed",
+            {
+                "shard": outcome.index,
+                "planned": outcome.n_clients,
+                "submitted": outcome.submitted,
+                "threshold": outcome.threshold,
+            },
+        ):
+            pass
+    if metrics.enabled:
+        metrics.counter("secure_shards_total").inc()
+        if not outcome.recovered:
+            metrics.counter("secure_shard_failures_total").inc()
+            metrics.counter("secure_clients_excluded_total").inc(outcome.n_clients)
+
+
+def aggregate_shards(
+    tasks: Iterable[ShardTask],
+    vector_length: int,
+    rng: np.random.Generator | int | None = None,
+    workers: int | None = None,
+) -> HierarchicalResult:
+    """Run every shard's session and merge the recovered partial sums.
+
+    ``tasks`` is consumed lazily: with ``workers > 1`` at most ``workers``
+    shards are in flight at once, so callers can stream shard inputs without
+    ever holding the whole cohort in memory.  Shard ``i`` is seeded from the
+    ``i``-th spawned child of ``rng`` regardless of scheduling, so the result
+    is bit-identical for every worker count (asserted by the twin tests).
+
+    ``workers=None`` reads ``REPRO_WORKERS`` (the executor convention).
+    Falls back to serial execution when ``fork`` is unavailable.
+    """
+    gen = ensure_rng(rng)
+    n_workers = resolve_workers(workers)
+    tracer = get_tracer()
+    metrics = get_metrics()
+    task_list = tasks if isinstance(tasks, Sequence) else None
+
+    def seeded(task_iter: Iterable[ShardTask]) -> Iterator[tuple[ShardTask, np.random.SeedSequence, type]]:
+        # Spawn seeds in shard order off the parent sequence.  One spawn
+        # call per shard keeps the iterator lazy; children are identical to
+        # a single batched spawn (SeedSequence.spawn is a counter walk).
+        for task in task_iter:
+            (seed,), bitgen_cls = spawn_seed_sequences(gen, 1)
+            yield task, seed, bitgen_cls
+
+    outcomes: list[ShardOutcome] = []
+    use_pool = n_workers > 1 and _FORK_AVAILABLE and (
+        task_list is None or len(task_list) > 1
+    )
+    source = seeded(task_list if task_list is not None else tasks)
+    if not use_pool:
+        for task, seed, bitgen_cls in source:
+            outcome = _execute_shard(task, vector_length, seed, bitgen_cls)
+            _record_shard(outcome, tracer, metrics)
+            outcomes.append(outcome)
+    else:
+        context = multiprocessing.get_context("fork")
+        parent_metrics_enabled = metrics.enabled
+        with ProcessPoolExecutor(max_workers=n_workers, mp_context=context) as pool:
+            pending = set()
+
+            def drain(done_set) -> None:
+                for future in done_set:
+                    outcome, snapshot = future.result()
+                    _record_shard(outcome, tracer, metrics)
+                    if snapshot is not None and metrics.enabled:
+                        metrics.merge_snapshot(snapshot)
+                    outcomes.append(outcome)
+
+            for task, seed, bitgen_cls in source:
+                if len(pending) >= n_workers:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    drain(done)
+                pending.add(
+                    pool.submit(
+                        _forked_shard,
+                        task,
+                        vector_length,
+                        seed,
+                        bitgen_cls,
+                        parent_metrics_enabled,
+                    )
+                )
+            done, _ = wait(pending)
+            drain(done)
+
+    outcomes.sort(key=lambda o: o.index)
+    total = np.zeros(vector_length, dtype=np.int64)
+    for outcome in outcomes:
+        if outcome.recovered and outcome.total is not None:
+            total += outcome.total
+    return HierarchicalResult(total=total, shards=tuple(outcomes))
+
+
+def hierarchical_secure_sum(
+    vectors: np.ndarray,
+    submitted: np.ndarray | None = None,
+    shard_size: int = 32,
+    workers: int | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> HierarchicalResult:
+    """Securely sum client row-vectors through the shard tree.
+
+    The hierarchical twin of
+    :func:`~repro.federated.secure_agg.protocol.secure_sum`: same exact
+    integer total over the included clients, O(shard_size**2) masking work
+    per shard instead of O(n**2) overall, and per-shard failure containment.
+    ``submitted`` marks which clients submit (all, by default); a shard whose
+    survivors fall below its 2/3 threshold is excluded, not fatal -- inspect
+    :attr:`HierarchicalResult.failed_shards`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> vecs = np.ones((10, 3), dtype=np.int64)
+    >>> result = hierarchical_secure_sum(vecs, shard_size=4, rng=0)
+    >>> result.total.tolist()
+    [10, 10, 10]
+    >>> len(result.shards)
+    3
+    """
+    vecs = np.asarray(vectors)
+    if vecs.ndim != 2:
+        raise ConfigurationError(f"expected a 2-D (clients x length) array, got {vecs.shape}")
+    n_clients, length = vecs.shape
+    if submitted is None:
+        submitted = np.ones(n_clients, dtype=bool)
+    submitted = np.asarray(submitted, dtype=bool)
+    if submitted.shape != (n_clients,):
+        raise ConfigurationError("submitted mask must have one entry per client")
+
+    def tasks() -> Iterator[ShardTask]:
+        for index, (start, stop) in enumerate(shard_bounds(n_clients, shard_size)):
+            local_ids = np.flatnonzero(submitted[start:stop])
+            yield ShardTask(
+                index=index,
+                start=start,
+                n_clients=stop - start,
+                submitted_ids=local_ids,
+                vectors=vecs[start:stop][local_ids],
+            )
+
+    with get_tracer().span(
+        "secure_agg.hierarchy",
+        {"n_clients": n_clients, "shard_size": shard_size},
+    ):
+        return aggregate_shards(tasks(), length, rng=rng, workers=workers)

@@ -6,9 +6,16 @@ Each client ``i`` submits ``x_i + b_i + sum_{j>i} m_ij - sum_{j<i} m_ji``
 ``j``.  Summed over all clients, the pairwise masks cancel exactly; the
 self-masks are removed by the server after share-based seed recovery.
 
-Masks are expanded deterministically from integer seeds with numpy's
-``Philox`` bit generator (counter-based, so seed -> stream is stable across
-platforms), truncated into the field.
+Masks are expanded deterministically with Philox-4x64-10 (Salmon et al.,
+"Parallel Random Numbers: As Easy as 1, 2, 3"), the same counter-based
+generator numpy ships -- but evaluated here as a *batched* numpy kernel:
+one call expands every seed of a shard at once, each seed keying its own
+counter stream, with no per-seed ``Generator`` construction.  The kernel is
+pinned bit-identical to ``np.random.Philox(key=seed).random_raw`` by a
+test.  Uniform words are truncated into the field with a single modulo;
+the residue bias is < 2**-56 for the default 61-bit prime and irrelevant
+to correctness, which only needs both endpoints of a seed to derive the
+*same* vector so masks cancel exactly.
 """
 
 from __future__ import annotations
@@ -18,7 +25,86 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.federated.secure_agg.field import PrimeField
 
-__all__ = ["expand_mask", "apply_masks", "pairwise_mask_sign"]
+__all__ = [
+    "expand_mask",
+    "expand_masks",
+    "philox4x64",
+    "apply_masks",
+    "pairwise_mask_sign",
+]
+
+# Philox-4x64 round multipliers and Weyl key increments (Random123).
+_PHILOX_M0 = np.uint64(0xD2E7470EE14C6C93)
+_PHILOX_M1 = np.uint64(0xCA5A826395121157)
+_WEYL_0 = np.uint64(0x9E3779B97F4A7C15)
+_WEYL_1 = np.uint64(0xBB67AE8584CAA73B)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_SHIFT32 = np.uint64(32)
+_ROUNDS = 10
+
+
+def _mulhilo(a: np.uint64, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Full 64x64 -> 128 bit product of scalar ``a`` with array ``b``.
+
+    uint64 multiplication wraps, so the high word is assembled from 32-bit
+    half products (schoolbook); every partial sum provably fits in uint64.
+    """
+    lo = a * b
+    a_lo, a_hi = a & _MASK32, a >> _SHIFT32
+    b_lo, b_hi = b & _MASK32, b >> _SHIFT32
+    t1 = a_hi * b_lo + ((a_lo * b_lo) >> _SHIFT32)
+    t2 = a_lo * b_hi + (t1 & _MASK32)
+    hi = a_hi * b_hi + (t1 >> _SHIFT32) + (t2 >> _SHIFT32)
+    return hi, lo
+
+
+def philox4x64(
+    key0: np.ndarray, counter0: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Philox-4x64-10 blocks, vectorized over keys and counters.
+
+    ``key0`` and ``counter0`` broadcast together; each element pair selects
+    the block with key ``(key0, 0)`` and counter ``(counter0, 0, 0, 0)``
+    and yields that block's four output words.  A test pins the kernel
+    bit-identical to ``np.random.Philox(key=key0).random_raw`` (numpy
+    pre-increments, so its ``i``-th raw block is counter ``i + 1``).
+    """
+    shape = np.broadcast_shapes(np.shape(key0), np.shape(counter0))
+    with np.errstate(over="ignore"):
+        c0 = np.broadcast_to(np.asarray(counter0, dtype=np.uint64), shape).copy()
+        c1 = np.zeros(shape, dtype=np.uint64)
+        c2 = np.zeros(shape, dtype=np.uint64)
+        c3 = np.zeros(shape, dtype=np.uint64)
+        k0 = np.broadcast_to(np.asarray(key0, dtype=np.uint64), shape)
+        k1 = np.zeros(shape, dtype=np.uint64)
+        for _ in range(_ROUNDS):
+            hi0, lo0 = _mulhilo(_PHILOX_M0, c0)
+            hi1, lo1 = _mulhilo(_PHILOX_M1, c2)
+            c0, c1, c2, c3 = hi1 ^ c1 ^ k0, lo1, hi0 ^ c3 ^ k1, lo0
+            k0 = k0 + _WEYL_0
+            k1 = k1 + _WEYL_1
+    return c0, c1, c2, c3
+
+
+def expand_masks(seeds, length: int, field: PrimeField) -> np.ndarray:
+    """Expand each seed into one row of a ``(len(seeds), length)`` uint64 array.
+
+    One vectorized Philox pass covers every seed: seed ``i`` keys its own
+    counter stream (counters ``0, 1, ...`` per 4-word block), so rows depend
+    only on their seed -- both endpoints of a pairwise seed, and any
+    re-expansion during dropout recovery, derive exactly the same mask.
+    """
+    if length < 0:
+        raise ConfigurationError(f"mask length must be >= 0, got {length}")
+    seeds = np.asarray(seeds, dtype=np.uint64).reshape(-1)
+    if length == 0 or seeds.size == 0:
+        return np.zeros((seeds.size, length), dtype=np.uint64)
+    blocks = -(-length // 4)
+    lanes = philox4x64(
+        seeds[:, None], np.arange(1, blocks + 1, dtype=np.uint64)[None, :]
+    )
+    words = np.stack(lanes, axis=-1).reshape(seeds.size, blocks * 4)
+    return words[:, :length] % np.uint64(field.modulus)
 
 
 def expand_mask(seed: int, length: int, field: PrimeField) -> list[int]:
@@ -27,10 +113,7 @@ def expand_mask(seed: int, length: int, field: PrimeField) -> list[int]:
     Both endpoints of a pairwise seed must derive the *same* vector, so the
     expansion depends only on the seed value.
     """
-    if length < 0:
-        raise ConfigurationError(f"mask length must be >= 0, got {length}")
-    gen = np.random.Generator(np.random.Philox(seed))
-    return [int(v) for v in gen.integers(0, field.modulus, size=length)]
+    return [int(v) for v in expand_masks([seed], length, field)[0]]
 
 
 def pairwise_mask_sign(my_id: int, other_id: int) -> int:

@@ -20,6 +20,16 @@ The server learns exactly the sum of the submitted vectors -- bit-pushing's
 per-bit counts -- and nothing about individual contributions (each
 submission is uniformly distributed given the others).
 
+All mask arithmetic is vectorized: seeds expand through
+:func:`~repro.federated.secure_agg.masking.expand_masks` into 2-D uint64
+arrays and combine through the :class:`PrimeField` array kernels, with
+:meth:`SecureAggregationSession.submit_batch` masking a whole shard's
+submissions in one call (each intra-batch pairwise mask is expanded once,
+not once per endpoint).  The batched path is bit-identical to per-client
+:meth:`~SecureAggregationSession.submit` calls -- field sums are exact and
+order-free.  For sharded, multi-worker aggregation over large cohorts see
+:mod:`repro.federated.secure_agg.hierarchy`.
+
 **Scope note:** this is a protocol-faithful simulation for experiments, not
 hardened cryptography: seeds stand in for DH key agreement, and all parties
 live in one process.  What it preserves -- and what the tests check -- is the
@@ -29,16 +39,31 @@ dropouts, and hard failure below the threshold.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.exceptions import ConfigurationError, SecureAggregationError
 from repro.federated.secure_agg.field import PrimeField
-from repro.federated.secure_agg.masking import apply_masks, expand_mask, pairwise_mask_sign
-from repro.federated.secure_agg.shamir import Share, reconstruct_secret, split_secret
+from repro.federated.secure_agg.masking import expand_masks, pairwise_mask_sign
+from repro.federated.secure_agg.shamir import reconstruct_secrets, split_secrets
 from repro.observability import get_metrics, get_tracer
 from repro.rng import ensure_rng
 
-__all__ = ["SecureAggregationSession", "secure_sum"]
+__all__ = ["SecureAggregationSession", "default_threshold", "secure_sum"]
+
+
+def default_threshold(n_clients: int) -> int:
+    """The canonical 2/3-majority Shamir/survivor threshold for ``n_clients``.
+
+    ``max(2, ceil(2 n / 3))`` -- the single source of truth shared by
+    :func:`secure_sum`, the hierarchical aggregator, and the server's shard
+    loop (two hand-rolled copies of this formula used to live apart; a test
+    pins their equality on this helper now).
+    """
+    if n_clients < 1:
+        raise ConfigurationError(f"n_clients must be >= 1, got {n_clients}")
+    return max(2, -(-2 * n_clients // 3))
 
 
 class SecureAggregationSession:
@@ -103,15 +128,17 @@ class SecureAggregationSession:
         self._pairwise_seeds: dict[tuple[int, int], int] = {
             (int(i), int(j)): seed for i, j, seed in zip(pair_i, pair_j, pair_seeds)
         }
-        # Self-mask seeds, Shamir-shared among all clients.
+        # Self-mask seeds, Shamir-shared among all clients: row i of the
+        # share matrix holds seed i's share values, column h the share
+        # client h keeps (evaluation point x = h + 1).
         self._self_seeds: list[int] = self.field.random_vector(n_clients, gen)
-        self._self_seed_shares: list[list[Share]] = [
-            split_secret(seed, n_clients, threshold, self.field, gen)
-            for seed in self._self_seeds
-        ]
+        self._self_seed_shares: np.ndarray = split_secrets(
+            self._self_seeds, n_clients, threshold, self.field, gen
+        )
 
-        self._submissions: dict[int, list[int]] = {}
+        self._submissions: dict[int, np.ndarray] = {}
         self._finalized = False
+        self._failed = False
 
     # ------------------------------------------------------------------
     def _seed_for(self, a: int, b: int) -> int:
@@ -126,30 +153,113 @@ class SecureAggregationSession:
         }
 
     # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._finalized or self._failed:
+            raise SecureAggregationError("session already finalized")
+
+    def _mask_rows(self, client_ids: Sequence[int], rows: np.ndarray) -> np.ndarray:
+        """Mask one reduced ``(k, length)`` uint64 row per submitting client.
+
+        Each intra-batch pairwise mask is expanded exactly once and applied
+        with opposite signs to both endpoints' rows; masks shared with
+        clients outside the batch are expanded once for the batch endpoint.
+        """
+        field = self.field
+        length = self.vector_length
+        # Self-masks: one expansion per submitting client.
+        self_masks = expand_masks(
+            [self._self_seeds[c] for c in client_ids], length, field
+        )
+        rows = field.add_arrays(rows, self_masks)
+        # Pairwise masks: expand the union of needed pair seeds once, then
+        # fold each client's signed subset (+ toward larger ids, - toward
+        # smaller -- the cancellation convention of pairwise_mask_sign).
+        pair_keys: list[tuple[int, int]] = []
+        key_index: dict[tuple[int, int], int] = {}
+        plus_rows: list[list[int]] = []
+        minus_rows: list[list[int]] = []
+        for cid in client_ids:
+            plus: list[int] = []
+            minus: list[int] = []
+            for other in range(self.n_clients):
+                if other == cid:
+                    continue
+                key = (cid, other) if cid < other else (other, cid)
+                idx = key_index.get(key)
+                if idx is None:
+                    idx = key_index[key] = len(pair_keys)
+                    pair_keys.append(key)
+                (plus if cid < other else minus).append(idx)
+            plus_rows.append(plus)
+            minus_rows.append(minus)
+        masks = expand_masks([self._pairwise_seeds[k] for k in pair_keys], length, field)
+        # Signed application in two gathered column-sums: pad each client's
+        # ragged pair-index list up to the max degree with a sentinel
+        # pointing at an appended all-zero mask row.
+        masks = np.vstack([masks, np.zeros((1, length), dtype=np.uint64)])
+        sentinel = len(pair_keys)
+
+        def padded(index_lists: list[list[int]]) -> np.ndarray:
+            width = max((len(lst) for lst in index_lists), default=0)
+            out = np.full((len(index_lists), width), sentinel, dtype=np.intp)
+            for r, lst in enumerate(index_lists):
+                out[r, : len(lst)] = lst
+            return out
+
+        rows = field.add_arrays(rows, field.sum_indexed(masks, padded(plus_rows)))
+        rows = field.sub_arrays(rows, field.sum_indexed(masks, padded(minus_rows)))
+        return rows
+
+    def _validate_ids(self, client_ids: Sequence[int]) -> None:
+        seen = set()
+        for cid in client_ids:
+            if not 0 <= cid < self.n_clients:
+                raise ConfigurationError(f"unknown client id {cid}")
+            if cid in self._submissions or cid in seen:
+                raise SecureAggregationError(f"client {cid} already submitted")
+            seen.add(cid)
+
     def submit(self, client_id: int, values: list[int]) -> list[int]:
         """Mask and record one client's contribution; returns the masked vector.
 
         The returned vector is what crosses the wire: uniformly random to
         any observer who lacks the seeds.
         """
-        if self._finalized:
-            raise SecureAggregationError("session already finalized")
-        if not 0 <= client_id < self.n_clients:
-            raise ConfigurationError(f"unknown client id {client_id}")
-        if client_id in self._submissions:
-            raise SecureAggregationError(f"client {client_id} already submitted")
+        self._check_open()
+        client_id = int(client_id)
+        self._validate_ids([client_id])
         if len(values) != self.vector_length:
             raise ConfigurationError(
                 f"expected vector of length {self.vector_length}, got {len(values)}"
             )
-        masked = apply_masks(
-            values,
-            self_seed=self._self_seeds[client_id],
-            pairwise_seeds=self.client_pairwise_seeds(client_id),
-            my_id=client_id,
-            field=self.field,
-        )
+        reduced = np.array([[self.field.reduce(v) for v in values]], dtype=np.uint64)
+        masked = self._mask_rows([client_id], reduced)[0]
         self._submissions[client_id] = masked
+        return [int(v) for v in masked]
+
+    def submit_batch(self, client_ids: Sequence[int], vectors: np.ndarray) -> np.ndarray:
+        """Mask and record many clients' contributions in one vectorized call.
+
+        ``vectors`` is a ``(len(client_ids), vector_length)`` integer array
+        (int64 range; bit-report counters are tiny).  Returns the masked
+        ``(k, length)`` uint64 matrix.  Bit-identical to ``k`` sequential
+        :meth:`submit` calls -- masks depend only on setup seeds, and field
+        addition is exact -- just without the per-client Python loops.
+        """
+        self._check_open()
+        client_ids = [int(c) for c in client_ids]
+        vectors = np.atleast_2d(np.asarray(vectors))
+        if vectors.shape != (len(client_ids), self.vector_length):
+            raise ConfigurationError(
+                f"expected a ({len(client_ids)}, {self.vector_length}) vector batch, "
+                f"got {vectors.shape}"
+            )
+        self._validate_ids(client_ids)
+        if not client_ids:
+            return np.zeros((0, self.vector_length), dtype=np.uint64)
+        masked = self._mask_rows(client_ids, self.field.reduce_array(vectors))
+        for row, cid in enumerate(client_ids):
+            self._submissions[cid] = masked[row]
         return masked
 
     # ------------------------------------------------------------------
@@ -158,13 +268,16 @@ class SecureAggregationSession:
 
         Raises :class:`SecureAggregationError` if fewer than ``threshold``
         clients submitted (mask recovery would be impossible -- and, in the
-        real protocol, privacy would be at risk).
+        real protocol, privacy would be at risk).  A failed finalize leaves
+        the session closed: calling it again re-raises without re-counting
+        the failure metric.
         """
         if self._finalized:
             raise SecureAggregationError("session already finalized")
         survivors = sorted(self._submissions)
         dropped = [c for c in range(self.n_clients) if c not in self._submissions]
         metrics = get_metrics()
+        field = self.field
         with get_tracer().span(
             "secure_agg.finalize",
             {
@@ -175,35 +288,59 @@ class SecureAggregationSession:
             },
         ):
             if len(survivors) < self.threshold:
-                metrics.counter("secure_agg_failures_total").inc()
+                first_failure = not self._failed
+                self._failed = True
+                if metrics.enabled and first_failure:
+                    metrics.counter("secure_agg_failures_total").inc()
                 raise SecureAggregationError(
                     f"only {len(survivors)} of {self.n_clients} clients submitted; "
                     f"threshold is {self.threshold}"
                 )
 
-            total = [0] * self.vector_length
-            for masked in self._submissions.values():
-                total = self.field.add_vectors(total, masked)
+            total = field.sum_rows(
+                np.stack([self._submissions[cid] for cid in survivors])
+            )
 
-            # Remove survivors' self-masks: reconstruct each seed from any
-            # `threshold` shares held by surviving clients.
-            for survivor in survivors:
-                shares = [self._self_seed_shares[survivor][holder] for holder in survivors]
-                seed = reconstruct_secret(shares[: self.threshold], self.field)
-                total = self.field.sub_vectors(
-                    total, expand_mask(seed, self.vector_length, self.field)
-                )
+            # Remove survivors' self-masks: reconstruct every survivor's
+            # seed in one batched interpolation over the shares held by the
+            # first `threshold` surviving shareholders (the session layer's
+            # known threshold guards against silent under-threshold
+            # interpolation), then expand and subtract the whole batch.
+            holders = survivors[: self.threshold]
+            seeds = reconstruct_secrets(
+                [holder + 1 for holder in holders],
+                self._self_seed_shares[np.ix_(survivors, holders)],
+                field,
+                expected_threshold=self.threshold,
+            )
+            total = field.sub_arrays(
+                total, field.sum_rows(expand_masks(seeds, self.vector_length, field))
+            )
 
             # Cancel lingering pairwise masks between survivors and dropouts:
             # each survivor reveals the seed it shared with each dropout.
-            for survivor in survivors:
-                for dead in dropped:
-                    seed = self._seed_for(survivor, dead)
-                    mask = expand_mask(seed, self.vector_length, self.field)
-                    if pairwise_mask_sign(survivor, dead) > 0:
-                        total = self.field.sub_vectors(total, mask)
-                    else:
-                        total = self.field.add_vectors(total, mask)
+            # Batched by sign: masks the survivor *added* at submission are
+            # subtracted here, and vice versa.
+            if dropped:
+                sub_seeds = []
+                add_seeds = []
+                for survivor in survivors:
+                    for dead in dropped:
+                        seed = self._seed_for(survivor, dead)
+                        if pairwise_mask_sign(survivor, dead) > 0:
+                            sub_seeds.append(seed)
+                        else:
+                            add_seeds.append(seed)
+                if sub_seeds:
+                    total = field.sub_arrays(
+                        total,
+                        field.sum_rows(expand_masks(sub_seeds, self.vector_length, field)),
+                    )
+                if add_seeds:
+                    total = field.add_arrays(
+                        total,
+                        field.sum_rows(expand_masks(add_seeds, self.vector_length, field)),
+                    )
 
             self._finalized = True
             if metrics.enabled:
@@ -213,7 +350,7 @@ class SecureAggregationSession:
                 metrics.counter("secure_agg_masks_recovered_total").inc(
                     len(survivors) * len(dropped)
                 )
-            return [self.field.centered(v) for v in total]
+            return [int(v) for v in field.centered_array(total)]
 
     # ------------------------------------------------------------------
     @property
@@ -224,6 +361,11 @@ class SecureAggregationSession:
     def dropout_count(self) -> int:
         return self.n_clients - len(self._submissions)
 
+    @property
+    def failed(self) -> bool:
+        """True once a below-threshold finalize has closed the session."""
+        return self._failed
+
 
 def secure_sum(
     vectors: np.ndarray,
@@ -231,11 +373,14 @@ def secure_sum(
     threshold: int | None = None,
     rng: np.random.Generator | int | None = None,
 ) -> np.ndarray:
-    """Securely sum integer row-vectors, one per client.
+    """Securely sum integer row-vectors, one per client (one flat session).
 
-    Convenience wrapper: builds a session, submits rows where ``submitted``
-    is true (all, by default), and finalizes.  ``threshold`` defaults to a
-    2/3 majority.
+    Convenience wrapper: builds a session, batch-submits rows where
+    ``submitted`` is true (all, by default), and finalizes.  ``threshold``
+    defaults to the 2/3 majority of :func:`default_threshold`.  This is the
+    *flat* reference the hierarchical aggregator's twin tests compare
+    against; for sharded multi-worker aggregation use
+    :func:`repro.federated.secure_agg.hierarchy.hierarchical_secure_sum`.
 
     Examples
     --------
@@ -254,9 +399,8 @@ def secure_sum(
     if submitted.shape != (n_clients,):
         raise ConfigurationError("submitted mask must have one entry per client")
     if threshold is None:
-        threshold = max(2, (2 * n_clients + 2) // 3)
+        threshold = default_threshold(n_clients)
     session = SecureAggregationSession(n_clients, length, threshold, rng=rng)
-    for cid in range(n_clients):
-        if submitted[cid]:
-            session.submit(cid, [int(v) for v in vecs[cid]])
+    ids = np.flatnonzero(submitted)
+    session.submit_batch(ids, vecs[ids])
     return np.array(session.finalize(), dtype=np.int64)

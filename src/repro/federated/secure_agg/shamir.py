@@ -15,6 +15,7 @@ interpolation at zero.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -22,7 +23,13 @@ from repro.exceptions import ConfigurationError, SecureAggregationError
 from repro.federated.secure_agg.field import PrimeField
 from repro.rng import ensure_rng
 
-__all__ = ["Share", "split_secret", "reconstruct_secret"]
+__all__ = [
+    "Share",
+    "split_secret",
+    "split_secrets",
+    "reconstruct_secret",
+    "reconstruct_secrets",
+]
 
 
 @dataclass(frozen=True)
@@ -69,17 +76,145 @@ def split_secret(
     return shares
 
 
-def reconstruct_secret(shares: list[Share], field: PrimeField) -> int:
+@lru_cache(maxsize=64)
+def _power_matrix(n_shares: int, threshold: int, modulus: int) -> np.ndarray:
+    """``x**d mod p`` for ``x = 1..n_shares``, ``d = 0..threshold-1``."""
+    return np.array(
+        [
+            [pow(x, d, modulus) for x in range(1, n_shares + 1)]
+            for d in range(threshold)
+        ],
+        dtype=np.uint64,
+    )
+
+
+def split_secrets(
+    secrets,
+    n_shares: int,
+    threshold: int,
+    field: PrimeField,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Batched :func:`split_secret`: one polynomial per secret, vectorized.
+
+    Returns a ``(len(secrets), n_shares)`` uint64 matrix whose row ``i``
+    holds the share *values* of ``secrets[i]`` at the implicit evaluation
+    points ``x = 1 .. n_shares``.  Value- and stream-identical to calling
+    :func:`split_secret` once per secret on the same generator (the
+    coefficient block is drawn row-major, exactly the order the scalar
+    loop consumes), but the polynomial evaluations are ``threshold``
+    field-array ops instead of ``len(secrets) * n_shares`` Horner loops.
+    """
+    if not 1 <= threshold <= n_shares:
+        raise ConfigurationError(
+            f"need 1 <= threshold <= n_shares, got threshold={threshold}, n_shares={n_shares}"
+        )
+    if n_shares >= field.modulus:
+        raise ConfigurationError("more shares requested than distinct field points")
+    gen = ensure_rng(rng)
+    secrets = field.reduce_array(np.asarray(secrets)).reshape(-1)
+    k = secrets.size
+    if threshold > 1:
+        coefficients = np.asarray(
+            gen.integers(0, field.modulus, size=(k, threshold - 1)), dtype=np.uint64
+        )
+    else:
+        coefficients = np.zeros((k, 0), dtype=np.uint64)
+    powers = _power_matrix(n_shares, threshold, field.modulus)
+    # One fused multiply (k, threshold, n_shares), then a block-folded
+    # mod-p reduction over the coefficient axis (same overflow discipline
+    # as PrimeField.sum_rows: partial sums never wrap uint64).
+    coeffs = np.concatenate([secrets[:, None], coefficients], axis=1)
+    terms = field.mul_arrays(coeffs[:, :, None], powers[None, :, :])
+    p = np.uint64(field.modulus)
+    block = max(1, ((1 << 64) - 1) // (field.modulus - 1) - 1)
+    shares = np.zeros((k, n_shares), dtype=np.uint64)
+    for start in range(0, threshold, block):
+        shares = (shares + terms[:, start : start + block].sum(axis=1)) % p
+    return shares
+
+
+@lru_cache(maxsize=512)
+def _lagrange_weights_at_zero(xs: tuple[int, ...], modulus: int) -> tuple[int, ...]:
+    field = PrimeField(modulus)
+    weights = []
+    for i, x_i in enumerate(xs):
+        numerator, denominator = 1, 1
+        for j, x_j in enumerate(xs):
+            if i == j:
+                continue
+            numerator = field.mul(numerator, field.neg(x_j))
+            denominator = field.mul(denominator, field.sub(x_i, x_j))
+        weights.append(field.mul(numerator, field.inv(denominator)))
+    return tuple(weights)
+
+
+def reconstruct_secrets(
+    xs,
+    ys: np.ndarray,
+    field: PrimeField,
+    expected_threshold: int | None = None,
+) -> np.ndarray:
+    """Batched :func:`reconstruct_secret` for shares on *common* points.
+
+    ``xs`` are the shared evaluation points and ``ys`` a ``(m, len(xs))``
+    uint64 matrix -- row ``i`` holds one secret's share values at ``xs``.
+    Every row reuses the same Lagrange weights at zero (computed, and
+    inverted, once per point set instead of once per secret), so the
+    per-secret cost is ``len(xs)`` field-array multiply-adds.  Raises
+    exactly like the scalar twin on empty/duplicate points or an
+    under-``expected_threshold`` share set.
+    """
+    xs = tuple(int(x) for x in xs)
+    if not xs:
+        raise SecureAggregationError("cannot reconstruct from zero shares")
+    if expected_threshold is not None and len(xs) < expected_threshold:
+        raise SecureAggregationError(
+            f"reconstruction needs >= {expected_threshold} shares, got {len(xs)}; "
+            "interpolating fewer would silently yield garbage"
+        )
+    if len(set(xs)) != len(xs):
+        raise SecureAggregationError(f"duplicate share points: {sorted(xs)}")
+    ys = np.atleast_2d(np.asarray(ys, dtype=np.uint64))
+    if ys.shape[-1] != len(xs):
+        raise ConfigurationError(
+            f"share matrix has {ys.shape[-1]} columns for {len(xs)} points"
+        )
+    weights = np.array(
+        _lagrange_weights_at_zero(xs, field.modulus), dtype=np.uint64
+    )
+    terms = field.mul_arrays(ys, weights[None, :])
+    p = np.uint64(field.modulus)
+    block = max(1, ((1 << 64) - 1) // (field.modulus - 1) - 1)
+    secrets = np.zeros(ys.shape[0], dtype=np.uint64)
+    for start in range(0, len(xs), block):
+        secrets = (secrets + terms[:, start : start + block].sum(axis=1)) % p
+    return secrets
+
+
+def reconstruct_secret(
+    shares: list[Share],
+    field: PrimeField,
+    expected_threshold: int | None = None,
+) -> int:
     """Reconstruct the secret from at least ``threshold`` distinct shares.
 
     Lagrange interpolation at ``x = 0``.  Raises
     :class:`SecureAggregationError` on duplicate evaluation points (a sign
-    of protocol corruption); supplying *fewer* than ``threshold`` shares is
-    undetectable here and simply yields garbage, which is why the session
-    layer tracks survivor counts explicitly.
+    of protocol corruption).  Supplying fewer than ``threshold`` shares is
+    mathematically undetectable -- interpolation happily returns a value
+    that is *not* the secret -- so callers that know the split's threshold
+    must pass it as ``expected_threshold``: an under-threshold share set
+    then raises instead of silently corrupting whatever sum the "secret"
+    feeds (the session layer always passes it).
     """
     if not shares:
         raise SecureAggregationError("cannot reconstruct from zero shares")
+    if expected_threshold is not None and len(shares) < expected_threshold:
+        raise SecureAggregationError(
+            f"reconstruction needs >= {expected_threshold} shares, got {len(shares)}; "
+            "interpolating fewer would silently yield garbage"
+        )
     xs = [s.x for s in shares]
     if len(set(xs)) != len(xs):
         raise SecureAggregationError(f"duplicate share points: {sorted(xs)}")

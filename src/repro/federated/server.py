@@ -15,7 +15,6 @@ guarantee robustness.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, replace
 from typing import Sequence
 
@@ -43,7 +42,12 @@ from repro.federated.faults import FaultSchedule
 from repro.federated.multivalue import elicit_batch
 from repro.federated.network import NetworkModel
 from repro.federated.retry import RetryPolicy
-from repro.federated.secure_agg.protocol import SecureAggregationSession
+from repro.federated.secure_agg.hierarchy import (
+    HierarchicalResult,
+    ShardTask,
+    aggregate_shards,
+    shard_bounds,
+)
 from repro.observability import HealthMonitor, get_metrics, get_tracer
 from repro.privacy.accountant import BitMeter, PrivacyAccountant
 from repro.rng import ensure_rng
@@ -134,10 +138,17 @@ class FederatedMeanQuery:
         reports by mixing the schedule toward them ("sampling probabilities
         were auto-adjusted based on the dropout rate").
     secure_aggregation:
-        Route per-bit counters through sharded pairwise-masked secure
-        aggregation instead of plaintext summation.
+        Route per-bit counters through hierarchical pairwise-masked secure
+        aggregation instead of plaintext summation.  The *planned* cohort is
+        sharded, so mid-round dropout becomes real intra-session dropout
+        with per-shard recovery; a shard that falls below its 2/3 threshold
+        is excluded and the round degrades instead of aborting.  Shards run
+        in parallel under ``REPRO_WORKERS`` (bit-identical for any worker
+        count).
     shard_size:
-        Clients per secure-aggregation shard (sessions are O(shard**2)).
+        Clients per secure-aggregation shard (sessions are O(shard**2)).  A
+        remainder of one client folds into the previous shard rather than
+        bypassing masking.
     min_quorum:
         Minimum surviving clients for a round attempt to count.  An attempt
         below quorum fails (and is retried under ``retry``); an attempt at
@@ -180,9 +191,11 @@ class FederatedMeanQuery:
     for the same seed (``"sample"``/``"max"``/``"latest"`` elicitation; see
     :mod:`repro.core.client_plane` for the ``"mean"`` caveat).  The columnar
     path elicits, encodes, perturbs, and aggregates in bounded-memory chunks,
-    never materializing per-client objects.  Secure aggregation is the
-    documented exception: its masking sessions are per-client by nature
-    (O(shard**2) work dominates), so both paths feed the same shard loop.
+    never materializing per-client objects.  Secure aggregation feeds both
+    representations through the same hierarchical shard tree
+    (:mod:`repro.federated.secure_agg.hierarchy`): vectorized masking
+    kernels per shard, submission matrices built one shard at a time, at
+    most ``REPRO_WORKERS`` shards in flight.
     """
 
     def __init__(
@@ -502,11 +515,13 @@ class FederatedMeanQuery:
             # Scripted fault injection: the schedule's clock ticks once per
             # attempt, and the active overrides wrap the failure models.
             dropout, network = self.dropout, self.network
+            shard_blackout: tuple[int, ...] = ()
             if self.faults is not None:
                 active = self.faults.begin_attempt()
                 if active.any:
                     dropout = active.apply_dropout(dropout)
                     network = active.apply_network(network)
+                    shard_blackout = active.shard_blackout
                     round_span.set_attribute("faults", active.describe())
 
             schedule = self._adjust_schedule(schedule, n)
@@ -558,6 +573,7 @@ class FederatedMeanQuery:
             # populations elicit straight from the flat value arrays in
             # bounded-memory chunks.
             columnar = isinstance(clients, ClientBatch)
+            live = None
             with tracer.span(
                 "round.elicit",
                 {"n_clients": int(survivors.size), "columnar": columnar},
@@ -567,30 +583,64 @@ class FederatedMeanQuery:
                     values = elicit_values(
                         live, self.elicitation, gen, chunk=self.chunk_clients
                     )
-                    if self.meter is not None:
-                        self.meter.record_batch(
-                            [int(i) for i in live.client_ids], self.metric_name
-                        )
                 else:
                     values = elicit_batch(
                         [clients[i].values for i in survivors], self.elicitation, gen
                     )
-                    if self.meter is not None:
-                        self.meter.record_batch(
-                            [clients[i].client_id for i in survivors], self.metric_name
-                        )
+                # Secure mode meters after shard recovery instead: a failed
+                # shard's masked rows are never unmasked, so those clients
+                # disclose nothing, and metering after the inclusion quorum
+                # check keeps retried attempts from double-recording.
+                if self.meter is not None and not self.secure_aggregation:
+                    if columnar:
+                        ids = [int(i) for i in live.client_ids]
+                    else:
+                        ids = [clients[i].client_id for i in survivors]
+                    self.meter.record_batch(ids, self.metric_name)
             live_assignment = assignment[survivors]
 
+            shard_failures = 0
             if self.secure_aggregation:
-                # Documented fallback: masking sessions are inherently
-                # per-client (O(shard**2)), so the cohort-sized encoded array
-                # is materialized for both population representations.
-                encoded = self.encoder.encode(values)
+                # Hierarchical sharded sessions over the *planned* cohort:
+                # dropped clients are real intra-session dropouts, recovered
+                # per shard; a below-threshold shard is excluded and the
+                # round degrades instead of aborting.
                 with tracer.span(
                     "round.secure_agg",
-                    {"n_clients": int(survivors.size), "shard_size": self.shard_size},
-                ):
-                    sums, counts = self._secure_collect(encoded, live_assignment, gen)
+                    {
+                        "n_clients": int(survivors.size),
+                        "shard_size": self.shard_size,
+                    },
+                ) as secure_span:
+                    sums, counts, secure = self._secure_collect(
+                        values, alive, assignment, gen, shard_blackout=shard_blackout
+                    )
+                    included = secure.included
+                    shard_failures = len(secure.failed_shards)
+                    secure_span.set_attribute("shards", len(secure.shards))
+                    secure_span.set_attribute("shard_failures", shard_failures)
+                    secure_span.set_attribute("included_clients", int(included.size))
+                survived_count = int(included.size)
+                if survived_count < quorum:
+                    metrics.counter("rounds_failed_total").inc()
+                    metrics.counter("round_reports_planned_total").inc(n)
+                    metrics.counter("round_reports_delivered_total").inc(survived_count)
+                    metrics.counter("round_reports_lost_total").inc(n - survived_count)
+                    round_span.set_attribute("failed", True)
+                    round_span.set_attribute("surviving_clients", survived_count)
+                    raise RoundFailedError(
+                        f"round {round_index} attempt {attempt}: secure aggregation "
+                        f"recovered {survived_count} clients, below quorum {quorum}",
+                        planned=n,
+                        survived=survived_count,
+                    )
+                if self.meter is not None:
+                    if columnar:
+                        positions = np.searchsorted(survivors, included)
+                        ids = [int(i) for i in np.asarray(live.client_ids)[positions]]
+                    else:
+                        ids = [clients[int(i)].client_id for i in included]
+                    self.meter.record_batch(ids, self.metric_name)
             else:
                 # Chunk-streamed encode + extract + perturb + aggregate
                 # (client_plane.collect spans per chunk); bit-identical to
@@ -605,19 +655,25 @@ class FederatedMeanQuery:
                         gen,
                         chunk=self.chunk_clients,
                     )
+                survived_count = int(survivors.size)
             means = bit_means_from_stats(sums, counts, self.perturbation)
             summary = RoundSummary(
                 probabilities=schedule.probabilities,
                 counts=counts,
                 sums=means * counts,
                 bit_means=means,
-                n_clients=int(survivors.size),
+                n_clients=survived_count,
             )
-            degraded = int(survivors.size) < self.degraded_fraction * n
+            # A round that lost shards completed under-strength even when the
+            # raw survivor fraction looks healthy: the exclusions widen the
+            # variance exactly like dropout does.
+            degraded = (
+                survived_count < self.degraded_fraction * n or shard_failures > 0
+            )
             outcome = RoundOutcome(
                 summary=summary,
                 planned_clients=n,
-                surviving_clients=int(survivors.size),
+                surviving_clients=survived_count,
                 round_duration_s=duration,
                 degraded=degraded,
             )
@@ -628,7 +684,7 @@ class FederatedMeanQuery:
                         float(epsilon),
                         note=(
                             f"round {round_index} attempt {attempt}: randomized response "
-                            f"over {int(survivors.size)} reports"
+                            f"over {survived_count} reports"
                         ),
                     )
             round_span.set_attribute("surviving_clients", outcome.surviving_clients)
@@ -700,66 +756,86 @@ class FederatedMeanQuery:
     # ------------------------------------------------------------------
     def _secure_collect(
         self,
-        encoded: np.ndarray,
+        values: np.ndarray,
+        alive: np.ndarray,
         assignment: np.ndarray,
         gen: np.random.Generator,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Aggregate per-bit counters through sharded secure aggregation.
+        shard_blackout: Sequence[int] = (),
+    ) -> tuple[np.ndarray, np.ndarray, HierarchicalResult]:
+        """Aggregate per-bit counters through hierarchical secure aggregation.
 
-        Each client contributes a ``2 * n_bits`` integer vector: a one-hot
-        report-count half and a bit-value half.  Shards of ``shard_size``
-        clients run independent masking sessions; the server only ever sees
-        per-shard sums.  Clients that reach this point have already
-        "survived", so intra-session dropout is zero and the threshold is a
-        formality -- dropout resilience itself is tested at the session level.
+        The *planned* cohort is sharded (``alive`` marks who survived
+        dropout/network, ``values`` holds one elicited value per survivor),
+        so clients lost mid-round are real intra-session dropouts: each
+        shard's survivors reveal seeds, Shamir reconstruction runs, and a
+        shard that falls below its 2/3 threshold is excluded rather than
+        fatal -- the caller degrades the round.  Each client contributes a
+        ``2 * n_bits`` vector: a one-hot report-count half and a bit-value
+        half.  Shard submission matrices are built lazily one shard at a
+        time (and :func:`aggregate_shards` keeps at most ``REPRO_WORKERS``
+        shards in flight), so secure mode no longer materializes
+        cohort-sized 2-D arrays; a remainder of one client folds into the
+        previous shard instead of leaking its counter in plaintext.
+        ``shard_blackout`` empties the named shards' submissions (scripted
+        fault injection).
         """
         n_bits = self.encoder.n_bits
-        bits = ((encoded >> assignment.astype(np.uint64)) & np.uint64(1)).astype(np.uint8)
+        n = int(alive.size)
+        length = 2 * n_bits
+        # Per-survivor bit reports (1-D, one scalar per client).
+        survivor_pos = np.cumsum(alive) - 1
+        encoded = self.encoder.encode(np.asarray(values))
+        bits = (
+            (encoded >> assignment[alive].astype(np.uint64)) & np.uint64(1)
+        ).astype(np.uint8)
         if self.perturbation is not None:
             bits = self.perturbation.perturb_bits(bits, gen)
-        sums = np.zeros(n_bits, dtype=np.float64)
-        counts = np.zeros(n_bits, dtype=np.int64)
-        n = int(encoded.size)
-        for start in range(0, n, self.shard_size):
-            shard = slice(start, min(start + self.shard_size, n))
-            shard_bits = bits[shard]
-            shard_assign = assignment[shard]
-            shard_n = int(shard_bits.size)
-            if shard_n == 1:
-                # A lone client cannot be masked against peers; its counter
-                # still joins the global (already large) aggregate.
-                sums[shard_assign[0]] += float(shard_bits[0])
-                counts[shard_assign[0]] += 1
-                continue
-            threshold = max(2, math.ceil(2 * shard_n / 3))
-            session = SecureAggregationSession(
-                n_clients=shard_n, vector_length=2 * n_bits, threshold=threshold, rng=gen
-            )
-            for i in range(shard_n):
-                vector = [0] * (2 * n_bits)
-                vector[int(shard_assign[i])] = 1
-                vector[n_bits + int(shard_assign[i])] = int(shard_bits[i])
-                session.submit(i, vector)
-            total = session.finalize()
-            counts += np.array(total[:n_bits], dtype=np.int64)
-            sums += np.array(total[n_bits:], dtype=np.float64)
+        blackout = frozenset(int(s) for s in shard_blackout)
+
+        def tasks():
+            for index, (lo, hi) in enumerate(shard_bounds(n, self.shard_size)):
+                local_ids = np.flatnonzero(alive[lo:hi])
+                if index in blackout:
+                    local_ids = local_ids[:0]
+                rows = np.arange(local_ids.size)
+                cols = assignment[lo + local_ids]
+                vectors = np.zeros((local_ids.size, length), dtype=np.int64)
+                vectors[rows, cols] = 1
+                vectors[rows, n_bits + cols] = bits[survivor_pos[lo + local_ids]]
+                yield ShardTask(
+                    index=index,
+                    start=lo,
+                    n_clients=hi - lo,
+                    submitted_ids=local_ids,
+                    vectors=vectors,
+                )
+
+        result = aggregate_shards(tasks(), length, rng=gen, workers=None)
+        counts = result.total[:n_bits].astype(np.int64)
+        sums = result.total[n_bits:].astype(np.float64)
+        included = result.included
         # Always-on invariant: the masked aggregate must equal the plaintext
-        # aggregate exactly (the simulator holds both sides; O(n) next to the
-        # O(shard**2) masking work above).  Lazy import: repro.verification
-        # pulls in estimator modules that themselves import this package.
+        # aggregate exactly over the clients it contains (the simulator holds
+        # both sides; O(n) next to the O(shard**2) masking work).  Lazy
+        # import: repro.verification pulls in estimator modules that
+        # themselves import this package.
         from repro.verification.invariants import check_secure_sum
 
+        included_assign = assignment[included]
+        included_bits = bits[survivor_pos[included]]
         check_secure_sum(
             counts,
-            np.bincount(assignment, minlength=n_bits).astype(np.int64),
+            np.bincount(included_assign, minlength=n_bits).astype(np.int64),
             context="secure-agg per-bit counts",
         )
         check_secure_sum(
             sums,
-            np.bincount(assignment, weights=bits.astype(np.float64), minlength=n_bits),
+            np.bincount(
+                included_assign, weights=included_bits.astype(np.float64), minlength=n_bits
+            ),
             context="secure-agg per-bit sums",
         )
-        return sums, counts
+        return sums, counts, result
 
     def _squash_threshold(self, counts: np.ndarray) -> np.ndarray:
         epsilon = getattr(self.perturbation, "epsilon", None)

@@ -72,6 +72,7 @@ __all__ = [
     "configure_executor",
     "use_executor",
     "run_rep_chunk",
+    "spawn_seed_sequences",
 ]
 
 _FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
@@ -100,23 +101,33 @@ class CellTask:
     truth_fn: Callable[[np.ndarray], float]
 
 
-def _rep_seed_sequences(
-    parent: np.random.Generator, n_reps: int
+def spawn_seed_sequences(
+    parent: np.random.Generator, n_children: int
 ) -> tuple[list[np.random.SeedSequence], type]:
-    """Spawn one child :class:`~numpy.random.SeedSequence` per repetition.
+    """Spawn ``n_children`` child seed sequences off a generator's own sequence.
 
-    Uses the parent generator's own seed sequence, so the children are the
-    same ones ``parent.spawn(n_reps)`` would have produced (and the parent's
-    spawn counter advances identically) -- the historical serial loop and
-    every executor see exactly the same per-repetition streams.
+    The children are the same ones ``parent.spawn(n_children)`` would have
+    produced (and the parent's spawn counter advances identically), so a unit
+    of work keyed to child ``i`` sees the same stream no matter which worker
+    runs it, in what order, or whether the orchestrator is serial.  This is
+    the determinism primitive shared by the trial executors and the sharded
+    secure-aggregation plane.  Returns the children plus the parent's bit
+    generator class (workers rebuild generators with it).
     """
     seed_seq = parent.bit_generator.seed_seq
     if not isinstance(seed_seq, np.random.SeedSequence):
         raise ConfigurationError(
-            "trial execution needs a generator with a SeedSequence-backed "
+            "deterministic fan-out needs a generator with a SeedSequence-backed "
             f"bit generator; got {type(seed_seq)!r}"
         )
-    return seed_seq.spawn(n_reps), type(parent.bit_generator)
+    return seed_seq.spawn(n_children), type(parent.bit_generator)
+
+
+def _rep_seed_sequences(
+    parent: np.random.Generator, n_reps: int
+) -> tuple[list[np.random.SeedSequence], type]:
+    """Spawn one child :class:`~numpy.random.SeedSequence` per repetition."""
+    return spawn_seed_sequences(parent, n_reps)
 
 
 def run_rep_chunk(

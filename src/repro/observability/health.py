@@ -54,6 +54,7 @@ __all__ = [
     "QuorumDegradationRule",
     "Reading",
     "RetryStormRule",
+    "ShardFailureRule",
     "VarianceDriftRule",
     "default_rules",
 ]
@@ -310,6 +311,53 @@ class DropoutClipRule(HealthRule):
         )
 
 
+class ShardFailureRule(HealthRule):
+    """Secure-aggregation shards failed inside the trailing window.
+
+    Watches the ``secure_shard_failures_total`` counter: a failed shard
+    means a masking session fell below its recovery threshold and its
+    clients were excluded from the round -- the round *degraded* rather
+    than aborting, and this rule is how that containment stays visible.
+    Resolves once ``window`` clean rounds push the failures out.
+    """
+
+    name = "shard-failure"
+    severity = "warning"
+    description = "secure-aggregation shard(s) below recovery threshold"
+
+    def __init__(self, window: int = 5, threshold: int = 1) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if threshold < 1:
+            raise ConfigurationError(f"threshold must be >= 1, got {threshold}")
+        self.window = window
+        self.threshold = threshold
+        self._recent: deque[float] = deque(maxlen=window + 1)
+
+    def evaluate(self, sample: HealthSample) -> Reading:
+        if sample.kind != "round":
+            return Reading(None)
+        failures = sample.counters.get("secure_shard_failures_total")
+        if failures is None:
+            # The failures counter springs into existence at its first
+            # increment; a clean secure round before that still counts as
+            # an explicit zero baseline, or the first failure's delta
+            # would be invisible to the window.
+            if sample.counters.get("secure_shards_total") is None:
+                return Reading(None)
+            failures = 0.0
+        self._recent.append(float(failures))
+        delta = self._recent[-1] - self._recent[0]
+        return Reading(
+            delta >= self.threshold,
+            value=delta,
+            detail=(
+                f"{delta:.0f} shard failure(s) in the last "
+                f"{len(self._recent) - 1} round(s)"
+            ),
+        )
+
+
 class MonitorShiftRule(HealthRule):
     """The occupied bit range shifted (heavy tail / distribution change).
 
@@ -397,6 +445,7 @@ def default_rules(
         RetryStormRule(window=window, threshold=retry_threshold),
         QuorumDegradationRule(window=window, max_rate=degradation_rate),
         DropoutClipRule(window=window),
+        ShardFailureRule(window=window),
         MonitorShiftRule(),
         VarianceDriftRule(alpha=drift_alpha),
     ]

@@ -1,5 +1,7 @@
 """Secure aggregation: field, Shamir, masking, and the full protocol."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -8,13 +10,20 @@ from repro.federated.secure_agg import (
     DEFAULT_PRIME,
     PrimeField,
     SecureAggregationSession,
+    Share,
     apply_masks,
+    default_threshold,
     expand_mask,
+    expand_masks,
     pairwise_mask_sign,
+    philox4x64,
     reconstruct_secret,
+    reconstruct_secrets,
     secure_sum,
     split_secret,
+    split_secrets,
 )
+from repro.observability import MetricsRegistry, configure, disable
 
 
 class TestPrimeField:
@@ -250,3 +259,305 @@ class TestSecureSum:
             secure_sum(np.zeros(5))
         with pytest.raises(ConfigurationError):
             secure_sum(np.zeros((4, 2)), submitted=np.ones(3, dtype=bool))
+
+
+class TestArrayFieldOps:
+    """The vectorized uint64 kernels agree exactly with the scalar path."""
+
+    def test_reduce_array_matches_scalar(self, rng):
+        field = PrimeField()
+        raw = rng.integers(-(2**40), 2**40, size=50)
+        reduced = field.reduce_array(raw)
+        assert reduced.dtype == np.uint64
+        assert reduced.tolist() == [field.reduce(int(v)) for v in raw]
+
+    def test_add_sub_arrays_match_vectors(self, rng):
+        field = PrimeField()
+        a = field.reduce_array(rng.integers(0, 2**60, size=32))
+        b = field.reduce_array(rng.integers(0, 2**60, size=32))
+        assert field.add_arrays(a, b).tolist() == field.add_vectors(a.tolist(), b.tolist())
+        assert field.sub_arrays(a, b).tolist() == field.sub_vectors(a.tolist(), b.tolist())
+
+    @pytest.mark.parametrize("k", [1, 2, 7, 8, 20, 50])
+    def test_sum_rows_exact_for_any_block_count(self, k, rng):
+        field = PrimeField()
+        # Near-modulus rows stress the uint64 block-folding headroom.
+        rows = field.reduce_array(
+            rng.integers(field.modulus - 10, field.modulus, size=(k, 5))
+        )
+        expected = [
+            int(sum(int(v) for v in rows[:, j]) % field.modulus) for j in range(5)
+        ]
+        assert field.sum_rows(rows).tolist() == expected
+
+    def test_centered_array_matches_scalar(self):
+        field = PrimeField(97)
+        values = np.array([0, 1, 48, 49, 96], dtype=np.uint64)
+        assert field.centered_array(values).tolist() == [
+            field.centered(int(v)) for v in values
+        ]
+
+    def test_oversized_modulus_rejected_for_array_ops(self):
+        # 2**89 - 1 is a Mersenne prime above the uint64 vectorization bound.
+        field = PrimeField(2**89 - 1)
+        with pytest.raises(ConfigurationError):
+            field.reduce_array(np.zeros(3, dtype=np.int64))
+
+
+class TestExpandMasks:
+    def test_rows_bit_identical_to_expand_mask(self):
+        field = PrimeField()
+        seeds = [0, 1, 123, field.modulus - 1]
+        batched = expand_masks(seeds, 16, field)
+        assert batched.shape == (4, 16)
+        assert batched.dtype == np.uint64
+        for row, seed in zip(batched, seeds):
+            assert [int(v) for v in row] == expand_mask(seed, 16, field)
+
+    def test_zero_length(self):
+        assert expand_masks([1, 2], 0, PrimeField()).shape == (2, 0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_masks([1], -1, PrimeField())
+
+
+class TestPhiloxKernel:
+    """The numpy philox4x64-10 kernel is pinned to numpy's own Philox."""
+
+    def test_pinned_to_numpy_philox_random_raw(self, rng):
+        keys = [0, 1, 2**32, DEFAULT_PRIME - 1] + [
+            int(k) for k in rng.integers(0, DEFAULT_PRIME, size=8)
+        ]
+        counters = np.arange(1, 6, dtype=np.uint64)
+        lanes = philox4x64(
+            np.asarray(keys, dtype=np.uint64)[:, None], counters[None, :]
+        )
+        ours = np.stack(lanes, axis=-1)  # (keys, counters, 4)
+        for i, key in enumerate(keys):
+            # numpy pre-increments the counter, so its raw block j holds
+            # the kernel's output at counter j + 1.
+            raw = np.random.Philox(key=key).random_raw(20).reshape(5, 4)
+            np.testing.assert_array_equal(ours[i], raw)
+
+    def test_expand_masks_matches_numpy_stream(self):
+        field = PrimeField()
+        for seed in (0, 7, 123456789, field.modulus - 1):
+            expected = np.random.Philox(key=seed).random_raw(12)[:11] % np.uint64(
+                field.modulus
+            )
+            np.testing.assert_array_equal(
+                expand_masks([seed], 11, field)[0], expected
+            )
+
+    def test_broadcasts_scalar_inputs(self):
+        scalar = philox4x64(np.uint64(5), np.uint64(1))
+        grid = philox4x64(np.full((2, 3), 5, dtype=np.uint64), np.uint64(1))
+        for lane_s, lane_g in zip(scalar, grid):
+            assert lane_g.shape == (2, 3)
+            assert (lane_g == lane_s).all()
+
+
+class TestMulArrays:
+    def test_matches_scalar_mul_on_random_pairs(self, rng):
+        field = PrimeField()
+        a = field.reduce_array(rng.integers(0, field.modulus, size=500))
+        b = field.reduce_array(rng.integers(0, field.modulus, size=500))
+        expected = [field.mul(int(x), int(y)) for x, y in zip(a, b)]
+        assert field.mul_arrays(a, b).tolist() == expected
+
+    def test_near_modulus_corners(self):
+        field = PrimeField()
+        edge = [0, 1, 2, field.modulus - 2, field.modulus - 1]
+        a, b = np.meshgrid(
+            np.asarray(edge, dtype=np.uint64), np.asarray(edge, dtype=np.uint64)
+        )
+        expected = [
+            [field.mul(int(x), int(y)) for x, y in zip(row_a, row_b)]
+            for row_a, row_b in zip(a, b)
+        ]
+        assert field.mul_arrays(a, b).tolist() == expected
+
+    def test_generic_modulus_fallback(self, rng):
+        field = PrimeField(97)
+        a = field.reduce_array(rng.integers(0, 97, size=40))
+        b = field.reduce_array(rng.integers(0, 97, size=40))
+        expected = [field.mul(int(x), int(y)) for x, y in zip(a, b)]
+        assert field.mul_arrays(a, b).tolist() == expected
+
+    def test_broadcasting(self):
+        field = PrimeField()
+        a = np.asarray([1, 2, 3], dtype=np.uint64)
+        out = field.mul_arrays(a[:, None], a[None, :])
+        assert out.shape == (3, 3)
+        assert out.tolist() == [[1, 2, 3], [2, 4, 6], [3, 6, 9]]
+
+
+class TestSumIndexed:
+    def test_matches_per_row_sums(self, rng):
+        field = PrimeField()
+        rows = field.reduce_array(
+            rng.integers(field.modulus - 5, field.modulus, size=(7, 4))
+        )
+        indices = np.asarray([[0, 1, 2], [4, 5, 6]], dtype=np.intp)
+        out = field.sum_indexed(rows, indices)
+        for got, picks in zip(out, indices):
+            expected = [
+                int(sum(int(rows[i, j]) for i in picks) % field.modulus)
+                for j in range(4)
+            ]
+            assert got.tolist() == expected
+
+    def test_sentinel_zero_row_padding(self):
+        # Ragged index lists are padded with the index of an all-zero
+        # sentinel row; repeated sentinel picks must not change the sum.
+        field = PrimeField()
+        rows = np.vstack(
+            [
+                field.reduce_array(np.asarray([[5, 6], [7, 8]])),
+                np.zeros((1, 2), dtype=np.uint64),
+            ]
+        )
+        indices = np.asarray([[0, 2, 2, 2], [0, 1, 2, 2]], dtype=np.intp)
+        out = field.sum_indexed(rows, indices)
+        assert out.tolist() == [[5, 6], [12, 14]]
+
+
+class TestBatchedShamir:
+    def test_split_secrets_stream_identical_to_scalar_loop(self, rng):
+        field = PrimeField()
+        secrets = [int(s) for s in rng.integers(0, field.modulus, size=9)]
+        batched = split_secrets(
+            secrets, n_shares=7, threshold=5, field=field, rng=np.random.default_rng(3)
+        )
+        gen = np.random.default_rng(3)
+        for row, secret in zip(batched, secrets):
+            shares = split_secret(secret, n_shares=7, threshold=5, field=field, rng=gen)
+            assert [int(y) for y in row] == [s.y for s in shares]
+            assert [s.x for s in shares] == list(range(1, 8))
+
+    def test_reconstruct_secrets_matches_scalar(self, rng):
+        field = PrimeField()
+        secrets = [int(s) for s in rng.integers(0, field.modulus, size=6)]
+        shares_matrix = split_secrets(
+            secrets, n_shares=5, threshold=3, field=field, rng=1
+        )
+        xs = [2, 4, 5]
+        ys = shares_matrix[:, [x - 1 for x in xs]]
+        batched = reconstruct_secrets(xs, ys, field, expected_threshold=3)
+        assert batched.tolist() == secrets
+        for row, secret in zip(ys, secrets):
+            shares = [Share(x=x, y=int(y)) for x, y in zip(xs, row)]
+            assert reconstruct_secret(shares, field, expected_threshold=3) == secret
+
+    def test_threshold_one_constant_polynomial(self):
+        field = PrimeField()
+        out = split_secrets([42, 7], n_shares=3, threshold=1, field=field, rng=0)
+        assert out.tolist() == [[42, 42, 42], [7, 7, 7]]
+
+    def test_batched_error_cases(self):
+        field = PrimeField()
+        ys = np.ones((2, 2), dtype=np.uint64)
+        with pytest.raises(SecureAggregationError, match="zero shares"):
+            reconstruct_secrets([], np.zeros((1, 0), dtype=np.uint64), field)
+        with pytest.raises(SecureAggregationError, match="needs >= 3 shares"):
+            reconstruct_secrets([1, 2], ys, field, expected_threshold=3)
+        with pytest.raises(SecureAggregationError, match="duplicate"):
+            reconstruct_secrets([1, 1], ys, field)
+        with pytest.raises(ConfigurationError, match="2 columns for 3 points"):
+            reconstruct_secrets([1, 2, 3], ys, field)
+        with pytest.raises(ConfigurationError, match="threshold"):
+            split_secrets([1], n_shares=2, threshold=3, field=field, rng=0)
+
+
+class TestExpectedThreshold:
+    def test_under_threshold_raises_instead_of_garbage(self):
+        field = PrimeField()
+        shares = split_secret(42, n_shares=5, threshold=3, field=field, rng=0)
+        with pytest.raises(SecureAggregationError, match="needs >= 3 shares"):
+            reconstruct_secret(shares[:2], field, expected_threshold=3)
+
+    def test_at_threshold_reconstructs(self):
+        field = PrimeField()
+        shares = split_secret(42, n_shares=5, threshold=3, field=field, rng=0)
+        assert reconstruct_secret(shares[:3], field, expected_threshold=3) == 42
+
+
+class TestDefaultThreshold:
+    @pytest.mark.parametrize("n", list(range(1, 200)))
+    def test_single_formula_matches_both_historical_copies(self, n):
+        # secure_sum used max(2, (2n + 2) // 3); _secure_collect used
+        # max(2, ceil(2n / 3)).  The shared helper must equal both.
+        assert default_threshold(n) == max(2, (2 * n + 2) // 3)
+        assert default_threshold(n) == max(2, math.ceil(2 * n / 3))
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            default_threshold(0)
+
+
+class TestSubmitBatch:
+    def test_bit_identical_to_per_client_submits(self, rng):
+        vecs = rng.integers(0, 1000, size=(6, 5))
+        one = SecureAggregationSession(6, 5, threshold=4, rng=42)
+        two = SecureAggregationSession(6, 5, threshold=4, rng=42)
+        per_client = [one.submit(cid, [int(v) for v in vecs[cid]]) for cid in range(6)]
+        batched = two.submit_batch(np.arange(6), vecs)
+        assert [list(map(int, row)) for row in batched] == per_client
+        assert one.finalize() == two.finalize()
+
+    def test_partial_batch_then_finalize_recovers_dropouts(self, rng):
+        vecs = rng.integers(0, 50, size=(7, 3))
+        session = SecureAggregationSession(7, 3, threshold=5, rng=9)
+        ids = [0, 2, 3, 5, 6]
+        session.submit_batch(ids, vecs[ids])
+        assert session.finalize() == vecs[ids].sum(axis=0).tolist()
+
+    def test_duplicate_ids_in_batch_rejected(self):
+        session = SecureAggregationSession(4, 2, threshold=3, rng=0)
+        with pytest.raises(SecureAggregationError):
+            session.submit_batch([1, 1], np.zeros((2, 2), dtype=np.int64))
+
+    def test_shape_mismatch_rejected(self):
+        session = SecureAggregationSession(4, 2, threshold=3, rng=0)
+        with pytest.raises(ConfigurationError):
+            session.submit_batch([0, 1], np.zeros((2, 3), dtype=np.int64))
+
+    def test_empty_batch_is_noop(self):
+        session = SecureAggregationSession(4, 2, threshold=2, rng=0)
+        out = session.submit_batch([], np.zeros((0, 2), dtype=np.int64))
+        assert out.shape == (0, 2)
+        assert session.submitted_clients == ()
+
+
+class TestFinalizeMetrics:
+    """The failure counter respects the enabled guard and never double-counts."""
+
+    def _failing_session(self):
+        session = SecureAggregationSession(5, 2, threshold=4, rng=2)
+        session.submit(0, [1, 1])
+        session.submit(1, [1, 1])
+        return session
+
+    def test_failure_counted_once_across_repeated_finalize(self):
+        registry = MetricsRegistry()
+        configure(metrics=registry)
+        try:
+            session = self._failing_session()
+            for _ in range(3):
+                with pytest.raises(SecureAggregationError):
+                    session.finalize()
+            counters = registry.snapshot()["counters"]
+            assert counters["secure_agg_failures_total"] == 1
+            assert session.failed
+        finally:
+            disable()
+
+    def test_failure_counter_respects_disabled_metrics(self):
+        registry = MetricsRegistry()
+        configure(metrics=registry)
+        disable()  # NULL_METRICS: nothing may record, success or failure
+        session = self._failing_session()
+        with pytest.raises(SecureAggregationError):
+            session.finalize()
+        assert registry.snapshot()["counters"] == {}

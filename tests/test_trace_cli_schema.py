@@ -19,6 +19,7 @@ TOP_LEVEL_TYPES = {
     "clients": int,
     "columnar": bool,
     "secure_agg": bool,
+    "shard_size": int,
     "estimate": float,
     "truth": float,
     "reconciled": bool,
