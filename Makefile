@@ -1,6 +1,6 @@
 # Convenience targets for the bit-pushing reproduction.
 
-.PHONY: install test lint selfcheck bench bench-check bench-scale report-demo health-demo figures experiments examples clean
+.PHONY: install test lint selfcheck bench bench-check bench-scale report-demo health-demo serve-demo figures experiments examples clean
 
 install:
 	pip install -e .[dev]
@@ -35,14 +35,15 @@ bench-check: bench
 
 # Scale studies at full size: the columnar client plane (10**5..10**7
 # clients -- clients/sec per population size, object-path speedup,
-# tracemalloc peak) and the secure-aggregation hierarchy (vectorized
-# masking vs the per-client submit loop at 10**4 clients).  Appends to the
-# repo-root BENCH_scale.json trajectory, then gates on it: the run fails
-# if any shared clients/sec rate dropped past the tolerance vs the
-# previous entry.
+# tracemalloc peak), the secure-aggregation hierarchy (vectorized
+# masking vs the per-client submit loop at 10**4 clients), and the
+# wire-served round (loopback TCP reports/sec, single and concurrent
+# campaigns).  Appends to the repo-root BENCH_scale.json trajectory,
+# then gates on it: the run fails if any shared throughput rate dropped
+# past the tolerance vs the previous entry.
 bench-scale:
 	REPRO_SCALE_CLIENTS=100000,1000000,10000000 \
-		pytest benchmarks/bench_scale.py -k "columnar or secure" --benchmark-only -s
+		pytest benchmarks/bench_scale.py -k "columnar or secure or served" --benchmark-only -s
 	python scripts/bench_summary.py --scale benchmarks/results/scale.json BENCH_scale.json
 	python scripts/bench_summary.py --check --scale BENCH_scale.json
 
@@ -58,6 +59,13 @@ report-demo:
 # alert firing and resolving -- or the target fails.
 health-demo:
 	python scripts/health_demo.py --assert-retry-storm --assert-shard-failure
+
+# Served-round smoke: a lossless loopback round must be bit-identical to
+# the in-process FederatedMeanQuery twin, and a lossy round with
+# adversarial clients must match its in-process estimate with every bad
+# uplink rejected and accounted for -- or the target fails.
+serve-demo:
+	python scripts/serve_demo.py
 
 # Reproduce every paper figure at full scale (tables to stdout).
 figures:

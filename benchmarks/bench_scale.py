@@ -18,6 +18,7 @@ cohort x bits blowup).  The raw numbers land in
 appends them to the repo-root ``BENCH_scale.json`` trajectory.
 """
 
+import asyncio
 import json
 import os
 import time
@@ -285,3 +286,109 @@ def test_secure_agg_throughput(benchmark, emit):
         f"secure-agg vectorized path is {speedup:.1f}x the per-client loop; "
         "acceptance floor is 5x"
     )
+
+
+#: Served-round study size: one TCP loopback round of SERVE_N wire clients,
+#: plus SERVE_CAMPAIGNS concurrent independent campaigns in one event loop.
+SERVE_N = 256
+SERVE_CAMPAIGNS = 4
+
+
+def test_served_round_throughput(benchmark, emit):
+    """Wire-served rounds over loopback TCP: reports/sec, single and concurrent.
+
+    Every report crosses a real socket through the full control-message +
+    frame protocol (HELLO, ANNOUNCE, REPORTS, RESULT), so this measures the
+    serving stack end to end.  The estimate must stay bit-identical to the
+    deterministic in-process twin -- throughput never buys back correctness.
+    """
+    from repro.federated import (
+        ClientFleet,
+        RoundServer,
+        ServeConfig,
+        fleet_values,
+        in_process_estimate,
+        run_loopback,
+    )
+
+    values = fleet_values(SERVE_N, seed=3)
+    cfg = ServeConfig(
+        n_clients=SERVE_N, seed=7, deadline_s=30.0, registration_timeout_s=30.0
+    )
+    twin = in_process_estimate(values, cfg, fleet_seed=3)
+
+    async def campaign(seed: int):
+        config = ServeConfig(
+            n_clients=SERVE_N, seed=seed, deadline_s=30.0, registration_timeout_s=30.0
+        )
+        server = RoundServer(config)
+        port = await server.start()
+        fleet = ClientFleet(values, seed=3)
+        fleet_task = asyncio.create_task(fleet.run(config.host, port))
+        served = await server.serve_round()
+        await fleet_task
+        await server.close()
+        return served
+
+    async def concurrent_campaigns():
+        return await asyncio.gather(
+            *(campaign(seed) for seed in range(SERVE_CAMPAIGNS))
+        )
+
+    def run():
+        # Best of two: the first round pays import/loop warmup.
+        single_seconds = float("inf")
+        for _ in range(2):
+            start = time.perf_counter()
+            served, fleet_result = run_loopback(cfg, values, fleet_seed=3)
+            single_seconds = min(single_seconds, time.perf_counter() - start)
+        assert served.estimate.value == twin.value
+        assert fleet_result.uplinks_sent == SERVE_N
+        start = time.perf_counter()
+        all_served = asyncio.run(concurrent_campaigns())
+        concurrent_seconds = time.perf_counter() - start
+        assert all(s.surviving_clients == SERVE_N for s in all_served)
+        return single_seconds, concurrent_seconds
+
+    single_seconds, concurrent_seconds = run_once(benchmark, run)
+    single_rate = SERVE_N / single_seconds
+    concurrent_reports = SERVE_N * SERVE_CAMPAIGNS
+    concurrent_rate = concurrent_reports / concurrent_seconds
+
+    _merge_scale_payload(
+        {
+            "serve": {
+                "n_clients": SERVE_N,
+                "seconds": single_seconds,
+                "reports_per_s": single_rate,
+                "campaigns": {
+                    "count": SERVE_CAMPAIGNS,
+                    "seconds": concurrent_seconds,
+                    "reports_per_s": concurrent_rate,
+                },
+            }
+        }
+    )
+
+    emit(
+        "scale_serve",
+        "\n".join(
+            [
+                "### Served rounds: loopback TCP throughput",
+                "",
+                f"(n = {SERVE_N} wire clients per round; estimate bit-identical "
+                "to the in-process twin)",
+                "",
+                "| scenario | s per round | reports/sec |",
+                "|---|---|---|",
+                f"| single round | {single_seconds:.3f} | {single_rate:,.0f} |",
+                f"| {SERVE_CAMPAIGNS} concurrent campaigns | "
+                f"{concurrent_seconds:.3f} | {concurrent_rate:,.0f} |",
+            ]
+        )
+        + "\n",
+    )
+
+    # Floor, not a target: a loopback round of 256 clients must clear 1k
+    # reports/sec or the asyncio serving stack has a structural problem.
+    assert single_rate > 1_000.0, f"served rate {single_rate:,.0f} reports/s below floor"

@@ -82,12 +82,14 @@ def summarize_scale(payload: dict, label: str | None = None) -> dict:
     object-path speedup at the reference size, the streaming chunk, the
     tracemalloc peak per client at the largest size, and -- when the
     secure-aggregation study ran -- the hierarchical masking throughput
-    and its speedup over the per-client submit loop.
+    and its speedup over the per-client submit loop, plus the wire-served
+    round throughput (single and concurrent campaigns) when that study ran.
     """
     columnar = payload.get("columnar", {})
     reference = payload.get("object_reference", {})
     memory = payload.get("tracemalloc", {})
     secure = payload.get("secure_agg", {})
+    serve = payload.get("serve", {})
     entry = {
         "label": label or "unlabeled",
         "chunk": payload.get("chunk"),
@@ -107,6 +109,14 @@ def summarize_scale(payload: dict, label: str | None = None) -> dict:
             "shard_size": secure.get("shard_size"),
             "clients_per_s": secure.get("clients_per_s"),
             "speedup_vs_loop": secure.get("speedup_vs_loop"),
+        }
+    if serve:
+        campaigns = serve.get("campaigns") or {}
+        entry["serve"] = {
+            "n_clients": serve.get("n_clients"),
+            "reports_per_s": serve.get("reports_per_s"),
+            "concurrent_campaigns": campaigns.get("count"),
+            "concurrent_reports_per_s": campaigns.get("reports_per_s"),
         }
     return entry
 
@@ -202,6 +212,13 @@ def _scale_rates(entry: dict) -> dict[str, float]:
     secure = entry.get("secure_agg") or {}
     if secure.get("clients_per_s"):
         rates[f"secure_agg@{secure.get('n')}"] = float(secure["clients_per_s"])
+    serve = entry.get("serve") or {}
+    if serve.get("reports_per_s"):
+        rates[f"serve@{serve.get('n_clients')}"] = float(serve["reports_per_s"])
+    if serve.get("concurrent_reports_per_s"):
+        rates[f"serve_campaigns@{serve.get('concurrent_campaigns')}"] = float(
+            serve["concurrent_reports_per_s"]
+        )
     return rates
 
 
@@ -354,6 +371,12 @@ def main(argv: list[str] | None = None) -> int:
         if secure.get("speedup_vs_loop") is not None:
             details.append(
                 f"secure-agg {secure['speedup_vs_loop']:.1f}x at n={secure['n']}"
+            )
+        serve = entry.get("serve") or {}
+        if serve.get("reports_per_s") is not None:
+            details.append(
+                f"served {serve['reports_per_s']:,.0f} reports/s at "
+                f"n={serve['n_clients']}"
             )
         print(
             f"scale study summarized into {destination} as {entry['label']!r} "

@@ -28,9 +28,12 @@ lines; ``--record <dir>`` additionally captures a flight-recorder artifact
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import math
 import sys
+import time
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -63,14 +66,20 @@ from repro.experiments import (
     snapshot_to_json,
     variance_decomposition,
 )
+from repro.exceptions import ConfigurationError, RoundFailedError
 from repro.federated import (
     ClientBatch,
     ClientDevice,
+    ClientFleet,
     DropoutModel,
+    EmulationProfile,
     FaultSchedule,
     FederatedMeanQuery,
     NetworkModel,
     RetryPolicy,
+    RoundServer,
+    ServeConfig,
+    fleet_values,
     ground_truth_mean,
 )
 from repro.analysis import per_report_bit_variance
@@ -111,6 +120,8 @@ __all__ = [
     "run_report_command",
     "run_runs_command",
     "run_selfcheck_command",
+    "run_serve_command",
+    "run_fleet_command",
 ]
 
 #: figure id -> (runner, quick-mode overrides, metric, x-axis label)
@@ -267,6 +278,78 @@ def _build_parser() -> argparse.ArgumentParser:
         help="render live per-round progress (throughput, ETA, active alerts) "
         "to stderr; stdout output is unchanged",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run an asyncio round server: one federated round over real "
+        "wire-protocol TCP sockets (pair with `repro.cli fleet`)",
+    )
+    serve.add_argument("--clients", type=int, required=True, metavar="N",
+                       help="planned cohort size (wire client ids 0..N-1)")
+    serve.add_argument("--bits", type=int, default=10, help="fixed-point bit depth")
+    serve.add_argument(
+        "--epsilon", type=float, default=None,
+        help="client-side randomized response epsilon (default: no LDP)",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="server RNG seed (bit assignment)")
+    serve.add_argument(
+        "--deadline-s", type=float, default=30.0,
+        help="wall-clock report-collection deadline per attempt (seconds)",
+    )
+    serve.add_argument(
+        "--registration-timeout-s", type=float, default=30.0,
+        help="how long to wait for the full fleet to register",
+    )
+    serve.add_argument(
+        "--min-quorum", type=int, default=1,
+        help="minimum accepted reports for an attempt to count",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=0,
+        help="retries per failed attempt (simulated backoff; 0 disables)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: ephemeral; see --port-file)",
+    )
+    serve.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port to PATH once listening (ephemeral-port rendezvous)",
+    )
+    serve.add_argument(
+        "--record", default=None, metavar="DIR",
+        help="capture a flight-recorder artifact (events.jsonl + manifest.json) into DIR",
+    )
+    serve.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write spans + metrics snapshot as JSONL to PATH",
+    )
+    serve.add_argument("--json", action="store_true", help="emit the result as JSON")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a simulated client fleet against a round server "
+        "(deterministic values; optional network emulation)",
+    )
+    fleet.add_argument("--clients", type=int, required=True, metavar="N",
+                       help="number of simulated devices (wire ids 0..N-1)")
+    fleet.add_argument("--host", default="127.0.0.1", help="server address")
+    fleet.add_argument("--port", type=int, default=None, help="server port")
+    fleet.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="poll PATH for the server's port (written by `serve --port-file`)",
+    )
+    fleet.add_argument(
+        "--seed", type=int, default=0,
+        help="fleet seed: drives both the value population and per-client RNG streams",
+    )
+    fleet.add_argument(
+        "--emulation", default=None, metavar="SPEC",
+        help="network emulation profile, e.g. 'loss=0.2,latency=45,sigma=0.6,scale=0.001' "
+        "(loss rate, lognormal median/shape in simulated seconds, real-time scale)",
+    )
+    fleet.add_argument("--json", action="store_true", help="emit the result as JSON")
 
     report = sub.add_parser(
         "report",
@@ -803,6 +886,247 @@ def run_selfcheck_command(
     return 0 if report.passed else 1
 
 
+def run_serve_command(
+    clients: int,
+    bits: int = 10,
+    epsilon: float | None = None,
+    seed: int = 0,
+    deadline_s: float = 30.0,
+    registration_timeout_s: float = 30.0,
+    min_quorum: int = 1,
+    max_retries: int = 0,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    port_file: str | None = None,
+    record_dir: str | None = None,
+    out_path: str | None = None,
+    as_json: bool = False,
+    stream=None,
+    error_stream=None,
+) -> int:
+    """Serve one federated round over TCP to a wire-protocol client fleet.
+
+    Binds (writing the bound port to ``port_file`` for an ephemeral-port
+    rendezvous with ``repro.cli fleet``), waits for registration, and drives
+    the announce/collect/reconstruct state machine under full
+    instrumentation: ``--out`` exports the ``serve.*``/``uplink.*`` spans and
+    a metrics snapshot as JSONL, ``--record`` captures a flight-recorder
+    artifact in exactly the form in-process traced rounds produce (rendered
+    by ``repro.cli report``).  A round that exhausts its retry budget prints
+    the failure and exits 1.
+    """
+    stream = stream if stream is not None else sys.stdout
+    error_stream = error_stream if error_stream is not None else sys.stderr
+    config = ServeConfig(
+        n_clients=clients,
+        n_bits=bits,
+        epsilon=epsilon,
+        seed=seed,
+        deadline_s=deadline_s,
+        registration_timeout_s=registration_timeout_s,
+        min_quorum=min_quorum,
+        retry=RetryPolicy(max_attempts=max_retries + 1, redraw_cohort=False)
+        if max_retries > 0
+        else None,
+        host=host,
+        port=port,
+    )
+
+    registry = MetricsRegistry()
+    memory = InMemoryExporter()
+    exporters: list = [memory]
+    jsonl = JsonLinesExporter(out_path) if out_path is not None else None
+    if jsonl is not None:
+        exporters.append(jsonl)
+    recorder = None
+    if record_dir is not None:
+        recorder = FlightRecorder(
+            record_dir,
+            config={"command": "serve", **config.to_manifest()},
+            seed=seed,
+            metrics=registry,
+            round_span="serve.round",
+        )
+        exporters.append(recorder)
+
+    async def _serve():
+        server = RoundServer(config)
+        bound_port = await server.start()
+        if port_file is not None:
+            Path(port_file).write_text(f"{bound_port}\n")
+        try:
+            result = await server.serve_round()
+        finally:
+            await server.close()
+        return bound_port, result
+
+    try:
+        with instrumented(Tracer(exporters), registry):
+            bound_port, result = asyncio.run(_serve())
+        snapshot = registry.snapshot()
+        if jsonl is not None:
+            jsonl.export_metrics(snapshot)
+    except RoundFailedError as exc:
+        if recorder is not None:
+            recorder.close()
+        print(f"round failed: {exc}", file=error_stream)
+        return 1
+    except BaseException:
+        if recorder is not None:
+            recorder.close()
+        raise
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+
+    if recorder is not None:
+        recorder.finalize(
+            estimate=result.estimate,
+            metrics=snapshot,
+            extra={
+                "serve": {
+                    "port": bound_port,
+                    "registered_clients": result.registered_clients,
+                    "surviving_clients": result.surviving_clients,
+                    "attempts": result.attempts,
+                    "wire_rejects": result.wire_rejects,
+                    "late_reports": result.late_reports,
+                }
+            },
+        )
+
+    counters = snapshot["counters"]
+    if as_json:
+        payload = {
+            "command": "serve",
+            "estimate": float(result.estimate.value),
+            "port": bound_port,
+            "planned_clients": result.planned_clients,
+            "registered_clients": result.registered_clients,
+            "surviving_clients": result.surviving_clients,
+            "attempts": result.attempts,
+            "degraded": result.degraded,
+            "backoff_s": result.backoff_s,
+            "wire_rejects": result.wire_rejects,
+            "late_reports": result.late_reports,
+            "collect_duration_s": result.duration_s,
+            "record_dir": record_dir,
+            "trace_path": out_path,
+            "metrics": snapshot,
+        }
+        print(json.dumps(payload, indent=2, default=str), file=stream)
+        return 0
+
+    print(f"# Served federated round (port {bound_port})", file=stream)
+    print(file=stream)
+    print(
+        f"estimate: {result.estimate.value:.4f}  "
+        f"({result.surviving_clients}/{result.planned_clients} clients, "
+        f"{result.registered_clients} registered, attempt {result.attempts})",
+        file=stream,
+    )
+    print(
+        f"uplinks: accepted={counters.get('serve_reports_total', 0):.0f} "
+        f"rejected={result.wire_rejects} late={result.late_reports}  "
+        f"collect={result.duration_s:.3f}s",
+        file=stream,
+    )
+    if result.degraded or result.backoff_s > 0:
+        print(
+            f"recovery: degraded={result.degraded} backoff_s={result.backoff_s}",
+            file=stream,
+        )
+    if out_path is not None:
+        print(f"trace written to {out_path}", file=stream)
+    if record_dir is not None:
+        print(f"flight-recorder artifact written to {record_dir}", file=stream)
+    return 0
+
+
+def _resolve_port(
+    port: int | None, port_file: str | None, timeout_s: float = 10.0
+) -> int:
+    """The fleet's port rendezvous: an explicit port, or poll the port file."""
+    if port is not None:
+        return int(port)
+    if port_file is None:
+        raise ConfigurationError("fleet needs --port or --port-file")
+    deadline = time.monotonic() + timeout_s
+    path = Path(port_file)
+    while True:
+        try:
+            text = path.read_text().strip()
+            if text:
+                return int(text)
+        except (FileNotFoundError, ValueError):
+            pass
+        if time.monotonic() >= deadline:
+            raise ConfigurationError(
+                f"no port appeared in {port_file} within {timeout_s:.0f}s "
+                "(is the server running with --port-file?)"
+            )
+        time.sleep(0.05)
+
+
+def run_fleet_command(
+    clients: int,
+    host: str = "127.0.0.1",
+    port: int | None = None,
+    port_file: str | None = None,
+    seed: int = 0,
+    emulation: str | None = None,
+    as_json: bool = False,
+    stream=None,
+    error_stream=None,
+) -> int:
+    """Run a simulated device fleet against a round server.
+
+    Client values come from :func:`repro.federated.fleet_values` (clipped
+    ``Normal(600, 100)`` under ``seed``), so any twin that knows the seed can
+    recompute exactly what the fleet reported on.  Exits 1 if the server
+    aborted the round or never announced a result.
+    """
+    stream = stream if stream is not None else sys.stdout
+    error_stream = error_stream if error_stream is not None else sys.stderr
+    try:
+        resolved = _resolve_port(port, port_file)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=error_stream)
+        return 2
+    profile = EmulationProfile.parse(emulation) if emulation else None
+    fleet = ClientFleet(fleet_values(clients, seed), seed=seed, profile=profile)
+    result = asyncio.run(fleet.run(host, resolved))
+    ok = not result.aborted and result.estimate is not None
+    if as_json:
+        payload = {
+            "command": "fleet",
+            "clients": result.n_clients,
+            "uplinks_sent": result.uplinks_sent,
+            "uplinks_dropped": result.uplinks_dropped,
+            "estimate": result.estimate,
+            "aborted": result.aborted,
+            "clients_with_result": len(result.results),
+        }
+        print(json.dumps(payload, indent=2), file=stream)
+        return 0 if ok else 1
+    print(
+        f"fleet: {result.n_clients} clients, {result.uplinks_sent} uplinks sent, "
+        f"{result.uplinks_dropped} dropped",
+        file=stream,
+    )
+    if result.aborted:
+        print("round aborted by the server", file=error_stream)
+    elif result.estimate is None:
+        print("no result announced before the fleet disconnected", file=error_stream)
+    else:
+        print(
+            f"estimate: {result.estimate:.4f} "
+            f"(announced to {len(result.results)} clients)",
+            file=stream,
+        )
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     try:
         return _dispatch(argv)
@@ -849,6 +1173,35 @@ def _dispatch(argv: list[str] | None) -> int:
             watch=args.watch,
         )
         return 0 if result["reconciled"] else 1
+
+    if args.command == "serve":
+        return run_serve_command(
+            clients=args.clients,
+            bits=args.bits,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            deadline_s=args.deadline_s,
+            registration_timeout_s=args.registration_timeout_s,
+            min_quorum=args.min_quorum,
+            max_retries=args.max_retries,
+            host=args.host,
+            port=args.port,
+            port_file=args.port_file,
+            record_dir=args.record,
+            out_path=args.out,
+            as_json=args.json,
+        )
+
+    if args.command == "fleet":
+        return run_fleet_command(
+            clients=args.clients,
+            host=args.host,
+            port=args.port,
+            port_file=args.port_file,
+            seed=args.seed,
+            emulation=args.emulation,
+            as_json=args.json,
+        )
 
     if args.command == "report":
         return run_report_command(args.run_dir, as_json=args.json)

@@ -13,7 +13,15 @@ from repro.federated.faults import (
     FaultSchedule,
     TotalBlackout,
 )
+from repro.federated.fleet import ClientFleet, EmulationProfile, FleetResult, fleet_values
 from repro.federated.retry import RetryPolicy
+from repro.federated.serve import (
+    RoundServer,
+    ServeConfig,
+    ServeResult,
+    in_process_estimate,
+    run_loopback,
+)
 from repro.federated.multivalue import (
     ELICITATION_STRATEGIES,
     elicit_single_value,
@@ -29,7 +37,9 @@ from repro.federated.server import FederatedMeanQuery, RoundOutcome
 from repro.federated.streaming import StreamingAggregator
 from repro.federated.wire import (
     REPORT_SIZE,
+    ReportBatch,
     decode_batch,
+    decode_batch_array,
     decode_report,
     encode_batch,
     encode_report,
@@ -44,7 +54,10 @@ __all__ = [
     "CampaignRecord",
     "ClientBatch",
     "ClientDevice",
+    "ClientFleet",
     "CohortSelector",
+    "EmulationProfile",
+    "FleetResult",
     "MonitoringCampaign",
     "MultiFeatureQuery",
     "DeliveryOutcome",
@@ -56,18 +69,26 @@ __all__ = [
     "NetworkModel",
     "PrimeField",
     "REPORT_SIZE",
+    "ReportBatch",
     "RetryPolicy",
     "RoundOutcome",
+    "RoundServer",
     "SecureAggregationSession",
+    "ServeConfig",
+    "ServeResult",
     "StreamingAggregator",
     "TotalBlackout",
     "attribute_equals",
     "decode_batch",
+    "decode_batch_array",
     "decode_report",
     "elicit_single_value",
     "encode_batch",
     "encode_report",
+    "fleet_values",
     "ground_truth_mean",
+    "in_process_estimate",
     "payload_efficiency",
+    "run_loopback",
     "secure_sum",
 ]

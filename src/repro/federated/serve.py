@@ -1,0 +1,812 @@
+"""Asyncio round server: federated rounds over real wire-protocol sockets.
+
+This is the step that turns "simulation" into "system" (ROADMAP item 3): the
+same round state machine :class:`~repro.federated.server.FederatedMeanQuery`
+drives in-process -- cohort announcement, report collection under a deadline,
+quorum/degradation with retry -- executed against a TCP client fleet speaking
+:mod:`repro.federated.wire` frames inside length-prefixed control messages.
+
+Protocol, per connection::
+
+    client  -> HELLO    {"client_id": i}
+    server  -> ANNOUNCE {"attempt", "bit_index", "n_bits", "scale", "offset",
+                         "epsilon", "deadline_s"}          (seq = attempt)
+    client  -> REPORTS  <one 16-byte report frame>          (seq = attempt)
+    server  -> RESULT   {"estimate", "attempt", "survivors"}  | ABORT
+
+Every malformed or late uplink is rejected *at the uplink* with
+:class:`~repro.exceptions.ProtocolError` accounting (``wire_rejects_total``,
+``uplink.reject``/``uplink.late`` spans) and never folded into the per-bit
+counters.  Accepted frames are decoded in bulk through the vectorized
+:func:`~repro.federated.wire.decode_batch_array` machinery.
+
+Determinism: the server consumes its seeded generator exactly as the
+in-process basic-mode round does -- one :func:`central_assignment` draw per
+attempt and nothing else -- so a lossless served round is bit-identical to
+``FederatedMeanQuery(mode="basic").run(population, rng=seed)`` on the same
+values, and :func:`in_process_estimate` replays lossy/LDP rounds exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.encoding import FixedPointEncoder
+from repro.core.protocol import bit_means_from_stats
+from repro.core.results import MeanEstimate, RoundSummary
+from repro.core.sampling import BitSamplingSchedule, central_assignment
+from repro.exceptions import ConfigurationError, ProtocolError, RoundFailedError
+from repro.federated.fleet import ClientFleet, EmulationProfile, FleetResult, read_message
+from repro.federated.retry import RetryPolicy
+from repro.federated.wire import (
+    FLAG_RANDOMIZED_RESPONSE,
+    MSG_ABORT,
+    MSG_ANNOUNCE,
+    MSG_HELLO,
+    MSG_REPORTS,
+    MSG_RESULT,
+    REPORT_SIZE,
+    _frame_fields,
+    _frame_validity,
+    decode_report,
+    encode_message,
+)
+from repro.observability import get_metrics, get_tracer
+from repro.privacy.randomized_response import RandomizedResponse
+from repro.rng import ensure_rng
+
+__all__ = [
+    "RoundServer",
+    "ServeConfig",
+    "ServeResult",
+    "in_process_estimate",
+    "run_loopback",
+]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything one served round needs, JSON-able for manifests/announcements.
+
+    Parameters
+    ----------
+    n_clients:
+        Planned cohort size; wire client ids must fall in ``[0, n_clients)``.
+    n_bits, scale, offset:
+        The fixed-point encoding, shipped to clients in every ANNOUNCE so the
+        fleet self-configures.
+    epsilon:
+        Client-side randomized response (``None`` disables; the server then
+        rejects frames carrying the RR flag, and vice versa).
+    seed:
+        Server RNG seed (bit-assignment draws only).
+    deadline_s:
+        Wall-clock collection deadline per attempt; ``None`` waits until
+        every registered client reported (only safe with a lossless fleet).
+    registration_timeout_s:
+        How long to wait for the full fleet to register before planning the
+        round anyway (unregistered clients become dropouts).
+    min_quorum, degraded_fraction, retry:
+        Round-failure semantics, exactly as on
+        :class:`~repro.federated.server.FederatedMeanQuery`; retry backoff is
+        simulated time (recorded, never slept).
+    host, port:
+        Bind address; port ``0`` picks an ephemeral port.
+    """
+
+    n_clients: int
+    n_bits: int = 10
+    scale: float = 1.0
+    offset: float = 0.0
+    epsilon: float | None = None
+    seed: int = 0
+    deadline_s: float | None = 30.0
+    registration_timeout_s: float = 30.0
+    min_quorum: int = 1
+    degraded_fraction: float = 0.5
+    retry: RetryPolicy | None = None
+    host: str = "127.0.0.1"
+    port: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1:
+            raise ConfigurationError(f"n_clients must be >= 1, got {self.n_clients}")
+        if self.min_quorum < 1:
+            raise ConfigurationError(f"min_quorum must be >= 1, got {self.min_quorum}")
+        if not 0.0 < self.degraded_fraction <= 1.0:
+            raise ConfigurationError(
+                f"degraded_fraction must be in (0, 1], got {self.degraded_fraction}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(f"deadline_s must be positive, got {self.deadline_s}")
+        if self.registration_timeout_s <= 0:
+            raise ConfigurationError(
+                f"registration_timeout_s must be positive, got {self.registration_timeout_s}"
+            )
+        if self.epsilon is not None and self.epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {self.epsilon}")
+        self.encoder  # noqa: B018 -- validates n_bits/scale/offset eagerly
+
+    @property
+    def encoder(self) -> FixedPointEncoder:
+        """The round's fixed-point encoder."""
+        return FixedPointEncoder(n_bits=self.n_bits, scale=self.scale, offset=self.offset)
+
+    @property
+    def schedule(self) -> BitSamplingSchedule:
+        """The Eq. 7 weighted schedule, matching the in-process basic default."""
+        return BitSamplingSchedule.weighted(self.n_bits, alpha=1.0)
+
+    def to_manifest(self) -> dict:
+        """JSON-ready projection for flight-recorder manifests."""
+        return {
+            "n_clients": self.n_clients,
+            "n_bits": self.n_bits,
+            "scale": self.scale,
+            "offset": self.offset,
+            "epsilon": self.epsilon,
+            "seed": self.seed,
+            "deadline_s": self.deadline_s,
+            "registration_timeout_s": self.registration_timeout_s,
+            "min_quorum": self.min_quorum,
+            "degraded_fraction": self.degraded_fraction,
+            "max_attempts": self.retry.max_attempts if self.retry else 1,
+            "host": self.host,
+            "port": self.port,
+        }
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Outcome of one served round (mirrors the in-process ``RoundOutcome``)."""
+
+    estimate: MeanEstimate
+    planned_clients: int
+    surviving_clients: int
+    registered_clients: int
+    attempts: int
+    degraded: bool
+    backoff_s: float
+    wire_rejects: int
+    late_reports: int
+    duration_s: float
+    port: int
+
+    @property
+    def dropout_rate(self) -> float:
+        if self.planned_clients == 0:
+            return 0.0
+        return 1.0 - self.surviving_clients / self.planned_clients
+
+
+class RoundServer:
+    """One asyncio TCP server running one federated round over the fleet.
+
+    Lifecycle: :meth:`start` binds (returning the port for a ``--port-file``
+    rendezvous), :meth:`serve_round` registers the fleet and drives the
+    attempt loop to a :class:`ServeResult` (or raises
+    :class:`RoundFailedError` past the retry budget, after broadcasting
+    ABORT), :meth:`close` tears the listener down.  Instrumentation flows
+    through the process-wide tracer/metrics pair, so wrapping the round in
+    ``instrumented(...)`` (or the ``serve`` CLI's flight recorder) captures
+    ``serve.*``/``uplink.*`` spans and the reject/report counters.
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._uplinks: asyncio.Queue[tuple[int, int, bytes]] = asyncio.Queue()
+        self._all_registered = asyncio.Event()
+        self._rejects = 0
+        self._late = 0
+
+    # ------------------------------------------------------------------
+    async def start(self) -> int:
+        """Bind the listener; returns the (possibly ephemeral) port."""
+        # Backlog must cover the whole cohort: fleets connect simultaneously,
+        # and a dropped SYN costs a full TCP retransmission timeout (~1 s).
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            backlog=max(128, self.config.n_clients),
+        )
+        self.port = int(self._server.sockets[0].getsockname()[1])
+        return self.port
+
+    async def close(self) -> None:
+        """Close every client connection and the listener."""
+        for writer in self._writers.values():
+            writer.close()
+        for writer in self._writers.values():
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+        self._writers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    def _reject(self, client: int | None, reason: str, attempt: int, detail: str = "") -> None:
+        """Account one rejected uplink: counter + an ``uplink.reject`` span.
+
+        Rejected frames never touch the per-bit counters -- the accounting
+        here is the only trace they leave.
+        """
+        self._rejects += 1
+        get_metrics().counter("wire_rejects_total").inc()
+        attributes = {"reason": reason, "attempt": attempt}
+        if client is not None:
+            attributes["client"] = client
+        if detail:
+            attributes["detail"] = detail
+        with get_tracer().span("uplink.reject", attributes):
+            pass
+
+    def _late_report(self, client: int, seq: int, attempt: int) -> None:
+        self._late += 1
+        get_metrics().counter("serve_late_reports_total").inc()
+        with get_tracer().span(
+            "uplink.late", {"client": client, "seq": seq, "attempt": attempt}
+        ):
+            pass
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Register one client, then pump its uplinks into the queue."""
+        get_metrics().counter("serve_connections_total").inc()
+        client_id: int | None = None
+        try:
+            try:
+                kind, _seq, payload = await read_message(reader)
+                if kind != MSG_HELLO:
+                    raise ProtocolError(f"expected HELLO, got message kind {kind}")
+                hello = json.loads(payload)
+                client_id = int(hello["client_id"])
+            except ProtocolError as exc:
+                self._reject(None, "hello", 0, str(exc))
+                return
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                self._reject(None, "hello", 0, str(exc))
+                return
+            if not 0 <= client_id < self.config.n_clients:
+                self._reject(client_id, "hello-id-range", 0)
+                return
+            if client_id in self._writers:
+                self._reject(client_id, "hello-duplicate", 0)
+                return
+            self._writers[client_id] = writer
+            if len(self._writers) == self.config.n_clients:
+                self._all_registered.set()
+            while True:
+                try:
+                    kind, seq, payload = await read_message(reader)
+                except ProtocolError as exc:
+                    # Garbage at the message layer desynchronizes the stream:
+                    # account it and drop the connection.
+                    self._reject(client_id, "message", 0, str(exc))
+                    return
+                if kind != MSG_REPORTS:
+                    self._reject(client_id, "unexpected-kind", seq, f"kind {kind}")
+                    continue
+                await self._uplinks.put((client_id, seq, payload))
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return
+        finally:
+            if client_id is None or self._writers.get(client_id) is not writer:
+                writer.close()
+
+    # ------------------------------------------------------------------
+    async def _broadcast_announce(self, assignment: np.ndarray, attempt: int) -> None:
+        """Send each registered client its bit assignment for this attempt."""
+        cfg = self.config
+        base = {
+            "attempt": attempt,
+            "n_bits": cfg.n_bits,
+            "scale": cfg.scale,
+            "offset": cfg.offset,
+            "epsilon": cfg.epsilon,
+            "deadline_s": cfg.deadline_s,
+        }
+        for client_id, writer in self._writers.items():
+            payload = dict(base, bit_index=int(assignment[client_id]))
+            try:
+                writer.write(
+                    encode_message(MSG_ANNOUNCE, json.dumps(payload).encode(), seq=attempt)
+                )
+                await writer.drain()
+            except (ConnectionError, OSError):  # client vanished mid-round
+                continue
+
+    async def _broadcast_control(self, kind: int, payload: dict, attempt: int) -> None:
+        message = encode_message(kind, json.dumps(payload).encode(), seq=attempt)
+        for writer in self._writers.values():
+            try:
+                writer.write(message)
+                await writer.drain()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                continue
+
+    # ------------------------------------------------------------------
+    def _process_uplinks(
+        self,
+        batch: Sequence[tuple[int, int, bytes]],
+        attempt: int,
+        assignment: np.ndarray,
+        accepted: dict[int, tuple[int, int]],
+    ) -> None:
+        """Validate one drained batch of uplinks; fold survivors into ``accepted``.
+
+        The frame layer is vectorized: every well-sized frame in the batch is
+        decoded through one structured ``frombuffer`` plus one validity mask
+        (the :func:`~repro.federated.wire.decode_batch_array` kernels), and
+        only invalid frames pay a scalar :func:`decode_report` call to
+        recover the exact :class:`ProtocolError` message for the reject span.
+        """
+        current: list[tuple[int, bytes]] = []
+        for client_id, seq, payload in batch:
+            if seq != attempt:
+                self._late_report(client_id, seq, attempt)
+                continue
+            if len(payload) != REPORT_SIZE:
+                self._reject(
+                    client_id,
+                    "frame-size",
+                    attempt,
+                    f"uplink of {len(payload)} bytes is not one {REPORT_SIZE}-byte frame",
+                )
+                continue
+            current.append((client_id, payload))
+        if not current:
+            return
+        with get_tracer().span(
+            "uplink.drain", {"uplinks": len(current), "attempt": attempt}
+        ):
+            data = b"".join(frame for _owner, frame in current)
+            fields = _frame_fields(data)
+            valid = _frame_validity(fields)
+            rr_expected = self.config.epsilon is not None
+            for i, (owner, frame) in enumerate(current):
+                if not valid[i]:
+                    try:
+                        decode_report(frame)
+                        detail = "invalid frame"  # pragma: no cover - decode raises
+                    except ProtocolError as exc:
+                        detail = str(exc)
+                    self._reject(owner, "frame", attempt, detail)
+                    continue
+                if int(fields["client_id"][i]) != owner:
+                    self._reject(
+                        owner,
+                        "spoofed-id",
+                        attempt,
+                        f"frame claims client {int(fields['client_id'][i])}",
+                    )
+                    continue
+                bit_index = int(fields["bit_index"][i])
+                if bit_index != int(assignment[owner]):
+                    self._reject(
+                        owner,
+                        "assignment-mismatch",
+                        attempt,
+                        f"reported bit {bit_index}, assigned {int(assignment[owner])}",
+                    )
+                    continue
+                randomized = bool(fields["flags"][i] & FLAG_RANDOMIZED_RESPONSE)
+                if randomized != rr_expected:
+                    self._reject(
+                        owner,
+                        "flag-mismatch",
+                        attempt,
+                        f"randomized_response={randomized}, expected {rr_expected}",
+                    )
+                    continue
+                if owner in accepted:
+                    self._reject(owner, "duplicate", attempt)
+                    continue
+                accepted[owner] = (bit_index, int(fields["bit"][i]))
+
+    async def _collect(
+        self, attempt: int, assignment: np.ndarray
+    ) -> tuple[dict[int, tuple[int, int]], float]:
+        """Collect uplinks until every registered client reported or the deadline."""
+        loop = asyncio.get_running_loop()
+        accepted: dict[int, tuple[int, int]] = {}
+        expected = len(self._writers)
+        start = loop.time()
+        deadline = None if self.config.deadline_s is None else start + self.config.deadline_s
+        with get_tracer().span(
+            "serve.collect",
+            {"attempt": attempt, "expected": expected, "deadline_s": self.config.deadline_s},
+        ) as span:
+            while len(accepted) < expected:
+                timeout = None if deadline is None else deadline - loop.time()
+                if timeout is not None and timeout <= 0:
+                    break
+                try:
+                    first = await asyncio.wait_for(self._uplinks.get(), timeout)
+                except asyncio.TimeoutError:
+                    break
+                batch = [first]
+                while not self._uplinks.empty():
+                    batch.append(self._uplinks.get_nowait())
+                self._process_uplinks(batch, attempt, assignment, accepted)
+            duration = loop.time() - start
+            span.set_attribute("accepted", len(accepted))
+            span.set_attribute("duration_s", duration)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("serve_reports_total").inc(len(accepted))
+            metrics.histogram("serve_collect_duration_s").observe(duration)
+            if duration > 0:
+                metrics.gauge("serve_reports_per_s").set(len(accepted) / duration)
+        return accepted, duration
+
+    # ------------------------------------------------------------------
+    async def serve_round(self) -> ServeResult:
+        """Run the full round state machine against the connected fleet."""
+        cfg = self.config
+        tracer = get_tracer()
+        metrics = get_metrics()
+        gen = ensure_rng(cfg.seed)
+        n = cfg.n_clients
+        with tracer.span(
+            "serve.session",
+            {"n_clients": n, "n_bits": cfg.n_bits, "epsilon": cfg.epsilon, "port": self.port},
+        ) as session_span:
+            with tracer.span(
+                "serve.registration",
+                {"expected": n, "timeout_s": cfg.registration_timeout_s},
+            ) as reg_span:
+                try:
+                    await asyncio.wait_for(
+                        self._all_registered.wait(), cfg.registration_timeout_s
+                    )
+                except asyncio.TimeoutError:
+                    pass
+                registered = len(self._writers)
+                reg_span.set_attribute("registered", registered)
+            session_span.set_attribute("registered", registered)
+
+            max_attempts = cfg.retry.max_attempts if cfg.retry is not None else 1
+            history: list[tuple[int, int]] = []
+            backoff_total = 0.0
+            attempt = 1
+            while True:
+                try:
+                    accepted, duration = await self._run_attempt(gen, attempt)
+                except RoundFailedError as exc:
+                    history.append((exc.planned, exc.survived))
+                    if attempt >= max_attempts:
+                        await self._broadcast_control(
+                            MSG_ABORT,
+                            {"reason": str(exc), "attempt": attempt},
+                            attempt,
+                        )
+                        raise
+                    backoff = cfg.retry.backoff_s(attempt)
+                    backoff_total += backoff
+                    metrics.counter("round_retries_total").inc()
+                    with tracer.span(
+                        "round.retry",
+                        {
+                            "round_index": 1,
+                            "failed_attempt": attempt,
+                            "next_attempt": attempt + 1,
+                            "backoff_s": backoff,
+                            "survived": exc.survived,
+                            "planned": exc.planned,
+                            "reason": str(exc),
+                        },
+                    ):
+                        pass
+                    attempt += 1
+                    continue
+                history.append((n, len(accepted)))
+                break
+
+            estimate = self._reconstruct(
+                accepted, attempt, history, backoff_total, duration
+            )
+            survived = len(accepted)
+            degraded = survived < cfg.degraded_fraction * n
+            await self._broadcast_control(
+                MSG_RESULT,
+                {
+                    "estimate": float(estimate.value),
+                    "attempt": attempt,
+                    "survivors": survived,
+                },
+                attempt,
+            )
+            session_span.set_attribute("estimate", float(estimate.value))
+            session_span.set_attribute("attempts", attempt)
+            session_span.set_attribute("wire_rejects", self._rejects)
+            return ServeResult(
+                estimate=estimate,
+                planned_clients=n,
+                surviving_clients=survived,
+                registered_clients=registered,
+                attempts=attempt,
+                degraded=degraded,
+                backoff_s=backoff_total,
+                wire_rejects=self._rejects,
+                late_reports=self._late,
+                duration_s=duration,
+                port=self.port or 0,
+            )
+
+    async def _run_attempt(
+        self, gen: np.random.Generator, attempt: int
+    ) -> tuple[dict[int, tuple[int, int]], float]:
+        """One attempt: assign, announce, collect, enforce quorum."""
+        cfg = self.config
+        tracer = get_tracer()
+        metrics = get_metrics()
+        n = cfg.n_clients
+        with tracer.span(
+            "serve.round",
+            {"round_index": 1, "planned_clients": n, "attempt": attempt},
+        ) as round_span:
+            metrics.counter("round_attempts_total").inc()
+            with tracer.span("round.assign", {"n_bits": cfg.n_bits, "n_clients": n}):
+                assignment = central_assignment(n, cfg.schedule, gen)
+            with tracer.span(
+                "serve.announce", {"clients": len(self._writers), "attempt": attempt}
+            ):
+                await self._broadcast_announce(assignment, attempt)
+            accepted, duration = await self._collect(attempt, assignment)
+            survived = len(accepted)
+            metrics.counter("round_reports_planned_total").inc(n)
+            metrics.counter("round_reports_delivered_total").inc(survived)
+            metrics.counter("round_reports_lost_total").inc(n - survived)
+            round_span.set_attribute("surviving_clients", survived)
+            round_span.set_attribute("round_duration_s", duration)
+            if survived < cfg.min_quorum:
+                metrics.counter("rounds_failed_total").inc()
+                round_span.set_attribute("failed", True)
+                if survived == 0:
+                    message = "every client dropped out of the round"
+                else:
+                    message = (
+                        f"round 1 attempt {attempt}: {survived} "
+                        f"survivors below quorum {cfg.min_quorum}"
+                    )
+                raise RoundFailedError(message, planned=n, survived=survived)
+            metrics.counter("rounds_total").inc()
+            if survived < cfg.degraded_fraction * n:
+                round_span.set_attribute("degraded", True)
+                metrics.counter("rounds_degraded_total").inc()
+            return accepted, duration
+
+    def _reconstruct(
+        self,
+        accepted: dict[int, tuple[int, int]],
+        attempts: int,
+        history: list[tuple[int, int]],
+        backoff_s: float,
+        duration_s: float,
+    ) -> MeanEstimate:
+        """Fold accepted reports into the mean estimate (in-process arithmetic)."""
+        cfg = self.config
+        encoder = cfg.encoder
+        n = cfg.n_clients
+        survived = len(accepted)
+        with get_tracer().span(
+            "serve.reconstruct", {"n_bits": cfg.n_bits, "reports": survived}
+        ) as span:
+            indices = np.fromiter(
+                (bi for bi, _bit in accepted.values()), dtype=np.int64, count=survived
+            )
+            bits = np.fromiter(
+                (bit for _bi, bit in accepted.values()), dtype=np.float64, count=survived
+            )
+            counts = np.bincount(indices, minlength=cfg.n_bits).astype(np.int64)
+            sums = np.bincount(indices, weights=bits, minlength=cfg.n_bits)
+            perturbation = (
+                RandomizedResponse(epsilon=cfg.epsilon) if cfg.epsilon is not None else None
+            )
+            means = bit_means_from_stats(sums, counts, perturbation)
+            encoded_mean = float(encoder.powers @ means)
+            value = encoder.decode_scalar(encoded_mean)
+            span.set_attribute("estimate", value)
+        summary = RoundSummary(
+            probabilities=cfg.schedule.probabilities,
+            counts=counts,
+            sums=means * counts,
+            bit_means=means,
+            n_clients=survived,
+        )
+        degraded = survived < cfg.degraded_fraction * n
+        return MeanEstimate(
+            value=value,
+            encoded_value=encoded_mean,
+            bit_means=means,
+            counts=counts,
+            n_clients=n,
+            n_bits=cfg.n_bits,
+            method="federated-served",
+            rounds=(summary,),
+            metadata={
+                "cohort_size": n,
+                "dropout_rates": [1.0 - survived / n],
+                "round_durations_s": [duration_s],
+                "total_duration_s": duration_s + backoff_s,
+                "planned_clients": [n],
+                "surviving_clients": [survived],
+                "round_attempts": [attempts],
+                "degraded_rounds": [degraded],
+                "variance_inflation": [n / survived if survived else float("inf")],
+                "backoff_s": [backoff_s],
+                "attempt_history": [[list(pair) for pair in history]],
+                "secure_aggregation": False,
+                "elicitation": "single",
+                "ldp": cfg.epsilon is not None,
+                "columnar": False,
+                "served": True,
+                "transport": "tcp",
+                "port": self.port,
+                "wire_rejects": self._rejects,
+                "late_reports": self._late,
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+def in_process_estimate(
+    values: Sequence[float],
+    config: ServeConfig,
+    profile: EmulationProfile | None = None,
+    fleet_seed: int = 0,
+    corrupted: Iterable[int] = (),
+) -> MeanEstimate:
+    """The served round's deterministic in-process twin.
+
+    Replays exactly what :class:`RoundServer` + :class:`ClientFleet` compute
+    for the same ``config``/``values``/``profile``/``fleet_seed``, without
+    any sockets: the server generator draws one bit assignment per attempt,
+    each client's spawned generator draws randomized response (if ``epsilon``)
+    then the emulation profile's loss/latency, and the surviving reports fold
+    through the identical reconstruction arithmetic.  ``corrupted`` names
+    clients whose uplinks the server always rejects (the fuzzing twin: their
+    client-side draws still advance, their reports never land).
+
+    With no profile, no corruption, and no ``epsilon``, the result is also
+    bit-identical to ``FederatedMeanQuery(encoder, mode="basic",
+    schedule=config.schedule).run(population, rng=config.seed)`` over
+    single-valued clients -- the acceptance-criterion equivalence.
+
+    Raises :class:`RoundFailedError` when every attempt falls below quorum,
+    exactly as the server does.
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    if vals.size != config.n_clients:
+        raise ConfigurationError(
+            f"{vals.size} values for a {config.n_clients}-client round"
+        )
+    encoder = config.encoder
+    gen = ensure_rng(config.seed)
+    client_gens = [
+        np.random.default_rng(s)
+        for s in np.random.SeedSequence(fleet_seed).spawn(config.n_clients)
+    ]
+    rr = RandomizedResponse(epsilon=config.epsilon) if config.epsilon is not None else None
+    excluded = frozenset(int(c) for c in corrupted)
+    encoded = encoder.encode(vals)
+    max_attempts = config.retry.max_attempts if config.retry is not None else 1
+    history: list[tuple[int, int]] = []
+    backoff_total = 0.0
+    n = config.n_clients
+    for attempt in range(1, max_attempts + 1):
+        assignment = central_assignment(n, config.schedule, gen)
+        accepted: dict[int, tuple[int, int]] = {}
+        for i in range(n):
+            bit = int((encoded[i] >> np.uint64(assignment[i])) & np.uint64(1))
+            if rr is not None:
+                bit = int(
+                    rr.perturb_bits(np.asarray([bit], dtype=np.uint8), client_gens[i])[0]
+                )
+            delivered = True
+            if profile is not None:
+                delivered, _latency = profile.draw(client_gens[i])
+            if delivered and i not in excluded:
+                accepted[i] = (int(assignment[i]), bit)
+        survived = len(accepted)
+        if survived >= config.min_quorum:
+            history.append((n, survived))
+            break
+        history.append((n, survived))
+        if attempt >= max_attempts:
+            if survived == 0:
+                message = "every client dropped out of the round"
+            else:
+                message = (
+                    f"round 1 attempt {attempt}: {survived} "
+                    f"survivors below quorum {config.min_quorum}"
+                )
+            raise RoundFailedError(message, planned=n, survived=survived)
+        backoff_total += config.retry.backoff_s(attempt)
+    indices = np.fromiter((bi for bi, _b in accepted.values()), dtype=np.int64, count=survived)
+    bits = np.fromiter((b for _bi, b in accepted.values()), dtype=np.float64, count=survived)
+    counts = np.bincount(indices, minlength=config.n_bits).astype(np.int64)
+    sums = np.bincount(indices, weights=bits, minlength=config.n_bits)
+    means = bit_means_from_stats(sums, counts, rr)
+    encoded_mean = float(encoder.powers @ means)
+    value = encoder.decode_scalar(encoded_mean)
+    summary = RoundSummary(
+        probabilities=config.schedule.probabilities,
+        counts=counts,
+        sums=means * counts,
+        bit_means=means,
+        n_clients=survived,
+    )
+    return MeanEstimate(
+        value=value,
+        encoded_value=encoded_mean,
+        bit_means=means,
+        counts=counts,
+        n_clients=n,
+        n_bits=config.n_bits,
+        method="federated-served-twin",
+        rounds=(summary,),
+        metadata={
+            "attempt_history": [[list(pair) for pair in history]],
+            "backoff_s": [backoff_total],
+            "ldp": config.epsilon is not None,
+            "served": False,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+async def _loopback(
+    config: ServeConfig,
+    values: Sequence[float],
+    profile: EmulationProfile | None,
+    fleet_seed: int,
+    mutate,
+) -> tuple[ServeResult, FleetResult]:
+    server = RoundServer(config)
+    port = await server.start()
+    fleet = ClientFleet(values, seed=fleet_seed, profile=profile, mutate=mutate)
+    fleet_task = asyncio.create_task(fleet.run(config.host, port))
+    try:
+        serve_result = await server.serve_round()
+    except BaseException:
+        fleet_task.cancel()
+        try:
+            await fleet_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        await server.close()
+        raise
+    fleet_result = await fleet_task
+    await server.close()
+    return serve_result, fleet_result
+
+
+def run_loopback(
+    config: ServeConfig,
+    values: Sequence[float],
+    profile: EmulationProfile | None = None,
+    fleet_seed: int = 0,
+    mutate=None,
+) -> tuple[ServeResult, FleetResult]:
+    """Run server + fleet in one event loop on the loopback interface.
+
+    The workhorse for tests, the demo script, and the served-throughput
+    benchmarks: every report still crosses a real TCP socket and the full
+    wire protocol, but setup/teardown is a single call.
+    """
+    return asyncio.run(_loopback(config, values, profile, fleet_seed, mutate))

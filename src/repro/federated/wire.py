@@ -19,7 +19,8 @@ for debiasing.
 from __future__ import annotations
 
 import struct
-from typing import Iterable
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
 
 import numpy as np
 
@@ -28,11 +29,23 @@ from repro.federated.client import BitReport
 
 __all__ = [
     "MAGIC",
+    "MESSAGE_MAGIC",
+    "MESSAGE_HEADER_SIZE",
+    "MAX_MESSAGE_SIZE",
+    "MSG_HELLO",
+    "MSG_ANNOUNCE",
+    "MSG_REPORTS",
+    "MSG_RESULT",
+    "MSG_ABORT",
     "REPORT_SIZE",
+    "ReportBatch",
     "encode_report",
     "decode_report",
     "encode_batch",
     "decode_batch",
+    "decode_batch_array",
+    "encode_message",
+    "decode_message_header",
     "payload_efficiency",
 ]
 
@@ -47,6 +60,47 @@ _STRUCT = struct.Struct(">4sBBBBQ")
 #: Size of one encoded report in bytes.
 REPORT_SIZE = _STRUCT.size
 
+#: Control-message magic -- "bit-push message" -- distinct from the report
+#: frame magic so a stray report can never masquerade as a control header.
+MESSAGE_MAGIC = b"BPMS"
+
+#: Length-prefixed control-message header wrapped around report frames and
+#: JSON control payloads: magic (4) | version (1) | kind (1) | seq (2) |
+#: payload length (4).  ``seq`` carries the round attempt number so the
+#: server can recognize late reports from an abandoned attempt.
+_MESSAGE_HEADER = struct.Struct(">4sBBHI")
+#: Size of one control-message header in bytes.
+MESSAGE_HEADER_SIZE = _MESSAGE_HEADER.size
+
+#: Upper bound on a control-message payload; a header advertising more is
+#: rejected before any buffering so a corrupt length cannot balloon memory.
+MAX_MESSAGE_SIZE = 16 * 1024 * 1024
+
+#: Client -> server: registration carrying the client id.
+MSG_HELLO = 1
+#: Server -> client: cohort announcement with bit assignment + round params.
+MSG_ANNOUNCE = 2
+#: Client -> server: concatenated 16-byte report frames.
+MSG_REPORTS = 3
+#: Server -> client: final round result.
+MSG_RESULT = 4
+#: Server -> client: round abandoned (quorum failure past retry budget).
+MSG_ABORT = 5
+
+_MESSAGE_KINDS = frozenset({MSG_HELLO, MSG_ANNOUNCE, MSG_REPORTS, MSG_RESULT, MSG_ABORT})
+
+#: Structured view of one report frame, for vectorized batch decoding.
+_FRAME_DTYPE = np.dtype(
+    [
+        ("magic", "S4"),
+        ("version", "u1"),
+        ("bit_index", "u1"),
+        ("bit", "u1"),
+        ("flags", "u1"),
+        ("client_id", ">u8"),
+    ]
+)
+
 
 def encode_report(report: BitReport, randomized_response: bool = False) -> bytes:
     """Serialize one report into its 16-byte frame.
@@ -58,23 +112,30 @@ def encode_report(report: BitReport, randomized_response: bool = False) -> bytes
     unpacks it.  Non-integer field types (a float ``bit_index``, a string
     ``client_id``) are rejected here too, where ``struct`` would otherwise
     raise its own opaque error.
+
+    ``np.bool_`` bits are accepted and coerced: the columnar client plane's
+    vectorized bit extraction yields exactly those, and a bool *is* a
+    well-defined bit.
     """
+    bit = report.bit
+    if isinstance(bit, np.bool_):
+        bit = int(bit)
     for name, value in (
         ("client_id", report.client_id),
         ("bit_index", report.bit_index),
-        ("bit", report.bit),
+        ("bit", bit),
     ):
         if not isinstance(value, (int, np.integer)):
             raise ProtocolError(f"report {name} must be an integer, got {value!r}")
-    if report.bit not in (0, 1):
-        raise ProtocolError(f"report bit must be 0 or 1, got {report.bit}")
+    if bit not in (0, 1):
+        raise ProtocolError(f"report bit must be 0 or 1, got {bit}")
     if not 0 <= report.bit_index < 64:
         raise ProtocolError(f"bit index {report.bit_index} outside [0, 64)")
     if not 0 <= report.client_id < 2**64:
         raise ProtocolError(f"client id {report.client_id} does not fit in 64 bits")
     flags = FLAG_RANDOMIZED_RESPONSE if randomized_response else 0
     return _STRUCT.pack(
-        MAGIC, VERSION, int(report.bit_index), int(report.bit), flags, int(report.client_id)
+        MAGIC, VERSION, int(report.bit_index), int(bit), flags, int(report.client_id)
     )
 
 
@@ -105,9 +166,29 @@ def decode_report(frame: bytes) -> tuple[BitReport, bool]:
     )
 
 
-def encode_batch(reports: Iterable[BitReport], randomized_response: bool = False) -> bytes:
-    """Concatenate report frames (a device uplinking several features)."""
-    return b"".join(encode_report(r, randomized_response) for r in reports)
+def encode_batch(
+    reports: Iterable[BitReport],
+    randomized_response: Union[bool, Sequence[bool]] = False,
+) -> bytes:
+    """Concatenate report frames (a device uplinking several features).
+
+    ``randomized_response`` is either a single flag applied to every report
+    or a per-report sequence -- a device whose uplink mixes RR-perturbed and
+    exact bits (e.g. different features under different privacy budgets)
+    needs the latter.  A sequence whose length disagrees with the report
+    count raises :class:`ProtocolError`.
+    """
+    reports = list(reports)
+    if isinstance(randomized_response, (bool, np.bool_)):
+        flags: Sequence[bool] = [bool(randomized_response)] * len(reports)
+    else:
+        flags = list(randomized_response)
+        if len(flags) != len(reports):
+            raise ProtocolError(
+                f"randomized_response sequence has {len(flags)} entries "
+                f"for {len(reports)} reports"
+            )
+    return b"".join(encode_report(r, bool(f)) for r, f in zip(reports, flags))
 
 
 def decode_batch(data: bytes) -> list[tuple[BitReport, bool]]:
@@ -121,6 +202,133 @@ def decode_batch(data: bytes) -> list[tuple[BitReport, bool]]:
         decode_report(data[offset:offset + REPORT_SIZE])
         for offset in range(0, len(data), REPORT_SIZE)
     ]
+
+
+@dataclass(frozen=True)
+class ReportBatch:
+    """Columnar result of :func:`decode_batch_array`.
+
+    Arrays are index-aligned: row ``i`` describes the ``i``-th frame in the
+    batch.  ``to_reports`` rebuilds the scalar-path representation (used by
+    the twin tests pinning the vectorized decoder to :func:`decode_batch`).
+    """
+
+    client_ids: np.ndarray
+    bit_indices: np.ndarray
+    bits: np.ndarray
+    randomized_response: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.client_ids.shape[0])
+
+    def to_reports(self) -> list[tuple[BitReport, bool]]:
+        """Expand back into the ``decode_batch`` representation."""
+        return [
+            (
+                BitReport(client_id=int(c), bit_index=int(j), bit=int(b)),
+                bool(rr),
+            )
+            for c, j, b, rr in zip(
+                self.client_ids, self.bit_indices, self.bits, self.randomized_response
+            )
+        ]
+
+
+def _frame_fields(data: bytes) -> np.ndarray:
+    """View a frame concatenation through the structured frame dtype."""
+    if len(data) % REPORT_SIZE != 0:
+        raise ProtocolError(
+            f"batch of {len(data)} bytes is not a whole number of "
+            f"{REPORT_SIZE}-byte frames"
+        )
+    return np.frombuffer(data, dtype=_FRAME_DTYPE)
+
+
+def _frame_validity(fields: np.ndarray) -> np.ndarray:
+    """Vectorized mirror of ``decode_report``'s per-frame checks."""
+    return (
+        (fields["magic"] == MAGIC)
+        & (fields["version"] == VERSION)
+        & (fields["bit"] <= 1)
+        & (fields["bit_index"] < 64)
+        & ((fields["flags"] & ~np.uint8(FLAG_RANDOMIZED_RESPONSE)) == 0)
+    )
+
+
+def decode_batch_array(data: bytes) -> ReportBatch:
+    """Vectorized :func:`decode_batch`: one ``np.frombuffer`` + masked checks.
+
+    Bit-for-bit equivalent to the scalar path -- any batch this function
+    accepts decodes to the same reports via :func:`decode_batch`, and any
+    batch it rejects raises the *same* :class:`ProtocolError` message the
+    scalar path would have raised at its first bad frame (re-raised through
+    :func:`decode_report` on that frame).  This is the fleet-scale uplink
+    path: a million 16-byte frames decode in one pass instead of a million
+    ``struct.unpack`` calls.
+    """
+    fields = _frame_fields(data)
+    valid = _frame_validity(fields)
+    if not valid.all():
+        first_bad = int(np.flatnonzero(~valid)[0])
+        offset = first_bad * REPORT_SIZE
+        decode_report(data[offset:offset + REPORT_SIZE])
+        raise ProtocolError(  # pragma: no cover - decode_report raises first
+            f"frame {first_bad} failed vectorized validation"
+        )
+    return ReportBatch(
+        client_ids=fields["client_id"].astype(np.uint64),
+        bit_indices=fields["bit_index"].astype(np.int64),
+        bits=fields["bit"].astype(np.uint8),
+        randomized_response=(fields["flags"] & FLAG_RANDOMIZED_RESPONSE).astype(bool),
+    )
+
+
+def encode_message(kind: int, payload: bytes, seq: int = 0) -> bytes:
+    """Wrap a payload in a length-prefixed control-message header.
+
+    ``kind`` must be one of the ``MSG_*`` constants and ``seq`` (the round
+    attempt number) must fit in 16 bits; oversized payloads are rejected
+    with :class:`ProtocolError` so the cap is enforced symmetrically with
+    :func:`decode_message_header`.
+    """
+    if kind not in _MESSAGE_KINDS:
+        raise ProtocolError(f"unknown message kind {kind}")
+    if not 0 <= seq < 2**16:
+        raise ProtocolError(f"message seq {seq} does not fit in 16 bits")
+    if len(payload) > MAX_MESSAGE_SIZE:
+        raise ProtocolError(
+            f"message payload of {len(payload)} bytes exceeds the "
+            f"{MAX_MESSAGE_SIZE}-byte cap"
+        )
+    return _MESSAGE_HEADER.pack(MESSAGE_MAGIC, VERSION, kind, seq, len(payload)) + payload
+
+
+def decode_message_header(header: bytes) -> tuple[int, int, int]:
+    """Parse a control-message header; returns ``(kind, seq, payload_length)``.
+
+    The caller then reads exactly ``payload_length`` bytes off the stream.
+    Validation failures raise :class:`ProtocolError` before any payload is
+    buffered -- bad magic, wrong version, unknown kind, or a length past
+    :data:`MAX_MESSAGE_SIZE` all reject the message at the header.
+    """
+    if len(header) != MESSAGE_HEADER_SIZE:
+        raise ProtocolError(
+            f"message header must be exactly {MESSAGE_HEADER_SIZE} bytes, "
+            f"got {len(header)}"
+        )
+    magic, version, kind, seq, length = _MESSAGE_HEADER.unpack(header)
+    if magic != MESSAGE_MAGIC:
+        raise ProtocolError(f"bad message magic {magic!r}")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    if kind not in _MESSAGE_KINDS:
+        raise ProtocolError(f"unknown message kind {kind}")
+    if length > MAX_MESSAGE_SIZE:
+        raise ProtocolError(
+            f"message payload of {length} bytes exceeds the "
+            f"{MAX_MESSAGE_SIZE}-byte cap"
+        )
+    return kind, seq, length
 
 
 def payload_efficiency() -> float:

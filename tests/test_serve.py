@@ -1,0 +1,608 @@
+"""Served-round integration tests: server + fleet over real loopback sockets.
+
+The acceptance criterion lives here: a lossless served round on a fixed seed
+is bit-identical to the equivalent in-process ``FederatedMeanQuery`` round,
+and lossy/LDP/adversarial rounds match their deterministic
+:func:`in_process_estimate` twin.  Every malformed uplink must be rejected
+with ``wire_rejects_total`` accounting and never folded into the estimate.
+"""
+
+import asyncio
+import io
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import run_fleet_command, run_serve_command
+from repro.core import FixedPointEncoder
+from repro.core.protocol import bit_means_from_stats
+from repro.core.sampling import central_assignment
+from repro.exceptions import ConfigurationError, RoundFailedError
+from repro.federated import (
+    ClientDevice,
+    ClientFleet,
+    EmulationProfile,
+    FederatedMeanQuery,
+    RetryPolicy,
+    RoundServer,
+    ServeConfig,
+    fleet_values,
+    in_process_estimate,
+    run_loopback,
+)
+from repro.federated.client import BitReport
+from repro.federated.fleet import read_message
+from repro.federated.wire import (
+    MSG_ABORT,
+    MSG_ANNOUNCE,
+    MSG_HELLO,
+    MSG_REPORTS,
+    MSG_RESULT,
+    REPORT_SIZE,
+    encode_message,
+    encode_report,
+)
+from repro.observability import (
+    InMemoryExporter,
+    MetricsRegistry,
+    Tracer,
+    instrumented,
+    load_run,
+)
+from repro.rng import ensure_rng
+
+
+class TestLoopbackParity:
+    def test_lossless_round_matches_in_process_federated_round(self):
+        n = 32
+        values = fleet_values(n, seed=3)
+        cfg = ServeConfig(n_clients=n, seed=11, deadline_s=10.0, registration_timeout_s=5.0)
+        served, fleet = run_loopback(cfg, values, fleet_seed=3)
+
+        population = [ClientDevice(i, [float(v)]) for i, v in enumerate(values)]
+        in_process = FederatedMeanQuery(
+            FixedPointEncoder.for_integers(10), mode="basic"
+        ).run(population, rng=cfg.seed)
+        twin = in_process_estimate(values, cfg, fleet_seed=3)
+
+        assert served.estimate.value == in_process.value
+        assert served.estimate.value == twin.value
+        assert np.array_equal(served.estimate.counts, twin.counts)
+        assert served.attempts == 1
+        assert served.surviving_clients == n
+        assert served.wire_rejects == 0 and served.late_reports == 0
+        assert fleet.uplinks_sent == n and fleet.uplinks_dropped == 0
+        assert fleet.estimate == served.estimate.value
+        assert len(fleet.results) == n
+        assert served.estimate.metadata["served"] is True
+        assert served.estimate.metadata["transport"] == "tcp"
+
+    def test_lossy_rr_round_matches_twin(self):
+        n = 40
+        values = fleet_values(n, seed=5)
+        profile = EmulationProfile(loss_rate=0.3, latency_median_s=10.0)
+        cfg = ServeConfig(
+            n_clients=n,
+            epsilon=2.0,
+            seed=9,
+            deadline_s=0.75,
+            registration_timeout_s=5.0,
+        )
+        served, fleet = run_loopback(cfg, values, profile=profile, fleet_seed=5)
+        twin = in_process_estimate(values, cfg, profile=profile, fleet_seed=5)
+
+        assert served.estimate.value == twin.value
+        assert fleet.uplinks_sent + fleet.uplinks_dropped == n
+        assert fleet.uplinks_dropped > 0
+        assert served.surviving_clients == fleet.uplinks_sent
+        assert served.wire_rejects == 0
+        assert served.estimate.metadata["ldp"] is True
+
+    def test_retry_recovers_after_total_uplink_loss(self):
+        n = 12
+        values = fleet_values(n, seed=1)
+        cfg = ServeConfig(
+            n_clients=n,
+            seed=4,
+            deadline_s=0.3,
+            registration_timeout_s=5.0,
+            retry=RetryPolicy(max_attempts=2, redraw_cohort=False),
+        )
+        served, fleet = run_loopback(
+            cfg,
+            values,
+            fleet_seed=1,
+            mutate=lambda cid, attempt, frame: None if attempt == 1 else frame,
+        )
+        assert served.attempts == 2
+        assert served.surviving_clients == n
+        assert served.backoff_s == cfg.retry.backoff_s(1)
+        assert served.estimate.metadata["attempt_history"] == [[[n, 0], [n, n]]]
+        assert fleet.uplinks_dropped == n and fleet.uplinks_sent == n
+
+        # Replay: the second assignment draw from the same server stream.
+        gen = ensure_rng(cfg.seed)
+        central_assignment(n, cfg.schedule, gen)  # attempt 1, all uplinks lost
+        assignment = central_assignment(n, cfg.schedule, gen)
+        encoded = cfg.encoder.encode(values)
+        bits = ((encoded >> assignment.astype(np.uint64)) & np.uint64(1)).astype(np.float64)
+        counts = np.bincount(assignment, minlength=cfg.n_bits).astype(np.int64)
+        sums = np.bincount(assignment, weights=bits, minlength=cfg.n_bits)
+        means = bit_means_from_stats(sums, counts, None)
+        expected = cfg.encoder.decode_scalar(float(cfg.encoder.powers @ means))
+        assert served.estimate.value == expected
+
+    def test_quorum_failure_aborts_and_fleet_sees_abort(self):
+        n = 6
+        values = fleet_values(n, seed=2)
+        cfg = ServeConfig(
+            n_clients=n, seed=0, deadline_s=0.3, registration_timeout_s=5.0, min_quorum=2
+        )
+
+        async def scenario():
+            server = RoundServer(cfg)
+            port = await server.start()
+            fleet = ClientFleet(values, seed=2, mutate=lambda cid, attempt, frame: None)
+            task = asyncio.create_task(fleet.run(cfg.host, port))
+            with pytest.raises(RoundFailedError, match="every client dropped"):
+                await server.serve_round()
+            result = await task
+            await server.close()
+            return result
+
+        fleet_result = asyncio.run(scenario())
+        assert fleet_result.aborted
+        assert fleet_result.estimate is None
+        assert fleet_result.uplinks_dropped == n
+
+        with pytest.raises(RoundFailedError, match="every client dropped"):
+            in_process_estimate(values, cfg, fleet_seed=2, corrupted=range(n))
+
+
+class TestUplinkRejection:
+    def test_adversarial_uplinks_are_rejected_with_accounting(self):
+        registry = MetricsRegistry()
+        memory = InMemoryExporter()
+        with instrumented(Tracer([memory]), registry):
+            served = asyncio.run(self._adversarial_scenario())
+
+        assert served.surviving_clients == 1
+        assert served.wire_rejects == 5
+        assert served.late_reports == 1
+        counters = registry.snapshot()["counters"]
+        assert counters["wire_rejects_total"] == 5.0
+        assert counters["serve_late_reports_total"] == 1.0
+        reasons = sorted(
+            r.attributes["reason"] for r in memory.records if r.name == "uplink.reject"
+        )
+        assert reasons == [
+            "assignment-mismatch",
+            "duplicate",
+            "flag-mismatch",
+            "spoofed-id",
+            "unexpected-kind",
+        ]
+        assert any(r.name == "uplink.late" for r in memory.records)
+        assert any(r.name == "uplink.drain" for r in memory.records)
+
+    async def _adversarial_scenario(self):
+        cfg = ServeConfig(n_clients=2, seed=6, deadline_s=0.5, registration_timeout_s=5.0)
+        values = fleet_values(2, seed=0)
+        server = RoundServer(cfg)
+        port = await server.start()
+
+        async def hello(client_id):
+            reader, writer = await asyncio.open_connection(cfg.host, port)
+            writer.write(
+                encode_message(MSG_HELLO, json.dumps({"client_id": client_id}).encode())
+            )
+            await writer.drain()
+            return reader, writer
+
+        def frame_for(owner, announce, **overrides):
+            encoded = cfg.encoder.encode(np.asarray([values[owner]]))
+            bit_index = overrides.get("bit_index", int(announce["bit_index"]))
+            bit = int((encoded[0] >> np.uint64(int(announce["bit_index"]))) & np.uint64(1))
+            report = BitReport(
+                client_id=overrides.get("client_id", owner),
+                bit_index=bit_index,
+                bit=bit,
+            )
+            return encode_report(report, overrides.get("rr", False))
+
+        async def honest_but_duplicated():
+            reader, writer = await hello(0)
+            kind, seq, payload = await read_message(reader)
+            assert kind == MSG_ANNOUNCE
+            announce = json.loads(payload)
+            frame = frame_for(0, announce)
+            for _ in range(2):  # the second is a "duplicate" reject
+                writer.write(encode_message(MSG_REPORTS, frame, seq=seq))
+                await writer.drain()
+            kind, _seq, _payload = await read_message(reader)
+            writer.close()
+            return kind
+
+        async def adversary():
+            reader, writer = await hello(1)
+            kind, seq, payload = await read_message(reader)
+            assert kind == MSG_ANNOUNCE
+            announce = json.loads(payload)
+            bad_uplinks = [
+                # late: stale attempt number
+                encode_message(MSG_REPORTS, frame_for(1, announce), seq=7),
+                # spoofed-id: frame claims a different client
+                encode_message(MSG_REPORTS, frame_for(1, announce, client_id=5), seq=seq),
+                # assignment-mismatch: reports an unassigned bit
+                encode_message(
+                    MSG_REPORTS,
+                    frame_for(
+                        1, announce, bit_index=(int(announce["bit_index"]) + 1) % 10
+                    ),
+                    seq=seq,
+                ),
+                # flag-mismatch: RR flag on a non-LDP round
+                encode_message(MSG_REPORTS, frame_for(1, announce, rr=True), seq=seq),
+                # unexpected-kind: a client must never send RESULT
+                encode_message(MSG_RESULT, b"{}", seq=seq),
+            ]
+            for message in bad_uplinks:
+                writer.write(message)
+                await writer.drain()
+            kind, _seq, _payload = await read_message(reader)
+            writer.close()
+            return kind
+
+        clients = asyncio.gather(honest_but_duplicated(), adversary())
+        served = await server.serve_round()
+        kinds = await clients
+        await server.close()
+        assert kinds == [MSG_RESULT, MSG_RESULT]
+        return served
+
+    def test_bad_hellos_rejected_before_registration(self):
+        async def scenario():
+            cfg = ServeConfig(
+                n_clients=1, seed=0, deadline_s=5.0, registration_timeout_s=5.0
+            )
+            server = RoundServer(cfg)
+            port = await server.start()
+            bad_first_messages = [
+                encode_message(MSG_RESULT, b"{}"),  # not a HELLO
+                encode_message(MSG_HELLO, b"not json"),  # unparsable payload
+                encode_message(MSG_HELLO, json.dumps({"client_id": 99}).encode()),
+            ]
+            writers = []
+            for message in bad_first_messages:
+                _reader, writer = await asyncio.open_connection(cfg.host, port)
+                writer.write(message)
+                await writer.drain()
+                writers.append(writer)
+            await asyncio.sleep(0.05)
+            fleet = ClientFleet(fleet_values(1, seed=0), seed=0)
+            task = asyncio.create_task(fleet.run(cfg.host, port))
+            served = await server.serve_round()
+            await task
+            for writer in writers:
+                writer.close()
+            await server.close()
+            return served
+
+        served = asyncio.run(scenario())
+        assert served.wire_rejects == 3
+        assert served.surviving_clients == 1
+
+
+def _undecodable(data: bytes) -> bytes:
+    """Make arbitrary bytes guaranteed-invalid as a report frame."""
+    if len(data) != REPORT_SIZE:
+        return data  # wrong size is rejected before decoding
+    return b"\x00" + data[1:]  # can never carry the frame magic
+
+
+class TestFuzzedServedRound:
+    @given(data=st.data())
+    @settings(max_examples=6, deadline=None)
+    def test_fuzzed_uplinks_never_break_the_round(self, data):
+        n = 8
+        corrupted = data.draw(
+            st.sets(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=n - 1)
+        )
+        garbage = {
+            cid: data.draw(st.binary(max_size=3 * REPORT_SIZE).map(_undecodable))
+            for cid in sorted(corrupted)
+        }
+        values = fleet_values(n, seed=13)
+        cfg = ServeConfig(n_clients=n, seed=21, deadline_s=0.4, registration_timeout_s=5.0)
+        registry = MetricsRegistry()
+        memory = InMemoryExporter()
+        with instrumented(Tracer([memory]), registry):
+            served, fleet = run_loopback(
+                cfg,
+                values,
+                fleet_seed=13,
+                mutate=lambda cid, attempt, frame: garbage.get(cid, frame),
+            )
+        twin = in_process_estimate(values, cfg, fleet_seed=13, corrupted=corrupted)
+
+        assert served.estimate.value == twin.value
+        assert served.surviving_clients == n - len(corrupted)
+        assert served.wire_rejects == len(corrupted)
+        counters = registry.snapshot()["counters"]
+        assert counters["wire_rejects_total"] == float(len(corrupted))
+        rejects = [r for r in memory.records if r.name == "uplink.reject"]
+        assert len(rejects) == len(corrupted)
+        assert {r.attributes["reason"] for r in rejects} <= {"frame", "frame-size"}
+        assert fleet.uplinks_sent == n
+
+
+async def _wait_for_port(port_file: Path, timeout_s: float = 10.0) -> int:
+    """Poll a ``--port-file`` rendezvous path from inside an event loop."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout_s
+    while loop.time() < deadline:
+        if port_file.exists():
+            text = port_file.read_text().strip()
+            if text:
+                return int(text)
+        await asyncio.sleep(0.02)
+    raise TimeoutError(f"no port appeared in {port_file}")  # pragma: no cover
+
+
+async def _plain_client(host: str, port: int, client_id: int, value: float):
+    """A span-free wire client for threaded CLI tests.
+
+    The serve command installs a process-*global* tracer, so a background
+    fleet thread must not emit spans of its own -- they would race the
+    command's exporter teardown in a way two separate processes never do.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(encode_message(MSG_HELLO, json.dumps({"client_id": client_id}).encode()))
+    await writer.drain()
+    estimate = None
+    try:
+        while True:
+            kind, seq, payload = await read_message(reader)
+            if kind == MSG_RESULT:
+                estimate = float(json.loads(payload)["estimate"])
+                break
+            if kind == MSG_ABORT:
+                break
+            if kind != MSG_ANNOUNCE:
+                continue
+            announce = json.loads(payload)
+            encoder = FixedPointEncoder(
+                n_bits=int(announce["n_bits"]),
+                scale=float(announce["scale"]),
+                offset=float(announce["offset"]),
+            )
+            encoded = encoder.encode(np.asarray([value]))
+            bit_index = int(announce["bit_index"])
+            bit = int((encoded[0] >> np.uint64(bit_index)) & np.uint64(1))
+            frame = encode_report(BitReport(client_id=client_id, bit_index=bit_index, bit=bit))
+            writer.write(encode_message(MSG_REPORTS, frame, seq=seq))
+            await writer.drain()
+    finally:
+        writer.close()
+    return estimate
+
+
+class TestServeCli:
+    def test_serve_command_records_standard_artifact(self, tmp_path):
+        port_file = tmp_path / "port"
+        record_dir = tmp_path / "run"
+        trace_path = tmp_path / "trace.jsonl"
+        values = fleet_values(5, 3)
+        outcome = {}
+
+        def fleet_thread():
+            async def run():
+                port = await _wait_for_port(port_file)
+                return await asyncio.gather(
+                    *(
+                        _plain_client("127.0.0.1", port, i, float(v))
+                        for i, v in enumerate(values)
+                    )
+                )
+
+            outcome["estimates"] = asyncio.run(run())
+
+        thread = threading.Thread(target=fleet_thread)
+        thread.start()
+        serve_out = io.StringIO()
+        code = run_serve_command(
+            clients=5,
+            seed=3,
+            deadline_s=10.0,
+            registration_timeout_s=10.0,
+            port_file=str(port_file),
+            record_dir=str(record_dir),
+            out_path=str(trace_path),
+            as_json=True,
+            stream=serve_out,
+            error_stream=serve_out,
+        )
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert code == 0
+
+        payload = json.loads(serve_out.getvalue())
+        twin = in_process_estimate(
+            values,
+            ServeConfig(
+                n_clients=5, seed=3, deadline_s=10.0, registration_timeout_s=10.0
+            ),
+        )
+        assert payload["estimate"] == twin.value
+        assert outcome["estimates"] == [twin.value] * 5
+
+        # The artifact has the standard flight-recorder shape.
+        artifact = load_run(record_dir)
+        assert artifact.manifest["config"]["command"] == "serve"
+        assert artifact.manifest["estimate"]["value"] == twin.value
+        trace = trace_path.read_text()
+        assert "serve.session" in trace and "serve.collect" in trace
+
+    def test_fleet_command_against_a_plain_server(self, tmp_path):
+        port_file = tmp_path / "port"
+        cfg = ServeConfig(
+            n_clients=4, seed=8, deadline_s=10.0, registration_timeout_s=10.0
+        )
+        outcome = {}
+
+        def server_thread():
+            async def run():
+                server = RoundServer(cfg)
+                port = await server.start()
+                port_file.write_text(f"{port}\n")
+                try:
+                    return await server.serve_round()
+                finally:
+                    await server.close()
+
+            outcome["served"] = asyncio.run(run())
+
+        thread = threading.Thread(target=server_thread)
+        thread.start()
+        fleet_out = io.StringIO()
+        code = run_fleet_command(
+            clients=4,
+            port_file=str(port_file),
+            seed=6,
+            as_json=True,
+            stream=fleet_out,
+            error_stream=fleet_out,
+        )
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert code == 0
+        twin = in_process_estimate(fleet_values(4, 6), cfg, fleet_seed=6)
+        assert json.loads(fleet_out.getvalue())["estimate"] == twin.value
+        assert outcome["served"].estimate.value == twin.value
+
+    def test_fleet_command_requires_a_port(self):
+        err = io.StringIO()
+        code = run_fleet_command(
+            clients=2, port=None, port_file=None, stream=io.StringIO(), error_stream=err
+        )
+        assert code == 2
+        assert "needs --port or --port-file" in err.getvalue()
+
+    def test_serve_command_exit_1_on_quorum_failure(self, tmp_path):
+        err = io.StringIO()
+        outcome = {}
+        port_file = tmp_path / "port"
+
+        def serve():
+            outcome["code"] = run_serve_command(
+                clients=3,
+                seed=0,
+                deadline_s=0.3,
+                registration_timeout_s=10.0,
+                min_quorum=2,
+                port_file=str(port_file),
+                stream=io.StringIO(),
+                error_stream=err,
+            )
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        values = fleet_values(3, 0)
+
+        async def silent_fleet():
+            fleet = ClientFleet(values, seed=0, mutate=lambda cid, attempt, frame: None)
+            port = None
+            while port is None:
+                await asyncio.sleep(0.02)
+                if port_file.exists() and port_file.read_text().strip():
+                    port = int(port_file.read_text().strip())
+            return await fleet.run("127.0.0.1", port)
+
+        result = asyncio.run(silent_fleet())
+        thread.join(timeout=30)
+        assert outcome["code"] == 1
+        assert "round failed" in err.getvalue()
+        assert result.aborted
+
+    def test_two_process_loopback_round(self, tmp_path):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        port_file = tmp_path / "port"
+        serve = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--clients", "4", "--seed", "5", "--deadline-s", "10",
+                "--registration-timeout-s", "15",
+                "--port-file", str(port_file), "--json",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            fleet = subprocess.run(
+                [
+                    sys.executable, "-m", "repro.cli", "fleet",
+                    "--clients", "4", "--seed", "2",
+                    "--port-file", str(port_file), "--json",
+                ],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+            out, err = serve.communicate(timeout=60)
+        finally:
+            if serve.poll() is None:  # pragma: no cover - cleanup on failure
+                serve.kill()
+        assert serve.returncode == 0, err
+        assert fleet.returncode == 0, fleet.stderr
+        twin = in_process_estimate(
+            fleet_values(4, 2),
+            ServeConfig(n_clients=4, seed=5, deadline_s=10.0, registration_timeout_s=15.0),
+            fleet_seed=2,
+        )
+        assert json.loads(out)["estimate"] == twin.value
+        assert json.loads(fleet.stdout)["estimate"] == twin.value
+
+
+class TestConfigSurface:
+    def test_emulation_profile_parse(self):
+        profile = EmulationProfile.parse("loss=0.2,latency=45,sigma=0.5,scale=0.001")
+        assert profile.loss_rate == 0.2
+        assert profile.latency_median_s == 45.0
+        assert profile.latency_sigma == 0.5
+        assert profile.time_scale == 0.001
+        with pytest.raises(ConfigurationError, match="bad emulation spec"):
+            EmulationProfile.parse("bogus=1")
+        with pytest.raises(ConfigurationError, match="not a number"):
+            EmulationProfile.parse("loss=abc")
+        with pytest.raises(ConfigurationError):
+            EmulationProfile(loss_rate=1.5)
+
+    def test_serve_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(n_clients=0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(n_clients=1, deadline_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(n_clients=1, epsilon=-1.0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(n_clients=1, min_quorum=0)
+
+    def test_fleet_values_deterministic(self):
+        assert np.array_equal(fleet_values(16, 7), fleet_values(16, 7))
+        assert not np.array_equal(fleet_values(16, 7), fleet_values(16, 8))
+        assert fleet_values(16, 7).min() >= 0.0
+        with pytest.raises(ConfigurationError):
+            fleet_values(0)

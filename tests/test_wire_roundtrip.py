@@ -15,12 +15,24 @@ from repro.exceptions import ProtocolError
 from repro.federated.client import BitReport
 from repro.federated.wire import (
     MAGIC,
+    MAX_MESSAGE_SIZE,
+    MESSAGE_HEADER_SIZE,
+    MSG_ABORT,
+    MSG_ANNOUNCE,
+    MSG_HELLO,
+    MSG_REPORTS,
+    MSG_RESULT,
     REPORT_SIZE,
     decode_batch,
+    decode_batch_array,
+    decode_message_header,
     decode_report,
     encode_batch,
+    encode_message,
     encode_report,
 )
+
+MESSAGE_KINDS = (MSG_HELLO, MSG_ANNOUNCE, MSG_REPORTS, MSG_RESULT, MSG_ABORT)
 
 valid_reports = st.builds(
     BitReport,
@@ -59,6 +71,19 @@ class TestRoundTrip:
             bit=np.int8(report.bit),
         )
         assert encode_report(np_report) == encode_report(report)
+
+    @given(encoded=st.integers(min_value=0, max_value=2**64 - 1), bit_index=st.integers(0, 63))
+    def test_columnar_extracted_numpy_bool_bits_encode(self, encoded, bit_index):
+        # The columnar client plane's shift-mask-compare extraction yields
+        # np.bool_ scalars; those must frame identically to Python ints.
+        extracted = (np.uint64(encoded) >> np.uint64(bit_index)) & np.uint64(1) != 0
+        assert isinstance(extracted, np.bool_)
+        frame = encode_report(BitReport(client_id=3, bit_index=bit_index, bit=extracted))
+        assert frame == encode_report(
+            BitReport(client_id=3, bit_index=bit_index, bit=int(extracted))
+        )
+        report, _rr = decode_report(frame)
+        assert report.bit == int(extracted)
 
 
 class TestEncodeRejectsWhatDecodeWouldReject:
@@ -117,3 +142,133 @@ class TestDecodeRejectsMalformedFrames:
     def test_ragged_batch(self, reports, extra):
         with pytest.raises(ProtocolError):
             decode_batch(encode_batch(reports) + b"\x00" * extra)
+
+
+class TestPerReportFlags:
+    @given(reports=st.lists(valid_reports, max_size=20), data=st.data())
+    def test_per_report_flag_sequence_round_trips(self, reports, data):
+        flags = data.draw(
+            st.lists(st.booleans(), min_size=len(reports), max_size=len(reports))
+        )
+        decoded = decode_batch(encode_batch(reports, flags))
+        assert [r for r, _ in decoded] == reports
+        assert [f for _, f in decoded] == flags
+
+    @given(reports=st.lists(valid_reports, max_size=10), rr=st.booleans())
+    def test_numpy_bool_scalar_flag_broadcasts(self, reports, rr):
+        assert encode_batch(reports, np.bool_(rr)) == encode_batch(reports, rr)
+
+    @given(
+        reports=st.lists(valid_reports, max_size=10),
+        delta=st.integers(min_value=1, max_value=3),
+        longer=st.booleans(),
+    )
+    @settings(max_examples=25)
+    def test_flag_sequence_length_mismatch_rejected(self, reports, delta, longer):
+        n = len(reports) + delta if longer else max(0, len(reports) - delta)
+        if n == len(reports):
+            return
+        with pytest.raises(ProtocolError, match="randomized_response sequence"):
+            encode_batch(reports, [True] * n)
+
+
+#: (frame byte offset, replacement byte) for each way one frame can go bad.
+_FRAME_CORRUPTIONS = [
+    (0, 0x58),  # magic -> b"XPSH"
+    (4, 9),  # unsupported version
+    (5, 200),  # bit_index outside [0, 64)
+    (6, 2),  # non-binary bit
+    (7, 0xFE),  # unknown flag bits
+]
+
+
+class TestVectorizedBatchDecode:
+    @given(reports=st.lists(valid_reports, max_size=30), data=st.data())
+    def test_twin_of_scalar_decode_batch(self, reports, data):
+        flags = data.draw(
+            st.lists(st.booleans(), min_size=len(reports), max_size=len(reports))
+        )
+        payload = encode_batch(reports, flags)
+        batch = decode_batch_array(payload)
+        assert len(batch) == len(reports)
+        assert batch.to_reports() == decode_batch(payload)
+
+    @given(
+        reports=st.lists(valid_reports, min_size=1, max_size=10),
+        which=st.integers(min_value=0),
+        corruption=st.sampled_from(_FRAME_CORRUPTIONS),
+    )
+    @settings(max_examples=50)
+    def test_malformed_batches_raise_the_scalar_error(self, reports, which, corruption):
+        payload = bytearray(encode_batch(reports))
+        offset_in_frame, bad_byte = corruption
+        position = (which % len(reports)) * REPORT_SIZE + offset_in_frame
+        payload[position] = bad_byte
+        corrupted = bytes(payload)
+        with pytest.raises(ProtocolError) as scalar_err:
+            decode_batch(corrupted)
+        with pytest.raises(ProtocolError) as vector_err:
+            decode_batch_array(corrupted)
+        assert str(vector_err.value) == str(scalar_err.value)
+
+    @given(reports=st.lists(valid_reports, max_size=5),
+           extra=st.integers(min_value=1, max_value=REPORT_SIZE - 1))
+    @settings(max_examples=25)
+    def test_ragged_batch_raises_the_scalar_error(self, reports, extra):
+        corrupted = encode_batch(reports) + b"\x00" * extra
+        with pytest.raises(ProtocolError) as scalar_err:
+            decode_batch(corrupted)
+        with pytest.raises(ProtocolError) as vector_err:
+            decode_batch_array(corrupted)
+        assert str(vector_err.value) == str(scalar_err.value)
+
+
+class TestMessageFraming:
+    @given(
+        kind=st.sampled_from(MESSAGE_KINDS),
+        seq=st.integers(min_value=0, max_value=2**16 - 1),
+        payload=st.binary(max_size=64),
+    )
+    def test_header_round_trips(self, kind, seq, payload):
+        message = encode_message(kind, payload, seq=seq)
+        decoded_kind, decoded_seq, length = decode_message_header(
+            message[:MESSAGE_HEADER_SIZE]
+        )
+        assert (decoded_kind, decoded_seq) == (kind, seq)
+        assert length == len(payload)
+        assert message[MESSAGE_HEADER_SIZE:] == payload
+
+    @given(kind=st.integers().filter(lambda k: k not in MESSAGE_KINDS))
+    @settings(max_examples=25)
+    def test_unknown_kind_rejected_on_encode(self, kind):
+        with pytest.raises(ProtocolError):
+            encode_message(kind, b"")
+
+    @given(seq=st.one_of(st.integers(min_value=2**16), st.integers(max_value=-1)))
+    @settings(max_examples=25)
+    def test_out_of_range_seq_rejected(self, seq):
+        with pytest.raises(ProtocolError):
+            encode_message(MSG_HELLO, b"", seq=seq)
+
+    @given(cut=st.integers(min_value=0, max_value=MESSAGE_HEADER_SIZE - 1))
+    @settings(max_examples=25)
+    def test_truncated_header_rejected(self, cut):
+        header = encode_message(MSG_HELLO, b"")[:MESSAGE_HEADER_SIZE]
+        with pytest.raises(ProtocolError):
+            decode_message_header(header[:cut])
+
+    def test_bad_magic_version_kind_and_length_rejected(self):
+        good = bytearray(encode_message(MSG_REPORTS, b"x" * 4))
+        for mutation in (
+            (0, 0x58),  # magic
+            (4, 9),  # version
+            (5, 0),  # kind 0 is not a MSG_* constant
+        ):
+            bad = bytearray(good)
+            bad[mutation[0]] = mutation[1]
+            with pytest.raises(ProtocolError):
+                decode_message_header(bytes(bad[:MESSAGE_HEADER_SIZE]))
+        oversized = bytearray(good)
+        oversized[8:12] = (MAX_MESSAGE_SIZE + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_message_header(bytes(oversized[:MESSAGE_HEADER_SIZE]))
