@@ -1,6 +1,6 @@
 # Convenience targets for the bit-pushing reproduction.
 
-.PHONY: install test lint selfcheck bench bench-check bench-scale report-demo health-demo serve-demo figures experiments examples clean
+.PHONY: install test lint selfcheck bench bench-check bench-scale report-demo health-demo serve-demo serve-trace-demo figures experiments examples clean
 
 install:
 	pip install -e .[dev]
@@ -66,6 +66,14 @@ health-demo:
 # uplink rejected and accounted for -- or the target fails.
 serve-demo:
 	python scripts/serve_demo.py
+
+# Distributed-tracing smoke: a served round under simulated clocks must
+# ingest telemetry from every fleet client, merge all remote spans under
+# the server's deterministic round trace id, and export a valid Chrome
+# trace-event timeline (out/serve_trace_demo/trace.json) -- or the target
+# fails.  Open the JSON in Perfetto / chrome://tracing to browse it.
+serve-trace-demo:
+	python scripts/serve_trace_demo.py
 
 # Reproduce every paper figure at full scale (tables to stdout).
 figures:

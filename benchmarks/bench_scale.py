@@ -359,6 +359,7 @@ def test_served_round_throughput(benchmark, emit):
         {
             "serve": {
                 "n_clients": SERVE_N,
+                "telemetry": cfg.telemetry,
                 "seconds": single_seconds,
                 "reports_per_s": single_rate,
                 "campaigns": {

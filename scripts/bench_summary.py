@@ -114,6 +114,7 @@ def summarize_scale(payload: dict, label: str | None = None) -> dict:
         campaigns = serve.get("campaigns") or {}
         entry["serve"] = {
             "n_clients": serve.get("n_clients"),
+            "telemetry": serve.get("telemetry"),
             "reports_per_s": serve.get("reports_per_s"),
             "concurrent_campaigns": campaigns.get("count"),
             "concurrent_reports_per_s": campaigns.get("reports_per_s"),
@@ -252,6 +253,7 @@ def check_scale_regressions(
             return False, [f"no trajectory entry labelled {baseline_label!r} (have: {known})"]
         baseline = labelled[-1]
     base_rates = _scale_rates(baseline)
+    telemetry_on = bool((newest.get("serve") or {}).get("telemetry"))
     messages = []
     regressions = []
     compared = 0
@@ -266,7 +268,18 @@ def check_scale_regressions(
             f"({ratio:.2f}x slowdown vs baseline {baseline.get('label')!r})"
         )
         if ratio > tolerance:
-            regressions.append(f"REGRESSION {line} exceeds tolerance {tolerance:.2f}x")
+            message = f"REGRESSION {line} exceeds tolerance {tolerance:.2f}x"
+            if name.startswith("serve") and telemetry_on:
+                # Name the usual suspect: the served bench runs with fleet
+                # telemetry on, so a serve-only drop implicates the uplink
+                # drain/ingest path, not the aggregation core.
+                message = (
+                    f"TELEMETRY REGRESSION {line} exceeds tolerance "
+                    f"{tolerance:.2f}x -- served round ran with fleet "
+                    "telemetry enabled; profile the TELEMETRY drain/ingest "
+                    "path (serve.telemetry spans) before blaming the core"
+                )
+            regressions.append(message)
         else:
             messages.append(f"ok {line}")
     if compared == 0:

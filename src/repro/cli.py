@@ -106,6 +106,7 @@ from repro.observability import (
     render_list_markdown,
     render_markdown,
     scan_runs,
+    write_chrome_trace,
 )
 from repro.privacy import RandomizedResponse
 from repro.privacy.accountant import BitMeter, PrivacyAccountant
@@ -325,6 +326,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH",
         help="also write spans + metrics snapshot as JSONL to PATH",
     )
+    serve.add_argument(
+        "--sim-clock", action="store_true",
+        help="time spans with a deterministic SimClock instead of wall clocks "
+        "(byte-identical artifacts across same-seed runs)",
+    )
     serve.add_argument("--json", action="store_true", help="emit the result as JSON")
 
     fleet = sub.add_parser(
@@ -349,6 +355,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="network emulation profile, e.g. 'loss=0.2,latency=45,sigma=0.6,scale=0.001' "
         "(loss rate, lognormal median/shape in simulated seconds, real-time scale)",
     )
+    fleet.add_argument(
+        "--rendezvous-timeout", type=float, default=10.0, metavar="S",
+        help="seconds to wait for --port-file to appear before giving up "
+        "(exit code 2; default 10)",
+    )
     fleet.add_argument("--json", action="store_true", help="emit the result as JSON")
 
     report = sub.add_parser(
@@ -358,6 +369,11 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("run_dir", help="artifact directory written by `trace --record`")
     report.add_argument(
         "--json", action="store_true", help="emit the report as JSON instead of Markdown"
+    )
+    report.add_argument(
+        "--chrome-trace", default=None, metavar="PATH",
+        help="also export the span stream (remote fleet spans on their own "
+        "tracks) as Chrome trace-event JSON to PATH (Perfetto / chrome://tracing)",
     )
 
     runs = sub.add_parser(
@@ -766,9 +782,17 @@ def run_traced_round(
 
 
 def run_report_command(
-    run_dir: str, as_json: bool = False, stream=None, error_stream=None
+    run_dir: str,
+    as_json: bool = False,
+    chrome_trace: str | None = None,
+    stream=None,
+    error_stream=None,
 ) -> int:
     """Render a recorded run directory as Markdown (or JSON with ``--json``).
+
+    ``--chrome-trace PATH`` additionally lays the artifact's span stream out
+    as Chrome trace-event JSON -- server phases on one track, each telemetry
+    client on its own -- for Perfetto / ``chrome://tracing``.
 
     A missing or corrupt ``manifest.json`` is an operator error, not a bug:
     it gets one line on stderr and exit code 2, never a traceback.
@@ -793,6 +817,17 @@ def run_report_command(
         print(json.dumps(report, indent=2, default=str), file=stream)
     else:
         print(render_markdown(report), file=stream)
+    if chrome_trace is not None:
+        label = str(artifact.manifest.get("label") or artifact.directory.name)
+        document = write_chrome_trace(chrome_trace, artifact.spans(), label=label)
+        # Keep --json stdout parseable: the notice goes to stderr there.
+        notice_stream = error_stream if as_json else stream
+        print(
+            f"chrome trace written to {chrome_trace} "
+            f"({len(document['traceEvents'])} events, "
+            f"{document['otherData']['clients']} client track(s))",
+            file=notice_stream,
+        )
     return 0
 
 
@@ -900,6 +935,7 @@ def run_serve_command(
     port_file: str | None = None,
     record_dir: str | None = None,
     out_path: str | None = None,
+    sim_clock: bool = False,
     as_json: bool = False,
     stream=None,
     error_stream=None,
@@ -942,12 +978,22 @@ def run_serve_command(
     if record_dir is not None:
         recorder = FlightRecorder(
             record_dir,
-            config={"command": "serve", **config.to_manifest()},
+            config={"command": "serve", "sim_clock": sim_clock, **config.to_manifest()},
             seed=seed,
             metrics=registry,
             round_span="serve.round",
         )
         exporters.append(recorder)
+    # Served rounds get the same SLO watchdog traced in-process rounds have;
+    # the straggler-skew rule reads the uplink-latency attributes the server
+    # stamps on each serve.round span.  Recorded runs persist transitions.
+    health = HealthMonitor(
+        metrics=registry,
+        sink=(recorder.directory / ALERTS_FILENAME) if recorder is not None else None,
+        round_span="serve.round",
+    )
+    exporters.append(health)
+    sim = SimClock(start=1.0, step=0.001) if sim_clock else None
 
     async def _serve():
         server = RoundServer(config)
@@ -961,7 +1007,7 @@ def run_serve_command(
         return bound_port, result
 
     try:
-        with instrumented(Tracer(exporters), registry):
+        with instrumented(Tracer(exporters, clock=sim, wall_clock=sim), registry):
             bound_port, result = asyncio.run(_serve())
         snapshot = registry.snapshot()
         if jsonl is not None:
@@ -978,6 +1024,7 @@ def run_serve_command(
     finally:
         if jsonl is not None:
             jsonl.close()
+        health.close()
 
     if recorder is not None:
         recorder.finalize(
@@ -991,7 +1038,10 @@ def run_serve_command(
                     "attempts": result.attempts,
                     "wire_rejects": result.wire_rejects,
                     "late_reports": result.late_reports,
-                }
+                    "telemetry_clients": result.telemetry_clients,
+                    "remote_spans": result.remote_spans,
+                },
+                "health": health.summary(),
             },
         )
 
@@ -1009,6 +1059,8 @@ def run_serve_command(
             "backoff_s": result.backoff_s,
             "wire_rejects": result.wire_rejects,
             "late_reports": result.late_reports,
+            "telemetry_clients": result.telemetry_clients,
+            "remote_spans": result.remote_spans,
             "collect_duration_s": result.duration_s,
             "record_dir": record_dir,
             "trace_path": out_path,
@@ -1031,6 +1083,12 @@ def run_serve_command(
         f"collect={result.duration_s:.3f}s",
         file=stream,
     )
+    if result.telemetry_clients:
+        print(
+            f"telemetry: {result.telemetry_clients} client(s) uplinked "
+            f"{result.remote_spans} span(s)",
+            file=stream,
+        )
     if result.degraded or result.backoff_s > 0:
         print(
             f"recovery: degraded={result.degraded} backoff_s={result.backoff_s}",
@@ -1062,7 +1120,7 @@ def _resolve_port(
             pass
         if time.monotonic() >= deadline:
             raise ConfigurationError(
-                f"no port appeared in {port_file} within {timeout_s:.0f}s "
+                f"no port appeared in {port_file} within {timeout_s:g}s "
                 "(is the server running with --port-file?)"
             )
         time.sleep(0.05)
@@ -1075,6 +1133,7 @@ def run_fleet_command(
     port_file: str | None = None,
     seed: int = 0,
     emulation: str | None = None,
+    rendezvous_timeout_s: float = 10.0,
     as_json: bool = False,
     stream=None,
     error_stream=None,
@@ -1083,13 +1142,15 @@ def run_fleet_command(
 
     Client values come from :func:`repro.federated.fleet_values` (clipped
     ``Normal(600, 100)`` under ``seed``), so any twin that knows the seed can
-    recompute exactly what the fleet reported on.  Exits 1 if the server
-    aborted the round or never announced a result.
+    recompute exactly what the fleet reported on.  A port file that never
+    appears within ``rendezvous_timeout_s`` is one line on stderr and exit
+    code 2 (the fleet never hangs on a server that failed to start).  Exits
+    1 if the server aborted the round or never announced a result.
     """
     stream = stream if stream is not None else sys.stdout
     error_stream = error_stream if error_stream is not None else sys.stderr
     try:
-        resolved = _resolve_port(port, port_file)
+        resolved = _resolve_port(port, port_file, timeout_s=rendezvous_timeout_s)
     except ConfigurationError as exc:
         print(f"error: {exc}", file=error_stream)
         return 2
@@ -1189,6 +1250,7 @@ def _dispatch(argv: list[str] | None) -> int:
             port_file=args.port_file,
             record_dir=args.record,
             out_path=args.out,
+            sim_clock=args.sim_clock,
             as_json=args.json,
         )
 
@@ -1200,11 +1262,14 @@ def _dispatch(argv: list[str] | None) -> int:
             port_file=args.port_file,
             seed=args.seed,
             emulation=args.emulation,
+            rendezvous_timeout_s=args.rendezvous_timeout,
             as_json=args.json,
         )
 
     if args.command == "report":
-        return run_report_command(args.run_dir, as_json=args.json)
+        return run_report_command(
+            args.run_dir, as_json=args.json, chrome_trace=args.chrome_trace
+        )
 
     if args.command == "runs":
         return run_runs_command(args)

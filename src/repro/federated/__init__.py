@@ -20,6 +20,7 @@ from repro.federated.serve import (
     ServeConfig,
     ServeResult,
     in_process_estimate,
+    round_trace_id,
     run_loopback,
 )
 from repro.federated.multivalue import (
@@ -37,12 +38,18 @@ from repro.federated.server import FederatedMeanQuery, RoundOutcome
 from repro.federated.streaming import StreamingAggregator
 from repro.federated.wire import (
     REPORT_SIZE,
+    ClientTelemetry,
     ReportBatch,
+    TraceContext,
+    decode_announce,
     decode_batch,
     decode_batch_array,
     decode_report,
+    decode_telemetry,
+    encode_announce,
     encode_batch,
     encode_report,
+    encode_telemetry,
     payload_efficiency,
 )
 
@@ -55,6 +62,7 @@ __all__ = [
     "ClientBatch",
     "ClientDevice",
     "ClientFleet",
+    "ClientTelemetry",
     "CohortSelector",
     "EmulationProfile",
     "FleetResult",
@@ -78,17 +86,23 @@ __all__ = [
     "ServeResult",
     "StreamingAggregator",
     "TotalBlackout",
+    "TraceContext",
     "attribute_equals",
+    "decode_announce",
     "decode_batch",
     "decode_batch_array",
     "decode_report",
+    "decode_telemetry",
     "elicit_single_value",
+    "encode_announce",
     "encode_batch",
     "encode_report",
+    "encode_telemetry",
     "fleet_values",
     "ground_truth_mean",
     "in_process_estimate",
     "payload_efficiency",
+    "round_trace_id",
     "run_loopback",
     "secure_sum",
 ]

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -37,11 +38,17 @@ from repro.federated.wire import (
     MSG_HELLO,
     MSG_REPORTS,
     MSG_RESULT,
+    MSG_TELEMETRY,
+    decode_announce,
     decode_message_header,
     encode_batch,
     encode_message,
+    encode_telemetry,
 )
 from repro.observability import get_tracer
+from repro.observability.exporters import InMemoryExporter
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import NULL_TRACER, Tracer
 from repro.privacy.randomized_response import RandomizedResponse
 
 __all__ = [
@@ -180,6 +187,7 @@ class FleetResult:
     uplinks_dropped: int
     results: dict[int, float] = field(default_factory=dict)
     aborted: bool = False
+    telemetry_sent: int = 0
 
     @property
     def estimate(self) -> float | None:
@@ -208,6 +216,17 @@ class ClientFleet:
         emulation -- the hook adversarial and fuzzing tests use.
     read_timeout_s:
         Per-message read timeout guarding tests against a hung server.
+    telemetry:
+        When ``True`` (the default) each client records ``fleet.round`` /
+        ``fleet.encode`` / ``fleet.uplink`` spans into a private tracer and,
+        if the server's ANNOUNCE carried trace context, ships them (plus a
+        per-client metrics snapshot) back in one TELEMETRY message after
+        RESULT/ABORT.  Disable to emulate a pre-tracing fleet.
+    clock_factory:
+        Optional zero-argument callable returning a clock for each client's
+        private tracer (both span and wall clock).  Pass
+        ``lambda: SimClock(...)`` to make client-side telemetry timestamps
+        deterministic; the default is real time.
     """
 
     def __init__(
@@ -218,6 +237,8 @@ class ClientFleet:
         client_ids: Sequence[int] | None = None,
         mutate: FrameMutator | None = None,
         read_timeout_s: float = 60.0,
+        telemetry: bool = True,
+        clock_factory: Callable[[], Any] | None = None,
     ) -> None:
         self.values = np.asarray(values, dtype=np.float64)
         if self.values.ndim != 1 or self.values.size == 0:
@@ -234,6 +255,8 @@ class ClientFleet:
         self.profile = profile
         self.mutate = mutate
         self.read_timeout_s = float(read_timeout_s)
+        self.telemetry = bool(telemetry)
+        self.clock_factory = clock_factory
 
     def spawn_generators(self) -> list[np.random.Generator]:
         """One independent child generator per client (replayable by the twin)."""
@@ -255,20 +278,22 @@ class ClientFleet:
                 )
             )
         results: dict[int, float] = {}
-        sent = dropped = 0
+        sent = dropped = telemetry_sent = 0
         aborted = False
-        for cid, client_sent, client_dropped, estimate, client_aborted in outcomes:
+        for cid, client_sent, client_dropped, estimate, client_aborted, shipped in outcomes:
             sent += client_sent
             dropped += client_dropped
             if estimate is not None:
                 results[cid] = estimate
             aborted = aborted or client_aborted
+            telemetry_sent += int(shipped)
         return FleetResult(
             n_clients=len(self.client_ids),
             uplinks_sent=sent,
             uplinks_dropped=dropped,
             results=results,
             aborted=aborted,
+            telemetry_sent=telemetry_sent,
         )
 
     async def _run_client(
@@ -278,15 +303,35 @@ class ClientFleet:
         client_id: int,
         value: float,
         gen: np.random.Generator,
-    ) -> tuple[int, int, int, float | None, bool]:
+    ) -> tuple[int, int, int, float | None, bool, bool]:
         """One device's life: HELLO, then answer announcements until done."""
         sent = dropped = 0
         estimate: float | None = None
         aborted = False
+        telemetry_shipped = False
+        # Telemetry lives on a *private* per-client tracer, never the
+        # process-wide one: a device's spans leave the device only through
+        # the TELEMETRY message, exactly as they would across real machines.
+        exporter: InMemoryExporter | None = None
+        registry: MetricsRegistry | None = None
+        if self.telemetry:
+            exporter = InMemoryExporter()
+            clock = self.clock_factory() if self.clock_factory is not None else None
+            tracer: Any = Tracer([exporter], clock=clock, wall_clock=clock)
+        else:
+            tracer = NULL_TRACER
+        if self.telemetry:
+            registry = MetricsRegistry()
+        saw_trace = False
+        last_seq = 0
         reader, writer = await asyncio.open_connection(host, port)
         try:
+            clock_s = tracer.wall_time() if self.telemetry else time.time()
             writer.write(
-                encode_message(MSG_HELLO, json.dumps({"client_id": client_id}).encode())
+                encode_message(
+                    MSG_HELLO,
+                    json.dumps({"client_id": client_id, "clock_s": clock_s}).encode(),
+                )
             )
             await writer.drain()
             while True:
@@ -301,6 +346,7 @@ class ClientFleet:
                     ProtocolError,
                 ):
                     break
+                last_seq = seq
                 if kind == MSG_RESULT:
                     estimate = float(json.loads(payload)["estimate"])
                     break
@@ -309,47 +355,102 @@ class ClientFleet:
                     break
                 if kind != MSG_ANNOUNCE:
                     continue
-                announce = json.loads(payload)
-                encoder = FixedPointEncoder(
-                    n_bits=int(announce["n_bits"]),
-                    scale=float(announce["scale"]),
-                    offset=float(announce["offset"]),
-                )
-                bit_index = int(announce["bit_index"])
-                epsilon = announce.get("epsilon")
-                encoded = encoder.encode(np.asarray([value]))
-                bit = int((encoded[0] >> np.uint64(bit_index)) & np.uint64(1))
-                randomized = epsilon is not None
-                if randomized:
-                    bit = int(
-                        RandomizedResponse(epsilon=float(epsilon)).perturb_bits(
-                            np.asarray([bit], dtype=np.uint8), gen
-                        )[0]
+                try:
+                    announce, context = decode_announce(payload)
+                except ProtocolError:
+                    break
+                if context is not None:
+                    saw_trace = True
+                round_attrs: dict[str, Any] = {
+                    "client": client_id,
+                    "attempt": seq,
+                    "bit_index": int(announce["bit_index"]),
+                }
+                if context is not None:
+                    round_attrs["trace_id"] = context.trace_id
+                with tracer.span("fleet.round", round_attrs) as round_span:
+                    with tracer.span(
+                        "fleet.encode",
+                        {"n_bits": int(announce["n_bits"]), "client": client_id},
+                    ):
+                        encoder = FixedPointEncoder(
+                            n_bits=int(announce["n_bits"]),
+                            scale=float(announce["scale"]),
+                            offset=float(announce["offset"]),
+                        )
+                        bit_index = int(announce["bit_index"])
+                        epsilon = announce.get("epsilon")
+                        encoded = encoder.encode(np.asarray([value]))
+                        bit = int((encoded[0] >> np.uint64(bit_index)) & np.uint64(1))
+                        randomized = epsilon is not None
+                        if randomized:
+                            bit = int(
+                                RandomizedResponse(epsilon=float(epsilon)).perturb_bits(
+                                    np.asarray([bit], dtype=np.uint8), gen
+                                )[0]
+                            )
+                        frame = encode_batch(
+                            [
+                                BitReport(
+                                    client_id=client_id, bit_index=bit_index, bit=bit
+                                )
+                            ],
+                            randomized_response=randomized,
+                        )
+                    if self.mutate is not None:
+                        mutated = self.mutate(client_id, seq, frame)
+                        if mutated is None:
+                            dropped += 1
+                            round_span.set_attribute("dropped", True)
+                            if registry is not None:
+                                registry.counter("fleet_uplinks_dropped_total").inc()
+                            continue
+                        frame = mutated
+                    if self.profile is not None:
+                        delivered, latency_s = self.profile.draw(gen)
+                        if self.profile.time_scale > 0:
+                            await asyncio.sleep(latency_s * self.profile.time_scale)
+                        if not delivered:
+                            dropped += 1
+                            round_span.set_attribute("dropped", True)
+                            if registry is not None:
+                                registry.counter("fleet_uplinks_dropped_total").inc()
+                            continue
+                    with tracer.span(
+                        "fleet.uplink",
+                        {"client": client_id, "attempt": seq, "bytes": len(frame)},
+                    ):
+                        writer.write(encode_message(MSG_REPORTS, frame, seq=seq))
+                        await writer.drain()
+                    sent += 1
+                    if registry is not None:
+                        registry.counter("fleet_uplinks_sent_total").inc()
+            # Telemetry is best-effort and strictly after the round outcome:
+            # it must never delay an uplink or keep a dead round's socket open.
+            if (
+                self.telemetry
+                and saw_trace
+                and exporter is not None
+                and (estimate is not None or aborted)
+            ):
+                try:
+                    spans = [record.to_dict() for record in exporter.records]
+                    snapshot = registry.snapshot() if registry is not None else {}
+                    writer.write(
+                        encode_message(
+                            MSG_TELEMETRY,
+                            encode_telemetry(client_id, spans, snapshot),
+                            seq=last_seq,
+                        )
                     )
-                frame = encode_batch(
-                    [BitReport(client_id=client_id, bit_index=bit_index, bit=bit)],
-                    randomized_response=randomized,
-                )
-                if self.mutate is not None:
-                    mutated = self.mutate(client_id, seq, frame)
-                    if mutated is None:
-                        dropped += 1
-                        continue
-                    frame = mutated
-                if self.profile is not None:
-                    delivered, latency_s = self.profile.draw(gen)
-                    if self.profile.time_scale > 0:
-                        await asyncio.sleep(latency_s * self.profile.time_scale)
-                    if not delivered:
-                        dropped += 1
-                        continue
-                writer.write(encode_message(MSG_REPORTS, frame, seq=seq))
-                await writer.drain()
-                sent += 1
+                    await writer.drain()
+                    telemetry_shipped = True
+                except (ConnectionError, OSError, ProtocolError):
+                    pass
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover - teardown race
                 pass
-        return client_id, sent, dropped, estimate, aborted
+        return client_id, sent, dropped, estimate, aborted, telemetry_shipped

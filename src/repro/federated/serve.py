@@ -8,17 +8,27 @@ quorum/degradation with retry -- executed against a TCP client fleet speaking
 
 Protocol, per connection::
 
-    client  -> HELLO    {"client_id": i}
+    client  -> HELLO    {"client_id": i, "clock_s": t}
     server  -> ANNOUNCE {"attempt", "bit_index", "n_bits", "scale", "offset",
-                         "epsilon", "deadline_s"}          (seq = attempt)
+                         "epsilon", "deadline_s", "trace"}  (seq = attempt)
     client  -> REPORTS  <one 16-byte report frame>          (seq = attempt)
     server  -> RESULT   {"estimate", "attempt", "survivors"}  | ABORT
+    client  -> TELEMETRY {"v", "client_id", "spans", "metrics"}   (best effort)
 
 Every malformed or late uplink is rejected *at the uplink* with
 :class:`~repro.exceptions.ProtocolError` accounting (``wire_rejects_total``,
-``uplink.reject``/``uplink.late`` spans) and never folded into the per-bit
-counters.  Accepted frames are decoded in bulk through the vectorized
+``uplink.reject``/``uplink.late`` spans, each carrying the peer address and
+session id) and never folded into the per-bit counters.  Accepted frames are
+decoded in bulk through the vectorized
 :func:`~repro.federated.wire.decode_batch_array` machinery.
+
+Distributed tracing: each ANNOUNCE carries the round's trace context (a
+seed-derived ``trace_id`` plus the attempt's ``serve.round`` span id), the
+fleet records ``fleet.*`` child spans against it, and after RESULT/ABORT each
+client ships them back in one TELEMETRY message.  The server remaps the span
+ids, aligns client clocks using the HELLO handshake offset, stamps the spans
+``remote``, and exports them through its own tracer -- one merged, causally
+linked timeline per round, strictly off the uplink hot path.
 
 Determinism: the server consumes its seeded generator exactly as the
 in-process basic-mode round does -- one :func:`central_assignment` draw per
@@ -30,9 +40,11 @@ values, and :func:`in_process_estimate` replays lossy/LDP rounds exactly.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
+import time
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
@@ -50,13 +62,18 @@ from repro.federated.wire import (
     MSG_HELLO,
     MSG_REPORTS,
     MSG_RESULT,
+    MSG_TELEMETRY,
     REPORT_SIZE,
+    TraceContext,
     _frame_fields,
     _frame_validity,
     decode_report,
+    decode_telemetry,
+    encode_announce,
     encode_message,
 )
 from repro.observability import get_metrics, get_tracer
+from repro.observability.tracing import SpanRecord
 from repro.privacy.randomized_response import RandomizedResponse
 from repro.rng import ensure_rng
 
@@ -65,8 +82,20 @@ __all__ = [
     "ServeConfig",
     "ServeResult",
     "in_process_estimate",
+    "round_trace_id",
     "run_loopback",
 ]
+
+
+def round_trace_id(seed: int) -> str:
+    """The round's deterministic trace id: a pure function of the seed.
+
+    Sixteen hex characters derived from the server seed, so a re-run of the
+    same configuration produces the same merged-trace identity (and sim-clock
+    artifacts stay reproducible).  Every span on both sides of the wire for
+    one served round shares this id.
+    """
+    return hashlib.sha256(f"bitpush-round-{int(seed)}".encode()).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -97,6 +126,14 @@ class ServeConfig:
         simulated time (recorded, never slept).
     host, port:
         Bind address; port ``0`` picks an ephemeral port.
+    telemetry:
+        Ship trace context in every ANNOUNCE and ingest the fleet's
+        TELEMETRY messages after RESULT/ABORT (default on).  Telemetry is
+        strictly off the uplink hot path: disabling it only removes the
+        post-round ingestion drain and the context fields.
+    telemetry_timeout_s:
+        How long to wait for the fleet's telemetry after broadcasting the
+        round outcome before sealing the artifact without it.
     """
 
     n_clients: int
@@ -112,6 +149,8 @@ class ServeConfig:
     retry: RetryPolicy | None = None
     host: str = "127.0.0.1"
     port: int = 0
+    telemetry: bool = True
+    telemetry_timeout_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.n_clients < 1:
@@ -130,6 +169,10 @@ class ServeConfig:
             )
         if self.epsilon is not None and self.epsilon <= 0:
             raise ConfigurationError(f"epsilon must be positive, got {self.epsilon}")
+        if self.telemetry_timeout_s <= 0:
+            raise ConfigurationError(
+                f"telemetry_timeout_s must be positive, got {self.telemetry_timeout_s}"
+            )
         self.encoder  # noqa: B018 -- validates n_bits/scale/offset eagerly
 
     @property
@@ -158,6 +201,8 @@ class ServeConfig:
             "max_attempts": self.retry.max_attempts if self.retry else 1,
             "host": self.host,
             "port": self.port,
+            "telemetry": self.telemetry,
+            "trace_id": round_trace_id(self.seed) if self.telemetry else None,
         }
 
 
@@ -176,12 +221,18 @@ class ServeResult:
     late_reports: int
     duration_s: float
     port: int
+    telemetry_clients: int = 0
+    remote_spans: int = 0
 
     @property
     def dropout_rate(self) -> float:
         if self.planned_clients == 0:
             return 0.0
         return 1.0 - self.surviving_clients / self.planned_clients
+
+
+def _zero_clock() -> float:
+    return 0.0
 
 
 class RoundServer:
@@ -200,12 +251,34 @@ class RoundServer:
     def __init__(self, config: ServeConfig) -> None:
         self.config = config
         self.port: int | None = None
+        self.trace_id = round_trace_id(config.seed)
         self._server: asyncio.AbstractServer | None = None
         self._writers: dict[int, asyncio.StreamWriter] = {}
-        self._uplinks: asyncio.Queue[tuple[int, int, bytes]] = asyncio.Queue()
+        self._uplinks: asyncio.Queue[tuple[int, int, bytes, float]] = asyncio.Queue()
+        self._telemetry_queue: asyncio.Queue[tuple[int, bytes]] = asyncio.Queue()
         self._all_registered = asyncio.Event()
         self._rejects = 0
         self._late = 0
+        self._telemetry_rejects = 0
+        self._telemetry_clients = 0
+        self._remote_spans = 0
+        #: client id -> (session id, "host:port" peer) for reject attribution.
+        self._sessions: dict[int, tuple[int, str]] = {}
+        self._session_counter = 0
+        #: clients whose connection handler is still alive (telemetry drain
+        #: stops early once every surviving client has hung up).
+        self._live: set[int] = set()
+        #: client id -> server_wall_at_HELLO - client_clock_in_HELLO; added
+        #: to every remote span start so fleet timelines align with ours.
+        self._clock_offsets: dict[int, float] = {}
+        #: attempt -> that attempt's ``serve.round`` span id (remote
+        #: ``fleet.round`` roots re-parent here on ingestion).
+        self._attempt_spans: dict[int, int] = {}
+        self._session_span_id: int | None = None
+        # Wall clock stamped on each queued uplink; a bound tracer clock when
+        # tracing is live, else a constant -- the hot path never pays a
+        # syscall for timing nobody will read.
+        self._arrival_clock: Any = _zero_clock
 
     # ------------------------------------------------------------------
     async def start(self) -> int:
@@ -237,28 +310,57 @@ class RoundServer:
             self._server = None
 
     # ------------------------------------------------------------------
-    def _reject(self, client: int | None, reason: str, attempt: int, detail: str = "") -> None:
+    def _wall_now(self) -> float:
+        """One wall-clock reading consistent with recorded span timestamps."""
+        tracer = get_tracer()
+        return tracer.wall_time() if tracer.enabled else time.time()
+
+    def _attribution(self, client: int | None) -> dict[str, Any]:
+        """Peer address + session id attributes for a registered client."""
+        if client is None:
+            return {}
+        session = self._sessions.get(client)
+        if session is None:
+            return {}
+        return {"session": session[0], "peer": session[1]}
+
+    def _reject(
+        self,
+        client: int | None,
+        reason: str,
+        attempt: int,
+        detail: str = "",
+        peer: str | None = None,
+        session: int | None = None,
+    ) -> None:
         """Account one rejected uplink: counter + an ``uplink.reject`` span.
 
         Rejected frames never touch the per-bit counters -- the accounting
-        here is the only trace they leave.
+        here is the only trace they leave, so the span carries the peer
+        address and session id that make the reject attributable in merged
+        traces even when the claimed client id is spoofed or absent.
         """
         self._rejects += 1
         get_metrics().counter("wire_rejects_total").inc()
-        attributes = {"reason": reason, "attempt": attempt}
+        attributes: dict[str, Any] = {"reason": reason, "attempt": attempt}
         if client is not None:
             attributes["client"] = client
         if detail:
             attributes["detail"] = detail
+        attributes.update(self._attribution(client))
+        if peer is not None:
+            attributes["peer"] = peer
+        if session is not None:
+            attributes["session"] = session
         with get_tracer().span("uplink.reject", attributes):
             pass
 
     def _late_report(self, client: int, seq: int, attempt: int) -> None:
         self._late += 1
         get_metrics().counter("serve_late_reports_total").inc()
-        with get_tracer().span(
-            "uplink.late", {"client": client, "seq": seq, "attempt": attempt}
-        ):
+        attributes: dict[str, Any] = {"client": client, "seq": seq, "attempt": attempt}
+        attributes.update(self._attribution(client))
+        with get_tracer().span("uplink.late", attributes):
             pass
 
     async def _handle_connection(
@@ -266,6 +368,14 @@ class RoundServer:
     ) -> None:
         """Register one client, then pump its uplinks into the queue."""
         get_metrics().counter("serve_connections_total").inc()
+        self._session_counter += 1
+        session = self._session_counter
+        peername = writer.get_extra_info("peername")
+        peer = (
+            f"{peername[0]}:{peername[1]}"
+            if isinstance(peername, (tuple, list)) and len(peername) >= 2
+            else str(peername)
+        )
         client_id: int | None = None
         try:
             try:
@@ -275,18 +385,29 @@ class RoundServer:
                 hello = json.loads(payload)
                 client_id = int(hello["client_id"])
             except ProtocolError as exc:
-                self._reject(None, "hello", 0, str(exc))
+                self._reject(None, "hello", 0, str(exc), peer=peer, session=session)
                 return
             except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
-                self._reject(None, "hello", 0, str(exc))
+                self._reject(None, "hello", 0, str(exc), peer=peer, session=session)
                 return
             if not 0 <= client_id < self.config.n_clients:
-                self._reject(client_id, "hello-id-range", 0)
+                self._reject(client_id, "hello-id-range", 0, peer=peer, session=session)
                 return
             if client_id in self._writers:
-                self._reject(client_id, "hello-duplicate", 0)
+                self._reject(client_id, "hello-duplicate", 0, peer=peer, session=session)
                 return
             self._writers[client_id] = writer
+            self._sessions[client_id] = (session, peer)
+            self._live.add(client_id)
+            # Clock-skew anchor: the HELLO carries the client's wall clock;
+            # paired with our receive time it aligns every remote span this
+            # client later uplinks.  Only read the clock when someone will
+            # consume the offset (a live tracer).
+            tracer = get_tracer()
+            if tracer.enabled:
+                clock_s = hello.get("clock_s") if isinstance(hello, dict) else None
+                if isinstance(clock_s, (int, float)) and not isinstance(clock_s, bool):
+                    self._clock_offsets[client_id] = tracer.wall_time() - float(clock_s)
             if len(self._writers) == self.config.n_clients:
                 self._all_registered.set()
             while True:
@@ -297,18 +418,25 @@ class RoundServer:
                     # account it and drop the connection.
                     self._reject(client_id, "message", 0, str(exc))
                     return
+                if kind == MSG_TELEMETRY:
+                    await self._telemetry_queue.put((client_id, payload))
+                    continue
                 if kind != MSG_REPORTS:
                     self._reject(client_id, "unexpected-kind", seq, f"kind {kind}")
                     continue
-                await self._uplinks.put((client_id, seq, payload))
+                await self._uplinks.put((client_id, seq, payload, self._arrival_clock()))
         except (asyncio.IncompleteReadError, ConnectionError):
             return
         finally:
+            if client_id is not None:
+                self._live.discard(client_id)
             if client_id is None or self._writers.get(client_id) is not writer:
                 writer.close()
 
     # ------------------------------------------------------------------
-    async def _broadcast_announce(self, assignment: np.ndarray, attempt: int) -> None:
+    async def _broadcast_announce(
+        self, assignment: np.ndarray, attempt: int, parent_span_id: int = 0
+    ) -> None:
         """Send each registered client its bit assignment for this attempt."""
         cfg = self.config
         base = {
@@ -319,11 +447,18 @@ class RoundServer:
             "epsilon": cfg.epsilon,
             "deadline_s": cfg.deadline_s,
         }
+        context = None
+        if cfg.telemetry:
+            context = TraceContext(
+                trace_id=self.trace_id,
+                parent_span_id=parent_span_id,
+                clock_s=self._wall_now(),
+            )
         for client_id, writer in self._writers.items():
             payload = dict(base, bit_index=int(assignment[client_id]))
             try:
                 writer.write(
-                    encode_message(MSG_ANNOUNCE, json.dumps(payload).encode(), seq=attempt)
+                    encode_message(MSG_ANNOUNCE, encode_announce(payload, context), seq=attempt)
                 )
                 await writer.drain()
             except (ConnectionError, OSError):  # client vanished mid-round
@@ -341,10 +476,11 @@ class RoundServer:
     # ------------------------------------------------------------------
     def _process_uplinks(
         self,
-        batch: Sequence[tuple[int, int, bytes]],
+        batch: Sequence[tuple[int, int, bytes, float]],
         attempt: int,
         assignment: np.ndarray,
         accepted: dict[int, tuple[int, int]],
+        accept_log: list[tuple[int, float, float]],
     ) -> None:
         """Validate one drained batch of uplinks; fold survivors into ``accepted``.
 
@@ -353,9 +489,14 @@ class RoundServer:
         (the :func:`~repro.federated.wire.decode_batch_array` kernels), and
         only invalid frames pay a scalar :func:`decode_report` call to
         recover the exact :class:`ProtocolError` message for the reject span.
+
+        ``accept_log`` collects ``(client, arrival_wall_s, drained_wall_s)``
+        per accepted uplink when tracing is live -- plain appends here, one
+        wall read per *batch*; the timing spans are emitted once per attempt,
+        never per uplink.
         """
-        current: list[tuple[int, bytes]] = []
-        for client_id, seq, payload in batch:
+        current: list[tuple[int, bytes, float]] = []
+        for client_id, seq, payload, arrival_s in batch:
             if seq != attempt:
                 self._late_report(client_id, seq, attempt)
                 continue
@@ -367,17 +508,17 @@ class RoundServer:
                     f"uplink of {len(payload)} bytes is not one {REPORT_SIZE}-byte frame",
                 )
                 continue
-            current.append((client_id, payload))
+            current.append((client_id, payload, arrival_s))
         if not current:
             return
-        with get_tracer().span(
-            "uplink.drain", {"uplinks": len(current), "attempt": attempt}
-        ):
-            data = b"".join(frame for _owner, frame in current)
+        tracer = get_tracer()
+        drained_s = tracer.wall_time() if tracer.enabled else 0.0
+        with tracer.span("uplink.drain", {"uplinks": len(current), "attempt": attempt}):
+            data = b"".join(frame for _owner, frame, _t in current)
             fields = _frame_fields(data)
             valid = _frame_validity(fields)
             rr_expected = self.config.epsilon is not None
-            for i, (owner, frame) in enumerate(current):
+            for i, (owner, frame, arrival_s) in enumerate(current):
                 if not valid[i]:
                     try:
                         decode_report(frame)
@@ -416,13 +557,16 @@ class RoundServer:
                     self._reject(owner, "duplicate", attempt)
                     continue
                 accepted[owner] = (bit_index, int(fields["bit"][i]))
+                if tracer.enabled:
+                    accept_log.append((owner, arrival_s, drained_s))
 
     async def _collect(
         self, attempt: int, assignment: np.ndarray
-    ) -> tuple[dict[int, tuple[int, int]], float]:
+    ) -> tuple[dict[int, tuple[int, int]], float, list[tuple[int, float, float]]]:
         """Collect uplinks until every registered client reported or the deadline."""
         loop = asyncio.get_running_loop()
         accepted: dict[int, tuple[int, int]] = {}
+        accept_log: list[tuple[int, float, float]] = []
         expected = len(self._writers)
         start = loop.time()
         deadline = None if self.config.deadline_s is None else start + self.config.deadline_s
@@ -441,7 +585,7 @@ class RoundServer:
                 batch = [first]
                 while not self._uplinks.empty():
                     batch.append(self._uplinks.get_nowait())
-                self._process_uplinks(batch, attempt, assignment, accepted)
+                self._process_uplinks(batch, attempt, assignment, accepted, accept_log)
             duration = loop.time() - start
             span.set_attribute("accepted", len(accepted))
             span.set_attribute("duration_s", duration)
@@ -451,7 +595,160 @@ class RoundServer:
             metrics.histogram("serve_collect_duration_s").observe(duration)
             if duration > 0:
                 metrics.gauge("serve_reports_per_s").set(len(accepted) / duration)
-        return accepted, duration
+        return accepted, duration, accept_log
+
+    # ------------------------------------------------------------------
+    def _record_uplink_timings(
+        self,
+        attempt: int,
+        announce_wall: float,
+        accept_log: list[tuple[int, float, float]],
+        round_span: Any,
+    ) -> None:
+        """One ``serve.uplink_timings`` span per attempt + straggler stats.
+
+        The per-uplink arrival and queue-delay samples ride as index-aligned
+        arrays on a single span (never a span per uplink), and the attempt's
+        ``serve.round`` span gains the median / slowest-decile uplink latency
+        attributes the ``straggler-skew`` health rule and the report's
+        wire-latency section read.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled or not accept_log:
+            return
+        clients = [owner for owner, _a, _d in accept_log]
+        arrival_s = [arrival for _o, arrival, _d in accept_log]
+        queue_delay_s = [drained - arrival for _o, arrival, drained in accept_log]
+        with tracer.span(
+            "serve.uplink_timings",
+            {
+                "attempt": attempt,
+                "announce_s": announce_wall,
+                "clients": clients,
+                "arrival_s": arrival_s,
+                "queue_delay_s": queue_delay_s,
+            },
+        ):
+            pass
+        latencies = np.asarray(arrival_s, dtype=np.float64) - announce_wall
+        latencies.sort()
+        slowest = latencies[-max(1, latencies.size // 10):]
+        round_span.set_attribute("uplink_median_s", float(np.median(latencies)))
+        round_span.set_attribute("uplink_slow_decile_s", float(slowest.mean()))
+
+    # ------------------------------------------------------------------
+    async def _drain_telemetry(self, attempt: int) -> None:
+        """Ingest the fleet's TELEMETRY messages after the round outcome.
+
+        Strictly off the uplink hot path: runs once, after RESULT/ABORT has
+        been broadcast.  Waits up to ``telemetry_timeout_s`` for one message
+        per registered client, but gives up early once every surviving
+        connection has hung up -- an old (pre-tracing) fleet costs one poll
+        interval, not the full timeout.
+        """
+        cfg = self.config
+        if not cfg.telemetry:
+            return
+        expected = len(self._writers)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + cfg.telemetry_timeout_s
+        with get_tracer().span(
+            "serve.telemetry", {"attempt": attempt, "expected": expected}
+        ) as span:
+            received = 0
+            while received < expected:
+                try:
+                    client_id, payload = self._telemetry_queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    if loop.time() >= deadline:
+                        break
+                    if not self._live:
+                        break  # every client hung up; nothing more is coming
+                    try:
+                        client_id, payload = await asyncio.wait_for(
+                            self._telemetry_queue.get(), 0.05
+                        )
+                    except asyncio.TimeoutError:
+                        continue
+                received += 1
+                self._ingest_telemetry(client_id, payload)
+            span.set_attribute("received", received)
+            span.set_attribute("ingested_clients", self._telemetry_clients)
+            span.set_attribute("remote_spans", self._remote_spans)
+            span.set_attribute("rejects", self._telemetry_rejects)
+
+    def _reject_telemetry(self, client_id: int, detail: str) -> None:
+        self._telemetry_rejects += 1
+        get_metrics().counter("telemetry_rejects_total").inc()
+        attributes: dict[str, Any] = {"client": client_id, "detail": detail}
+        attributes.update(self._attribution(client_id))
+        with get_tracer().span("telemetry.reject", attributes):
+            pass
+
+    def _ingest_telemetry(self, client_id: int, payload: bytes) -> None:
+        """Fold one client's telemetry into the tracer and metrics registry.
+
+        Remote spans are remapped into the server tracer's id space, clock-
+        aligned with the client's HELLO-derived offset, re-parented under the
+        attempt's ``serve.round`` span (roots) and stamped ``remote`` -- then
+        exported through the normal fan-out, so the flight recorder captures
+        the whole fleet.  Any defect rejects the payload without touching
+        the round.
+        """
+        try:
+            telemetry = decode_telemetry(payload)
+        except ProtocolError as exc:
+            self._reject_telemetry(client_id, str(exc))
+            return
+        if telemetry.client_id != client_id:
+            self._reject_telemetry(
+                client_id,
+                f"telemetry claims client {telemetry.client_id}, sent by {client_id}",
+            )
+            return
+        metrics = get_metrics()
+        if telemetry.metrics and metrics.enabled:
+            try:
+                metrics.merge_snapshot(telemetry.metrics)
+            except (AttributeError, KeyError, TypeError, ValueError) as exc:
+                self._reject_telemetry(client_id, f"unmergeable metrics: {exc}")
+                return
+        tracer = get_tracer()
+        if tracer.enabled and telemetry.spans:
+            offset = self._clock_offsets.get(client_id, 0.0)
+            id_map = {
+                span["span_id"]: tracer.next_span_id() for span in telemetry.spans
+            }
+            attribution = self._attribution(client_id)
+            for span in telemetry.spans:
+                local_parent = span.get("parent_id")
+                if local_parent is None:
+                    attempt = span.get("attributes", {}).get("attempt")
+                    parent = self._attempt_spans.get(attempt, self._session_span_id)
+                else:
+                    parent = id_map.get(local_parent, self._session_span_id)
+                attributes = dict(span.get("attributes", {}))
+                attributes.update(attribution)
+                attributes.update(
+                    {"remote": True, "client": client_id, "trace_id": self.trace_id}
+                )
+                tracer.ingest(
+                    SpanRecord(
+                        name=str(span["name"]),
+                        span_id=id_map[span["span_id"]],
+                        parent_id=parent,
+                        start_time_s=float(span["start_time_s"]) + offset,
+                        duration_s=float(span["duration_s"]),
+                        status=str(span.get("status", "ok")),
+                        attributes=attributes,
+                    )
+                )
+            self._remote_spans += len(telemetry.spans)
+            if metrics.enabled:
+                metrics.counter("serve_telemetry_spans_total").inc(len(telemetry.spans))
+        self._telemetry_clients += 1
+        if metrics.enabled:
+            metrics.counter("serve_telemetry_clients_total").inc()
 
     # ------------------------------------------------------------------
     async def serve_round(self) -> ServeResult:
@@ -461,10 +758,19 @@ class RoundServer:
         metrics = get_metrics()
         gen = ensure_rng(cfg.seed)
         n = cfg.n_clients
+        if tracer.enabled:
+            self._arrival_clock = tracer.wall_time
         with tracer.span(
             "serve.session",
-            {"n_clients": n, "n_bits": cfg.n_bits, "epsilon": cfg.epsilon, "port": self.port},
+            {
+                "n_clients": n,
+                "n_bits": cfg.n_bits,
+                "epsilon": cfg.epsilon,
+                "port": self.port,
+                "trace_id": self.trace_id,
+            },
         ) as session_span:
+            self._session_span_id = getattr(session_span, "span_id", None)
             with tracer.span(
                 "serve.registration",
                 {"expected": n, "timeout_s": cfg.registration_timeout_s},
@@ -494,6 +800,9 @@ class RoundServer:
                             {"reason": str(exc), "attempt": attempt},
                             attempt,
                         )
+                        # Best-effort: an aborted round's artifact still
+                        # deserves the fleet's side of the story.
+                        await self._drain_telemetry(attempt)
                         raise
                     backoff = cfg.retry.backoff_s(attempt)
                     backoff_total += backoff
@@ -530,9 +839,12 @@ class RoundServer:
                 },
                 attempt,
             )
+            await self._drain_telemetry(attempt)
             session_span.set_attribute("estimate", float(estimate.value))
             session_span.set_attribute("attempts", attempt)
             session_span.set_attribute("wire_rejects", self._rejects)
+            session_span.set_attribute("telemetry_clients", self._telemetry_clients)
+            session_span.set_attribute("remote_spans", self._remote_spans)
             return ServeResult(
                 estimate=estimate,
                 planned_clients=n,
@@ -545,6 +857,8 @@ class RoundServer:
                 late_reports=self._late,
                 duration_s=duration,
                 port=self.port or 0,
+                telemetry_clients=self._telemetry_clients,
+                remote_spans=self._remote_spans,
             )
 
     async def _run_attempt(
@@ -559,14 +873,21 @@ class RoundServer:
             "serve.round",
             {"round_index": 1, "planned_clients": n, "attempt": attempt},
         ) as round_span:
+            round_span_id = getattr(round_span, "span_id", None)
+            if round_span_id is not None:
+                self._attempt_spans[attempt] = round_span_id
             metrics.counter("round_attempts_total").inc()
             with tracer.span("round.assign", {"n_bits": cfg.n_bits, "n_clients": n}):
                 assignment = central_assignment(n, cfg.schedule, gen)
             with tracer.span(
                 "serve.announce", {"clients": len(self._writers), "attempt": attempt}
             ):
-                await self._broadcast_announce(assignment, attempt)
-            accepted, duration = await self._collect(attempt, assignment)
+                announce_wall = self._wall_now() if tracer.enabled else 0.0
+                await self._broadcast_announce(
+                    assignment, attempt, parent_span_id=round_span_id or 0
+                )
+            accepted, duration, accept_log = await self._collect(attempt, assignment)
+            self._record_uplink_timings(attempt, announce_wall, accept_log, round_span)
             survived = len(accepted)
             metrics.counter("round_reports_planned_total").inc(n)
             metrics.counter("round_reports_delivered_total").inc(survived)
@@ -659,6 +980,8 @@ class RoundServer:
                 "port": self.port,
                 "wire_rejects": self._rejects,
                 "late_reports": self._late,
+                "telemetry": cfg.telemetry,
+                "trace_id": self.trace_id if cfg.telemetry else None,
             },
         )
 
@@ -776,10 +1099,17 @@ async def _loopback(
     profile: EmulationProfile | None,
     fleet_seed: int,
     mutate,
+    clock_factory=None,
 ) -> tuple[ServeResult, FleetResult]:
     server = RoundServer(config)
     port = await server.start()
-    fleet = ClientFleet(values, seed=fleet_seed, profile=profile, mutate=mutate)
+    fleet = ClientFleet(
+        values,
+        seed=fleet_seed,
+        profile=profile,
+        mutate=mutate,
+        clock_factory=clock_factory,
+    )
     fleet_task = asyncio.create_task(fleet.run(config.host, port))
     try:
         serve_result = await server.serve_round()
@@ -802,11 +1132,15 @@ def run_loopback(
     profile: EmulationProfile | None = None,
     fleet_seed: int = 0,
     mutate=None,
+    clock_factory=None,
 ) -> tuple[ServeResult, FleetResult]:
     """Run server + fleet in one event loop on the loopback interface.
 
     The workhorse for tests, the demo script, and the served-throughput
     benchmarks: every report still crosses a real TCP socket and the full
-    wire protocol, but setup/teardown is a single call.
+    wire protocol, but setup/teardown is a single call.  ``clock_factory``
+    is forwarded to the fleet (deterministic client-side telemetry clocks).
     """
-    return asyncio.run(_loopback(config, values, profile, fleet_seed, mutate))
+    return asyncio.run(
+        _loopback(config, values, profile, fleet_seed, mutate, clock_factory)
+    )

@@ -18,9 +18,10 @@ for debiasing.
 
 from __future__ import annotations
 
+import json
 import struct
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Union
+from typing import Any, Iterable, Mapping, Sequence, Union
 
 import numpy as np
 
@@ -37,13 +38,22 @@ __all__ = [
     "MSG_REPORTS",
     "MSG_RESULT",
     "MSG_ABORT",
+    "MSG_TELEMETRY",
     "REPORT_SIZE",
+    "TRACE_CONTEXT_VERSION",
+    "TELEMETRY_VERSION",
+    "ClientTelemetry",
     "ReportBatch",
+    "TraceContext",
     "encode_report",
     "decode_report",
     "encode_batch",
     "decode_batch",
     "decode_batch_array",
+    "encode_announce",
+    "decode_announce",
+    "encode_telemetry",
+    "decode_telemetry",
     "encode_message",
     "decode_message_header",
     "payload_efficiency",
@@ -86,8 +96,12 @@ MSG_REPORTS = 3
 MSG_RESULT = 4
 #: Server -> client: round abandoned (quorum failure past retry budget).
 MSG_ABORT = 5
+#: Client -> server: serialized spans + metrics snapshot after RESULT/ABORT.
+MSG_TELEMETRY = 6
 
-_MESSAGE_KINDS = frozenset({MSG_HELLO, MSG_ANNOUNCE, MSG_REPORTS, MSG_RESULT, MSG_ABORT})
+_MESSAGE_KINDS = frozenset(
+    {MSG_HELLO, MSG_ANNOUNCE, MSG_REPORTS, MSG_RESULT, MSG_ABORT, MSG_TELEMETRY}
+)
 
 #: Structured view of one report frame, for vectorized batch decoding.
 _FRAME_DTYPE = np.dtype(
@@ -329,6 +343,197 @@ def decode_message_header(header: bytes) -> tuple[int, int, int]:
             f"{MAX_MESSAGE_SIZE}-byte cap"
         )
     return kind, seq, length
+
+
+# ----------------------------------------------------------------------
+# Trace-context and telemetry payloads (distributed tracing over the wire)
+# ----------------------------------------------------------------------
+
+#: Version of the ``"trace"`` sub-object carried inside ANNOUNCE payloads.
+#: Decoders ignore (treat as absent) any version they do not speak, so a
+#: newer server never breaks an older fleet and vice versa.
+TRACE_CONTEXT_VERSION = 1
+
+#: Version of the TELEMETRY payload.  Unlike trace context -- which is
+#: advisory -- telemetry of an unknown version is rejected outright with
+#: :class:`ProtocolError`: the server must never ingest spans it cannot
+#: interpret.
+TELEMETRY_VERSION = 1
+
+#: Keys every serialized span must carry, with their accepted types.
+_SPAN_FIELDS: tuple[tuple[str, tuple[type, ...]], ...] = (
+    ("name", (str,)),
+    ("span_id", (int,)),
+    ("start_time_s", (int, float)),
+    ("duration_s", (int, float)),
+)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The round's trace identity, propagated server -> client in ANNOUNCE.
+
+    ``trace_id`` names the whole round (one id per served round, shared by
+    every span on both sides of the wire); ``parent_span_id`` is the server
+    span the client's ``fleet.round`` spans are re-parented under on
+    ingestion; ``clock_s`` is the server's wall clock at announce time, the
+    second anchor (after HELLO) for clock-skew alignment.
+    """
+
+    trace_id: str
+    parent_span_id: int
+    clock_s: float
+
+    def to_wire(self) -> dict[str, Any]:
+        """The versioned ``"trace"`` sub-object shipped inside ANNOUNCE."""
+        return {
+            "v": TRACE_CONTEXT_VERSION,
+            "id": self.trace_id,
+            "span": int(self.parent_span_id),
+            "clock_s": float(self.clock_s),
+        }
+
+
+def encode_announce(
+    fields: Mapping[str, Any], context: TraceContext | None = None
+) -> bytes:
+    """Serialize one ANNOUNCE payload, optionally carrying trace context.
+
+    The context rides as a versioned ``"trace"`` sub-object next to the
+    round parameters, so pre-tracing decoders (which only read the keys
+    they know) parse new announcements unchanged -- the framing is
+    backward-compatible in both directions.
+    """
+    payload = dict(fields)
+    if context is not None:
+        payload["trace"] = context.to_wire()
+    return json.dumps(payload).encode()
+
+
+def decode_announce(payload: bytes) -> tuple[dict[str, Any], TraceContext | None]:
+    """Parse an ANNOUNCE payload into ``(fields, trace_context_or_None)``.
+
+    A missing ``"trace"`` key (an old server) or one of an unknown version
+    (a newer server) yields ``context=None`` -- the client simply runs
+    untraced.  A structurally malformed trace object in a *known* version
+    raises :class:`ProtocolError`, as does non-JSON input.
+    """
+    try:
+        fields = json.loads(payload)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"ANNOUNCE payload is not valid JSON: {exc}") from None
+    if not isinstance(fields, dict):
+        raise ProtocolError(
+            f"ANNOUNCE payload must be a JSON object, got {type(fields).__name__}"
+        )
+    trace = fields.pop("trace", None)
+    if trace is None:
+        return fields, None
+    if not isinstance(trace, dict):
+        raise ProtocolError(f"ANNOUNCE trace context must be an object, got {trace!r}")
+    if trace.get("v") != TRACE_CONTEXT_VERSION:
+        return fields, None  # an unknown future version: run untraced
+    trace_id = trace.get("id")
+    span = trace.get("span")
+    clock_s = trace.get("clock_s")
+    if not isinstance(trace_id, str) or not trace_id:
+        raise ProtocolError(f"trace context id must be a non-empty string, got {trace_id!r}")
+    if not isinstance(span, int) or isinstance(span, bool) or span < 0:
+        raise ProtocolError(f"trace context span must be a non-negative int, got {span!r}")
+    if not isinstance(clock_s, (int, float)) or isinstance(clock_s, bool):
+        raise ProtocolError(f"trace context clock_s must be a number, got {clock_s!r}")
+    return fields, TraceContext(
+        trace_id=trace_id, parent_span_id=int(span), clock_s=float(clock_s)
+    )
+
+
+@dataclass(frozen=True)
+class ClientTelemetry:
+    """One client's decoded TELEMETRY message: spans + a metrics snapshot.
+
+    ``spans`` are serialized
+    :class:`~repro.observability.tracing.SpanRecord` dicts with *client-local*
+    span ids; the ingesting server remaps them into its own id space.
+    """
+
+    client_id: int
+    spans: tuple[dict[str, Any], ...]
+    metrics: dict[str, Any]
+
+
+def _validate_span_dict(span: Any, index: int) -> dict[str, Any]:
+    """Check one serialized span; raises :class:`ProtocolError` on any defect."""
+    if not isinstance(span, dict):
+        raise ProtocolError(f"telemetry span {index} must be an object, got {span!r}")
+    for key, types in _SPAN_FIELDS:
+        value = span.get(key)
+        if not isinstance(value, types) or isinstance(value, bool):
+            raise ProtocolError(
+                f"telemetry span {index} field {key!r} must be "
+                f"{'/'.join(t.__name__ for t in types)}, got {value!r}"
+            )
+    parent = span.get("parent_id")
+    if parent is not None and (not isinstance(parent, int) or isinstance(parent, bool)):
+        raise ProtocolError(
+            f"telemetry span {index} parent_id must be int or null, got {parent!r}"
+        )
+    attributes = span.get("attributes", {})
+    if not isinstance(attributes, dict):
+        raise ProtocolError(
+            f"telemetry span {index} attributes must be an object, got {attributes!r}"
+        )
+    return span
+
+
+def encode_telemetry(
+    client_id: int,
+    spans: Sequence[Mapping[str, Any]],
+    metrics: Mapping[str, Any] | None = None,
+) -> bytes:
+    """Serialize one client's telemetry payload (spans + metrics snapshot)."""
+    if not isinstance(client_id, (int, np.integer)) or isinstance(client_id, bool):
+        raise ProtocolError(f"telemetry client_id must be an integer, got {client_id!r}")
+    payload = {
+        "v": TELEMETRY_VERSION,
+        "client_id": int(client_id),
+        "spans": [dict(span) for span in spans],
+        "metrics": dict(metrics) if metrics else {},
+    }
+    return json.dumps(payload).encode()
+
+
+def decode_telemetry(payload: bytes) -> ClientTelemetry:
+    """Parse a TELEMETRY payload with strict, ingestion-safe validation.
+
+    Every defect -- truncated or non-JSON bytes, a wrong version, missing or
+    mistyped fields, malformed span entries -- raises
+    :class:`ProtocolError`, so a server can account the reject and keep the
+    round's artifact clean: telemetry is best-effort by design and a corrupt
+    payload must never crash ingestion or smuggle junk into the trace.
+    """
+    try:
+        data = json.loads(payload)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"telemetry payload is not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            f"telemetry payload must be a JSON object, got {type(data).__name__}"
+        )
+    if data.get("v") != TELEMETRY_VERSION:
+        raise ProtocolError(f"unsupported telemetry version {data.get('v')!r}")
+    client_id = data.get("client_id")
+    if not isinstance(client_id, int) or isinstance(client_id, bool) or client_id < 0:
+        raise ProtocolError(
+            f"telemetry client_id must be a non-negative int, got {client_id!r}"
+        )
+    spans = data.get("spans")
+    if not isinstance(spans, list):
+        raise ProtocolError(f"telemetry spans must be a list, got {spans!r}")
+    metrics = data.get("metrics", {})
+    if not isinstance(metrics, dict):
+        raise ProtocolError(f"telemetry metrics must be an object, got {metrics!r}")
+    validated = tuple(_validate_span_dict(span, i) for i, span in enumerate(spans))
+    return ClientTelemetry(client_id=client_id, spans=validated, metrics=metrics)
 
 
 def payload_efficiency() -> float:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.observability.chrome_trace import build_chrome_trace, write_chrome_trace
 from repro.observability.exporters import (
     ConsoleExporter,
     InMemoryExporter,
@@ -115,6 +116,7 @@ __all__ = [
     "Span",
     "SpanRecord",
     "Tracer",
+    "build_chrome_trace",
     "build_report",
     "check_comparison",
     "compare_runs",
@@ -132,6 +134,7 @@ __all__ = [
     "render_list_markdown",
     "render_markdown",
     "scan_runs",
+    "write_chrome_trace",
 ]
 
 # Process-wide instrumentation state.  Plain module globals (not

@@ -55,6 +55,7 @@ __all__ = [
     "Reading",
     "RetryStormRule",
     "ShardFailureRule",
+    "StragglerSkewRule",
     "VarianceDriftRule",
     "default_rules",
 ]
@@ -91,6 +92,8 @@ class HealthSample:
     predicted_std: float | None = None
     shift: bool = False
     evidence_ratio: float | None = None
+    uplink_median_s: float | None = None
+    uplink_slow_decile_s: float | None = None
     counters: Mapping[str, float] = field(default_factory=dict)
 
 
@@ -358,6 +361,48 @@ class ShardFailureRule(HealthRule):
         )
 
 
+class StragglerSkewRule(HealthRule):
+    """Slowest-decile uplink latency diverged from the round median.
+
+    Served rounds stamp ``uplink_median_s`` / ``uplink_slow_decile_s`` on
+    their round span (derived from per-uplink arrival times relative to the
+    ANNOUNCE broadcast).  When the slow decile runs more than ``max_ratio``
+    times the median, a straggling cohort is dragging the round's tail --
+    the collect deadline is doing the cohort's waiting.  Samples without
+    uplink timings (in-process rounds, telemetry off) are no opinion, and
+    a degenerate median below ``floor_s`` is ignored rather than divided by.
+    """
+
+    name = "straggler-skew"
+    severity = "warning"
+    description = "slowest-decile uplink latency diverged from the median"
+
+    def __init__(self, max_ratio: float = 4.0, floor_s: float = 1e-6) -> None:
+        if max_ratio <= 1.0:
+            raise ConfigurationError(f"max_ratio must be > 1.0, got {max_ratio}")
+        if floor_s <= 0.0:
+            raise ConfigurationError(f"floor_s must be positive, got {floor_s}")
+        self.max_ratio = float(max_ratio)
+        self.floor_s = float(floor_s)
+
+    def evaluate(self, sample: HealthSample) -> Reading:
+        if sample.kind != "round":
+            return Reading(None)
+        median = sample.uplink_median_s
+        slow = sample.uplink_slow_decile_s
+        if median is None or slow is None or median < self.floor_s:
+            return Reading(None)
+        ratio = float(slow) / float(median)
+        return Reading(
+            ratio > self.max_ratio,
+            value=ratio,
+            detail=(
+                f"slow-decile uplink {slow * 1e3:.3g} ms is {ratio:.2f}x "
+                f"the median {median * 1e3:.3g} ms (threshold {self.max_ratio:g}x)"
+            ),
+        )
+
+
 class MonitorShiftRule(HealthRule):
     """The occupied bit range shifted (heavy tail / distribution change).
 
@@ -439,6 +484,7 @@ def default_rules(
     retry_threshold: int = 2,
     degradation_rate: float = 0.4,
     drift_alpha: float = 1e-4,
+    straggler_ratio: float = 4.0,
 ) -> list[HealthRule]:
     """The standard SLO set; the burn-rate rule needs a budget to exist."""
     rules: list[HealthRule] = [
@@ -448,6 +494,7 @@ def default_rules(
         ShardFailureRule(window=window),
         MonitorShiftRule(),
         VarianceDriftRule(alpha=drift_alpha),
+        StragglerSkewRule(max_ratio=straggler_ratio),
     ]
     if epsilon_budget is not None:
         rules.insert(0, EpsilonBurnRateRule(epsilon_budget, planned_rounds=planned_rounds))
@@ -542,6 +589,8 @@ class HealthMonitor:
             survived=attrs.get("surviving_clients"),
             failed=bool(attrs.get("failed")),
             degraded=bool(attrs.get("degraded")),
+            uplink_median_s=attrs.get("uplink_median_s"),
+            uplink_slow_decile_s=attrs.get("uplink_slow_decile_s"),
             counters=self._counters(),
         )
         self.evaluate(sample)

@@ -123,6 +123,7 @@ class FlightRecorder:
         self._round_span = round_span
         self._events = JsonLinesExporter(self.events_path, flush_every=1, append=append)
         self._n_spans = 0
+        self._n_remote_spans = 0
         self._n_rounds = 0
         self._n_events = 0
         self._finalized = False
@@ -132,6 +133,8 @@ class FlightRecorder:
         """Write one span line; round spans also snapshot the metrics."""
         self._events.export(record)
         self._n_spans += 1
+        if record.attributes.get("remote"):
+            self._n_remote_spans += 1
         if record.name == self._round_span:
             self._n_rounds += 1
             boundary: dict[str, Any] = {
@@ -185,6 +188,7 @@ class FlightRecorder:
             "events": {
                 "path": EVENTS_FILENAME,
                 "spans": self._n_spans,
+                "remote_spans": self._n_remote_spans,
                 "rounds": self._n_rounds,
                 "events": self._n_events,
             },

@@ -223,6 +223,64 @@ def _communication(manifest: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolation quantile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1.0 - fraction) + sorted_values[high] * fraction
+
+
+def _latency_summary(values: list[float]) -> dict[str, Any]:
+    ordered = sorted(values)
+    return {
+        "count": len(ordered),
+        "p50_s": _quantile(ordered, 0.50),
+        "p95_s": _quantile(ordered, 0.95),
+        "p99_s": _quantile(ordered, 0.99),
+        "max_s": ordered[-1] if ordered else 0.0,
+    }
+
+
+def _wire_latency(artifact: RunArtifact) -> dict[str, Any] | None:
+    """Uplink RTT and server queue delay from correlated served-round spans.
+
+    ``serve.uplink_timings`` spans carry index-aligned per-uplink arrays
+    (client ids, wall arrival times, queue delays) plus the wall time of the
+    ANNOUNCE broadcast that solicited them; the arrival-minus-announce gap
+    is the wire RTT of one uplink as the server saw it.  Remote
+    ``fleet.uplink`` spans (ingested from telemetry, clock-skew aligned)
+    give the same uplinks from the client side.  In-process artifacts have
+    none of these spans and report no wire section.
+    """
+    rtts: list[float] = []
+    queue_delays: list[float] = []
+    client_sends: list[float] = []
+    attempts = 0
+    for record in artifact.spans():
+        if record.name == "serve.uplink_timings":
+            attrs = record.attributes
+            announce = float(attrs.get("announce_s", 0.0))
+            attempts += 1
+            rtts.extend(float(arrival) - announce for arrival in attrs.get("arrival_s") or [])
+            queue_delays.extend(float(delay) for delay in attrs.get("queue_delay_s") or [])
+        elif record.name == "fleet.uplink" and record.attributes.get("remote"):
+            client_sends.append(record.duration_s)
+    if not (rtts or queue_delays or client_sends):
+        return None
+    return {
+        "attempts": attempts,
+        "uplink_rtt": _latency_summary(rtts),
+        "queue_delay": _latency_summary(queue_delays),
+        "client_send": _latency_summary(client_sends),
+    }
+
+
 def build_report(artifact: RunArtifact) -> dict[str, Any]:
     """Assemble the JSON-ready report all renderers share."""
     manifest = artifact.manifest
@@ -240,6 +298,7 @@ def build_report(artifact: RunArtifact) -> dict[str, Any]:
         "estimate": manifest.get("estimate"),
         "analysis": manifest.get("analysis"),
         "communication": _communication(manifest),
+        "wire": _wire_latency(artifact),
         "privacy": _privacy_timeline(manifest),
         "recovery": _recovery_timeline(artifact),
         "phases": phases,
@@ -319,6 +378,27 @@ def render_markdown(report: dict[str, Any]) -> str:
     out(f"| reports lost | {_num(comm.get('reports_lost'))} |")
     out(f"| metered private bits | {_num(comm.get('metered_bits'))} |")
     out("")
+
+    wire = report.get("wire")
+    if wire:
+        out("## Wire latency")
+        out("")
+        out(f"served attempts with uplink timings: {wire.get('attempts', 0)}")
+        out("")
+        out("| series | count | p50 ms | p95 ms | p99 ms | max ms |")
+        out("| --- | --- | --- | --- | --- | --- |")
+        for key, title in (
+            ("uplink_rtt", "uplink RTT (announce -> arrival)"),
+            ("queue_delay", "server queue delay (arrival -> drain)"),
+            ("client_send", "client send (fleet.uplink span)"),
+        ):
+            series = wire.get(key) or {}
+            out(
+                f"| {title} | {series.get('count', 0)} | {_ms(series.get('p50_s', 0.0))} | "
+                f"{_ms(series.get('p95_s', 0.0))} | {_ms(series.get('p99_s', 0.0))} | "
+                f"{_ms(series.get('max_s', 0.0))} |"
+            )
+        out("")
 
     privacy = report.get("privacy", {})
     out("## Privacy spend")

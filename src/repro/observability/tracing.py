@@ -203,6 +203,29 @@ class Tracer:
         """Open a new span; use as a context manager."""
         return Span(self, name, dict(attributes) if attributes else {})
 
+    def next_span_id(self) -> int:
+        """Allocate one span id from this tracer's id space.
+
+        The remote-span ingestion path uses this to remap span ids arriving
+        from another process's tracer (whose local ids would collide) before
+        re-exporting them here.
+        """
+        return next(self._ids)
+
+    def ingest(self, record: SpanRecord) -> None:
+        """Export an externally produced (already finished) span record.
+
+        The record flows through the same exporter fan-out a locally closed
+        span does; the caller is responsible for having remapped ``span_id``/
+        ``parent_id`` into this tracer's id space (:meth:`next_span_id`) and
+        for any clock alignment of ``start_time_s``.
+        """
+        self._export(record)
+
+    def wall_time(self) -> float:
+        """One reading of this tracer's wall clock (handshake timestamps)."""
+        return self._wall()
+
     # -- internal plumbing used by Span --------------------------------
     def _next_id(self) -> int:
         return next(self._ids)
@@ -243,6 +266,15 @@ class NullTracer:
 
     def span(self, name: str, attributes: Mapping[str, Any] | None = None) -> NullSpan:
         return _NULL_SPAN
+
+    def next_span_id(self) -> int:
+        return 0
+
+    def ingest(self, record: SpanRecord) -> None:
+        pass
+
+    def wall_time(self) -> float:
+        return 0.0
 
 
 #: The process-wide disabled tracer (the library default).

@@ -90,6 +90,70 @@ class TestCheckRegressions:
         assert ok
 
 
+def _scale_entry(label, serve_rate, columnar_rate=50_000.0, telemetry=True):
+    return {
+        "label": label,
+        "clients_per_s": {"100000": columnar_rate},
+        "serve": {
+            "n_clients": 256,
+            "telemetry": telemetry,
+            "reports_per_s": serve_rate,
+            "concurrent_campaigns": 4,
+            "concurrent_reports_per_s": serve_rate * 2.5,
+        },
+    }
+
+
+class TestScaleRegressions:
+    def test_unchanged_scale_entries_pass(self):
+        entries = [_scale_entry("seed", 9_000.0), _scale_entry("pr", 9_000.0)]
+        ok, messages = bench_summary.check_scale_regressions(entries)
+        assert ok
+        assert any("serve@256" in m for m in messages)
+
+    def test_telemetry_on_serve_regression_gets_the_distinct_message(self):
+        entries = [_scale_entry("seed", 9_000.0), _scale_entry("pr", 4_000.0)]
+        ok, messages = bench_summary.check_scale_regressions(entries)
+        assert not ok
+        serve_failures = [m for m in messages if "serve@256" in m]
+        assert serve_failures
+        assert all(m.startswith("TELEMETRY REGRESSION") for m in serve_failures)
+        assert any("drain/ingest" in m for m in serve_failures)
+
+    def test_telemetry_off_serve_regression_stays_plain(self):
+        entries = [
+            _scale_entry("seed", 9_000.0, telemetry=False),
+            _scale_entry("pr", 4_000.0, telemetry=False),
+        ]
+        ok, messages = bench_summary.check_scale_regressions(entries)
+        assert not ok
+        serve_failures = [m for m in messages if "serve@256" in m]
+        assert all(m.startswith("REGRESSION") for m in serve_failures)
+
+    def test_columnar_regression_is_not_blamed_on_telemetry(self):
+        entries = [
+            _scale_entry("seed", 9_000.0),
+            _scale_entry("pr", 9_000.0, columnar_rate=10_000.0),
+        ]
+        ok, messages = bench_summary.check_scale_regressions(entries)
+        assert not ok
+        (failure,) = [m for m in messages if "columnar@100000" in m]
+        assert failure.startswith("REGRESSION ")
+        assert "TELEMETRY" not in failure
+
+    def test_summarize_scale_threads_the_telemetry_flag(self):
+        payload = {
+            "serve": {
+                "n_clients": 256,
+                "telemetry": True,
+                "reports_per_s": 9_000.0,
+                "campaigns": {"count": 4, "reports_per_s": 20_000.0},
+            }
+        }
+        entry = bench_summary.summarize_scale(payload, label="pr")
+        assert entry["serve"]["telemetry"] is True
+
+
 class TestCheckCli:
     def test_check_passes_on_unchanged_trajectory(self, tmp_path, capsys):
         trajectory = tmp_path / "BENCH.json"

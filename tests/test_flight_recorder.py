@@ -15,7 +15,14 @@ import json
 import pytest
 
 from repro.cli import main, run_traced_round
-from repro.observability import build_report, load_run, render_markdown
+from repro.observability import (
+    build_chrome_trace,
+    build_report,
+    load_run,
+    render_markdown,
+    write_chrome_trace,
+)
+from repro.observability.chrome_trace import SERVER_TRACK
 from repro.observability.recorder import (
     ARTIFACT_FORMAT,
     EVENTS_FILENAME,
@@ -71,6 +78,7 @@ class TestFlightRecorderUnit:
             "spans": 1,
             "rounds": 1,
             "events": 1,
+            "remote_spans": 0,
         }
 
     def test_finalize_twice_raises(self, tmp_path):
@@ -195,3 +203,102 @@ class TestRecordedRun:
         assert result["record_dir"] is None
         assert out.exists()
         assert list(tmp_path.iterdir()) == [out]
+
+
+def _span(name, span_id, start, duration, parent=None, status="ok", **attributes):
+    return SpanRecord(
+        name=name,
+        span_id=span_id,
+        parent_id=parent,
+        start_time_s=start,
+        duration_s=duration,
+        status=status,
+        attributes=attributes,
+    )
+
+
+class TestChromeTrace:
+    """Chrome trace-event export: track layout, unit conversion, determinism."""
+
+    RECORDS = [
+        _span("serve.round", 1, 100.0, 0.5, round_index=0, attempt=1),
+        _span("serve.announce", 2, 100.0, 0.01, parent=1),
+        _span("fleet.round", 10, 100.002, 0.4, parent=1, remote=True, client=3),
+        _span("fleet.encode", 11, 100.002, 0.0, parent=10, remote=True, client=3),
+        _span("fleet.round", 12, 100.003, 0.3, parent=1, remote=True, client=0),
+    ]
+
+    def test_tracks_split_server_from_clients(self):
+        document = build_chrome_trace(self.RECORDS, label="demo")
+        events = document["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        names = {e["args"]["name"] for e in metadata if e["name"] == "thread_name"}
+        assert names == {"server", "client 0", "client 3"}
+        # Client tracks are numbered 1.. in client-id order; server is track 0.
+        by_name = {
+            e["args"]["name"]: e["tid"]
+            for e in metadata
+            if e["name"] == "thread_name"
+        }
+        assert by_name["server"] == SERVER_TRACK
+        assert by_name["client 0"] == 1
+        assert by_name["client 3"] == 2
+        tids = {e["name"]: e["tid"] for e in spans if e["cat"] == "server"}
+        assert set(tids.values()) == {SERVER_TRACK}
+        remote_tids = {e["args"]["client"]: e["tid"] for e in spans if e["cat"] == "fleet"}
+        assert remote_tids == {0: 1, 3: 2}
+        assert document["otherData"] == {"label": "demo", "spans": 5, "clients": 2}
+
+    def test_timestamps_relative_microseconds_with_clamped_durations(self):
+        events = build_chrome_trace(self.RECORDS)["traceEvents"]
+        spans = {(e["name"], e["tid"]): e for e in events if e["ph"] == "X"}
+        root = spans[("serve.round", SERVER_TRACK)]
+        assert root["ts"] == pytest.approx(0.0)
+        assert root["dur"] == pytest.approx(0.5e6)
+        encode = spans[("fleet.encode", 2)]
+        assert encode["ts"] == pytest.approx(2_000.0)
+        assert encode["dur"] == 1.0  # zero-length spans stay clickable
+        assert all(e["ts"] >= 0.0 and e["dur"] >= 1.0 for e in events if e["ph"] == "X")
+
+    def test_span_args_carry_ids_status_and_attributes(self):
+        failed = _span(
+            "serve.round", 7, 0.0, 1.0, status="error", attempt=2, clients=(1, 2)
+        )
+        (event,) = [
+            e for e in build_chrome_trace([failed])["traceEvents"] if e["ph"] == "X"
+        ]
+        assert event["args"]["span_id"] == 7
+        assert event["args"]["status"] == "error"
+        assert event["args"]["clients"] == [1, 2]
+        assert "parent_id" not in event["args"]
+
+    def test_write_is_deterministic_valid_json(self, tmp_path):
+        path_a = tmp_path / "a" / "trace.json"
+        path_b = tmp_path / "b" / "trace.json"
+        write_chrome_trace(path_a, self.RECORDS, label="demo")
+        write_chrome_trace(path_b, self.RECORDS, label="demo")
+        assert path_a.read_bytes() == path_b.read_bytes()
+        document = json.loads(path_a.read_text())
+        assert isinstance(document["traceEvents"], list)
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_report_cli_exports_chrome_trace(self, tmp_path, capsys):
+        record_dir, _ = _run_recorded(tmp_path)
+        out = tmp_path / "trace.json"
+        assert main(["report", str(record_dir), "--chrome-trace", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "# Run report:" in captured.out
+        document = json.loads(out.read_text())
+        events = document["traceEvents"]
+        assert {e["ph"] for e in events} <= {"M", "X"}
+        assert any(e["name"] == "federated.round" for e in events)
+        # An in-process run has no fleet clients, hence a single track.
+        assert document["otherData"]["clients"] == 0
+        # --json keeps stdout parseable: the notice goes to stderr.
+        assert main(
+            ["report", str(record_dir), "--json", "--chrome-trace", str(out)]
+        ) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)
+        assert str(out) in captured.err

@@ -37,6 +37,7 @@ from repro.observability.health import (
     QuorumDegradationRule,
     Reading,
     RetryStormRule,
+    StragglerSkewRule,
     VarianceDriftRule,
     rank_active,
 )
@@ -125,6 +126,57 @@ class TestRules:
         assert rule.evaluate(implausible).firing is True
         assert rule.evaluate(no_model).firing is None
 
+    def test_straggler_skew_fires_on_divergent_slow_decile(self):
+        rule = StragglerSkewRule(max_ratio=4.0)
+        healthy = rule.evaluate(
+            _round(uplink_median_s=0.010, uplink_slow_decile_s=0.030)
+        )
+        assert healthy.firing is False
+        skewed = rule.evaluate(
+            _round(uplink_median_s=0.010, uplink_slow_decile_s=0.050)
+        )
+        assert skewed.firing is True
+        assert skewed.value == pytest.approx(5.0)
+        assert "5.00x" in skewed.detail
+        recovered = rule.evaluate(
+            _round(uplink_median_s=0.010, uplink_slow_decile_s=0.011)
+        )
+        assert recovered.firing is False
+
+    def test_straggler_skew_has_no_opinion_without_uplink_timings(self):
+        rule = StragglerSkewRule()
+        # In-process rounds (no wire) and estimate samples carry no timings.
+        assert rule.evaluate(_round()).firing is None
+        assert rule.evaluate(HealthSample(kind="estimate", t_s=0.0)).firing is None
+        # A degenerate (sub-floor) median is ignored rather than divided by.
+        degenerate = rule.evaluate(
+            _round(uplink_median_s=0.0, uplink_slow_decile_s=1.0)
+        )
+        assert degenerate.firing is None
+
+    def test_straggler_skew_reads_round_span_attributes(self):
+        monitor = HealthMonitor(
+            rules=[StragglerSkewRule(max_ratio=4.0)], round_span="serve.round"
+        )
+        monitor.export(
+            SpanRecord(
+                name="serve.round",
+                span_id=1,
+                parent_id=None,
+                start_time_s=0.0,
+                duration_s=1.0,
+                attributes={
+                    "round_index": 0,
+                    "attempt": 1,
+                    "uplink_median_s": 0.002,
+                    "uplink_slow_decile_s": 0.020,
+                },
+            )
+        )
+        (event,) = monitor.events
+        assert event.rule == "straggler-skew"
+        assert event.state == "fired"
+
     def test_rule_parameter_validation(self):
         with pytest.raises(ConfigurationError):
             EpsilonBurnRateRule(budget=0.0)
@@ -134,10 +186,15 @@ class TestRules:
             QuorumDegradationRule(max_rate=1.5)
         with pytest.raises(ConfigurationError):
             VarianceDriftRule(alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            StragglerSkewRule(max_ratio=1.0)
+        with pytest.raises(ConfigurationError):
+            StragglerSkewRule(floor_s=0.0)
 
     def test_default_rules_gate_the_budget_rule(self):
         names = [r.name for r in default_rules()]
         assert "epsilon-burn-rate" not in names
+        assert "straggler-skew" in names
         names = [r.name for r in default_rules(epsilon_budget=2.0)]
         assert names[0] == "epsilon-burn-rate"
 

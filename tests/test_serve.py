@@ -36,6 +36,7 @@ from repro.federated import (
     ServeConfig,
     fleet_values,
     in_process_estimate,
+    round_trace_id,
     run_loopback,
 )
 from repro.federated.client import BitReport
@@ -49,6 +50,7 @@ from repro.federated.wire import (
     REPORT_SIZE,
     encode_message,
     encode_report,
+    encode_telemetry,
 )
 from repro.observability import (
     InMemoryExporter,
@@ -192,6 +194,15 @@ class TestUplinkRejection:
         ]
         assert any(r.name == "uplink.late" for r in memory.records)
         assert any(r.name == "uplink.drain" for r in memory.records)
+        # Post-registration rejects and late reports are attributable: each
+        # span names the offending connection's peer address and session id.
+        attributed = [
+            r for r in memory.records if r.name in ("uplink.reject", "uplink.late")
+        ]
+        assert attributed
+        for record in attributed:
+            assert record.attributes["peer"].startswith("127.0.0.1:")
+            assert isinstance(record.attributes["session"], int)
 
     async def _adversarial_scenario(self):
         cfg = ServeConfig(n_clients=2, seed=6, deadline_s=0.5, registration_timeout_s=5.0)
@@ -574,6 +585,221 @@ class TestServeCli:
         )
         assert json.loads(out)["estimate"] == twin.value
         assert json.loads(fleet.stdout)["estimate"] == twin.value
+
+
+class TestDistributedTracing:
+    def test_loopback_telemetry_merges_fleet_spans_under_round_trace(self):
+        n = 16
+        values = fleet_values(n, seed=3)
+        cfg = ServeConfig(n_clients=n, seed=11, deadline_s=10.0, registration_timeout_s=5.0)
+        twin = in_process_estimate(values, cfg, fleet_seed=3)
+        memory = InMemoryExporter()
+        registry = MetricsRegistry()
+        with instrumented(Tracer([memory]), registry):
+            served, fleet = run_loopback(cfg, values, fleet_seed=3)
+
+        # Telemetry never perturbs the estimate: still bit-identical.
+        assert served.estimate.value == twin.value
+        assert served.telemetry_clients == n
+        assert fleet.telemetry_sent == n
+
+        remote = [r for r in memory.records if r.attributes.get("remote")]
+        assert served.remote_spans == len(remote) > 0
+        # Every fleet client contributed spans, all under the round's trace id.
+        assert {r.attributes["client"] for r in remote} == set(range(n))
+        assert {r.attributes["trace_id"] for r in remote} == {round_trace_id(cfg.seed)}
+        assert {r.name for r in remote} == {"fleet.round", "fleet.encode", "fleet.uplink"}
+        # Remote roots are re-parented under the server's serve.round span.
+        round_ids = {r.span_id for r in memory.records if r.name == "serve.round"}
+        fleet_rounds = [r for r in remote if r.name == "fleet.round"]
+        assert len(fleet_rounds) == n
+        assert all(r.parent_id in round_ids for r in fleet_rounds)
+        # Ingested spans carry connection attribution next to the client id.
+        assert all(r.attributes["peer"].startswith("127.0.0.1:") for r in remote)
+
+        # The round span carries straggler stats derived from uplink arrivals.
+        (round_span,) = [r for r in memory.records if r.name == "serve.round"]
+        assert round_span.attributes["uplink_median_s"] >= 0.0
+        assert (
+            round_span.attributes["uplink_slow_decile_s"]
+            >= round_span.attributes["uplink_median_s"]
+        )
+
+        # Fleet-side counters merged into the server's registry.
+        counters = registry.snapshot()["counters"]
+        assert counters["fleet_uplinks_sent_total"] == float(n)
+        assert counters["serve_telemetry_clients_total"] == float(n)
+        assert counters["serve_telemetry_spans_total"] == float(len(remote))
+        assert "telemetry_rejects_total" not in counters
+
+    def test_telemetry_disabled_config_runs_untraced(self):
+        n = 6
+        values = fleet_values(n, seed=4)
+        cfg = ServeConfig(
+            n_clients=n,
+            seed=5,
+            deadline_s=10.0,
+            registration_timeout_s=5.0,
+            telemetry=False,
+        )
+        twin = in_process_estimate(values, cfg, fleet_seed=4)
+        memory = InMemoryExporter()
+        with instrumented(Tracer([memory]), MetricsRegistry()):
+            served, fleet = run_loopback(cfg, values, fleet_seed=4)
+        assert served.estimate.value == twin.value
+        assert served.telemetry_clients == 0
+        assert served.remote_spans == 0
+        assert fleet.telemetry_sent == 0
+        assert not [r for r in memory.records if r.attributes.get("remote")]
+
+    def test_clock_skew_alignment_pins_known_offset(self):
+        cfg = ServeConfig(n_clients=1, seed=2)
+        server = RoundServer(cfg)
+        memory = InMemoryExporter()
+        tracer = Tracer([memory], wall_clock=lambda: 1000.0)
+        with instrumented(tracer, MetricsRegistry()):
+            # HELLO anchor: client clock read 400 when the server read 1000,
+            # so every remote timestamp shifts forward by exactly 600.
+            server._clock_offsets[0] = tracer.wall_time() - 400.0
+            server._attempt_spans[1] = 77
+            payload = encode_telemetry(
+                0,
+                [
+                    {
+                        "name": "fleet.round",
+                        "span_id": 1,
+                        "parent_id": None,
+                        "start_time_s": 5.5,
+                        "duration_s": 0.25,
+                        "status": "ok",
+                        "attributes": {"attempt": 1},
+                    },
+                    {
+                        "name": "fleet.uplink",
+                        "span_id": 2,
+                        "parent_id": 1,
+                        "start_time_s": 6.5,
+                        "duration_s": 0.125,
+                        "status": "ok",
+                        "attributes": {},
+                    },
+                ],
+            )
+            server._ingest_telemetry(0, payload)
+
+        spans = {r.name: r for r in memory.records}
+        assert spans["fleet.round"].start_time_s == 605.5
+        assert spans["fleet.uplink"].start_time_s == 606.5
+        assert spans["fleet.round"].duration_s == 0.25
+        assert spans["fleet.round"].parent_id == 77
+        assert spans["fleet.uplink"].parent_id == spans["fleet.round"].span_id
+        assert spans["fleet.round"].attributes["remote"] is True
+        assert server._remote_spans == 2
+
+    def test_unanchored_client_ingests_with_zero_offset(self):
+        cfg = ServeConfig(n_clients=1, seed=2)
+        server = RoundServer(cfg)
+        memory = InMemoryExporter()
+        with instrumented(Tracer([memory]), MetricsRegistry()):
+            payload = encode_telemetry(
+                3,
+                [
+                    {
+                        "name": "fleet.round",
+                        "span_id": 9,
+                        "parent_id": None,
+                        "start_time_s": 12.0,
+                        "duration_s": 1.0,
+                        "status": "ok",
+                        "attributes": {},
+                    }
+                ],
+            )
+            server._ingest_telemetry(3, payload)
+        (record,) = memory.records
+        assert record.start_time_s == 12.0
+
+    def test_corrupt_telemetry_is_rejected_never_ingested(self):
+        cfg = ServeConfig(n_clients=2, seed=2)
+        server = RoundServer(cfg)
+        memory = InMemoryExporter()
+        registry = MetricsRegistry()
+        with instrumented(Tracer([memory]), registry):
+            server._ingest_telemetry(0, b"\xffnot json")  # undecodable
+            server._ingest_telemetry(
+                1, encode_telemetry(5, [])  # claims a different client id
+            )
+        assert server._telemetry_clients == 0
+        assert server._remote_spans == 0
+        rejects = [r for r in memory.records if r.name == "telemetry.reject"]
+        assert len(rejects) == 2
+        assert registry.snapshot()["counters"]["telemetry_rejects_total"] == 2.0
+        assert "claims client 5" in rejects[1].attributes["detail"]
+
+    def test_plain_fleet_without_telemetry_support_still_completes(self):
+        # A pre-tracing client never sends TELEMETRY: the drain gives up as
+        # soon as the connections close instead of burning the full timeout.
+        cfg = ServeConfig(
+            n_clients=2, seed=7, deadline_s=5.0, registration_timeout_s=5.0
+        )
+        values = fleet_values(2, seed=1)
+
+        async def scenario():
+            server = RoundServer(cfg)
+            port = await server.start()
+            clients = asyncio.gather(
+                *(
+                    _plain_client(cfg.host, port, i, float(v))
+                    for i, v in enumerate(values)
+                )
+            )
+            served = await server.serve_round()
+            estimates = await clients
+            await server.close()
+            return served, estimates
+
+        memory = InMemoryExporter()
+        with instrumented(Tracer([memory]), MetricsRegistry()):
+            served, estimates = asyncio.run(scenario())
+        twin = in_process_estimate(values, cfg)
+        assert served.estimate.value == twin.value
+        assert estimates == [twin.value] * 2
+        assert served.telemetry_clients == 0
+        assert served.remote_spans == 0
+
+
+class TestFleetRendezvousTimeout:
+    def test_missing_port_file_exits_2_with_one_line_error(self, tmp_path):
+        err = io.StringIO()
+        code = run_fleet_command(
+            clients=2,
+            port_file=str(tmp_path / "never-written"),
+            rendezvous_timeout_s=0.2,
+            stream=io.StringIO(),
+            error_stream=err,
+        )
+        assert code == 2
+        lines = [line for line in err.getvalue().splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("error: no port appeared in")
+        assert "0.2s" in lines[0]
+
+    def test_cli_flag_reaches_the_rendezvous(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "fleet",
+                "--clients",
+                "2",
+                "--port-file",
+                str(tmp_path / "absent"),
+                "--rendezvous-timeout",
+                "0.2",
+            ]
+        )
+        assert code == 2
+        assert "no port appeared" in capsys.readouterr().err
 
 
 class TestConfigSurface:

@@ -6,6 +6,8 @@ rejects raises :class:`ProtocolError` (never a bare ``struct.error``), and
 decodable bytes re-encode canonically to the same frame.
 """
 
+import json
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -22,17 +24,33 @@ from repro.federated.wire import (
     MSG_HELLO,
     MSG_REPORTS,
     MSG_RESULT,
+    MSG_TELEMETRY,
     REPORT_SIZE,
+    TELEMETRY_VERSION,
+    TRACE_CONTEXT_VERSION,
+    ClientTelemetry,
+    TraceContext,
+    decode_announce,
     decode_batch,
     decode_batch_array,
     decode_message_header,
     decode_report,
+    decode_telemetry,
+    encode_announce,
     encode_batch,
     encode_message,
     encode_report,
+    encode_telemetry,
 )
 
-MESSAGE_KINDS = (MSG_HELLO, MSG_ANNOUNCE, MSG_REPORTS, MSG_RESULT, MSG_ABORT)
+MESSAGE_KINDS = (
+    MSG_HELLO,
+    MSG_ANNOUNCE,
+    MSG_REPORTS,
+    MSG_RESULT,
+    MSG_ABORT,
+    MSG_TELEMETRY,
+)
 
 valid_reports = st.builds(
     BitReport,
@@ -272,3 +290,192 @@ class TestMessageFraming:
         oversized[8:12] = (MAX_MESSAGE_SIZE + 1).to_bytes(4, "big")
         with pytest.raises(ProtocolError, match="exceeds"):
             decode_message_header(bytes(oversized[:MESSAGE_HEADER_SIZE]))
+
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+
+announce_fields = st.dictionaries(
+    st.text(max_size=10).filter(lambda key: key != "trace"),
+    json_scalars,
+    max_size=6,
+)
+
+trace_contexts = st.builds(
+    TraceContext,
+    trace_id=st.text(min_size=1, max_size=32),
+    parent_span_id=st.integers(min_value=0, max_value=2**53),
+    clock_s=st.floats(allow_nan=False, allow_infinity=False),
+)
+
+
+class TestAnnounceTraceContext:
+    @given(fields=announce_fields, context=trace_contexts)
+    def test_round_trips_with_context(self, fields, context):
+        decoded_fields, decoded_context = decode_announce(
+            encode_announce(fields, context)
+        )
+        assert decoded_fields == fields
+        assert decoded_context == context
+
+    @given(fields=announce_fields)
+    def test_round_trips_without_context(self, fields):
+        decoded_fields, decoded_context = decode_announce(encode_announce(fields))
+        assert decoded_fields == fields
+        assert decoded_context is None
+
+    @given(
+        fields=announce_fields,
+        version=st.one_of(
+            st.integers().filter(lambda v: v != TRACE_CONTEXT_VERSION),
+            st.text(max_size=4),
+            st.none(),
+        ),
+    )
+    def test_unknown_version_runs_untraced_without_dropping_fields(
+        self, fields, version
+    ):
+        # A future server's trace sub-object of a version this decoder does
+        # not speak: the round parameters parse unchanged, context is None.
+        payload = json.dumps(
+            {**fields, "trace": {"v": version, "anything": "goes"}}
+        ).encode()
+        decoded_fields, decoded_context = decode_announce(payload)
+        assert decoded_fields == fields
+        assert decoded_context is None
+
+    @given(fields=announce_fields, context=trace_contexts, data=st.data())
+    @settings(max_examples=30)
+    def test_malformed_known_version_context_rejected(self, fields, context, data):
+        corruption = data.draw(
+            st.sampled_from(
+                [
+                    {"id": ""},  # empty trace id
+                    {"id": 7},  # non-string trace id
+                    {"span": -1},  # negative span id
+                    {"span": True},  # bool is not a span id
+                    {"span": "3"},  # non-int span id
+                    {"clock_s": "now"},  # non-numeric clock
+                    {"clock_s": None},
+                ]
+            )
+        )
+        payload = json.dumps(
+            {**fields, "trace": {**context.to_wire(), **corruption}}
+        ).encode()
+        with pytest.raises(ProtocolError):
+            decode_announce(payload)
+
+    @given(junk=st.one_of(st.binary(max_size=32), st.just(b"[1, 2]")))
+    @settings(max_examples=30)
+    def test_non_object_payloads_rejected(self, junk):
+        try:
+            json.loads(junk)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            with pytest.raises(ProtocolError):
+                decode_announce(junk)
+        else:
+            if not isinstance(json.loads(junk), dict):
+                with pytest.raises(ProtocolError):
+                    decode_announce(junk)
+
+
+span_dicts = st.fixed_dictionaries(
+    {
+        "name": st.text(min_size=1, max_size=16),
+        "span_id": st.integers(min_value=0, max_value=2**53),
+        "parent_id": st.one_of(st.none(), st.integers(min_value=0, max_value=2**53)),
+        "start_time_s": st.floats(
+            min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+        ),
+        "duration_s": st.floats(
+            min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+        "status": st.sampled_from(["ok", "error"]),
+        "attributes": st.dictionaries(st.text(max_size=8), json_scalars, max_size=4),
+    }
+)
+
+metric_snapshots = st.dictionaries(st.text(max_size=8), json_scalars, max_size=4)
+
+
+class TestTelemetryRoundTrip:
+    @given(
+        client_id=st.integers(min_value=0, max_value=2**53),
+        spans=st.lists(span_dicts, max_size=8),
+        metrics=metric_snapshots,
+    )
+    def test_round_trips(self, client_id, spans, metrics):
+        telemetry = decode_telemetry(encode_telemetry(client_id, spans, metrics))
+        assert isinstance(telemetry, ClientTelemetry)
+        assert telemetry.client_id == client_id
+        assert list(telemetry.spans) == spans
+        assert telemetry.metrics == metrics
+
+    @given(
+        client_id=st.integers(min_value=0, max_value=2**53),
+        spans=st.lists(span_dicts, min_size=1, max_size=4),
+        data=st.data(),
+    )
+    @settings(max_examples=50)
+    def test_truncated_payloads_always_raise_protocol_error(
+        self, client_id, spans, data
+    ):
+        payload = encode_telemetry(client_id, spans)
+        cut = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+        with pytest.raises(ProtocolError):
+            decode_telemetry(payload[:cut])
+
+    @given(junk=st.binary(max_size=64))
+    @settings(max_examples=50)
+    def test_arbitrary_bytes_never_raise_anything_but_protocol_error(self, junk):
+        # Ingestion safety: whatever arrives in a TELEMETRY frame either
+        # decodes cleanly or raises ProtocolError -- never ValueError,
+        # KeyError, or a crash the server's reject path would not catch.
+        try:
+            telemetry = decode_telemetry(junk)
+        except ProtocolError:
+            return
+        assert isinstance(telemetry, ClientTelemetry)
+
+    @given(
+        spans=st.lists(span_dicts, max_size=2),
+        version=st.integers().filter(lambda v: v != TELEMETRY_VERSION),
+    )
+    @settings(max_examples=25)
+    def test_unknown_version_rejected(self, spans, version):
+        payload = json.dumps(
+            {"v": version, "client_id": 0, "spans": spans, "metrics": {}}
+        ).encode()
+        with pytest.raises(ProtocolError, match="version"):
+            decode_telemetry(payload)
+
+    @given(spans=st.lists(span_dicts, min_size=1, max_size=3), data=st.data())
+    @settings(max_examples=40)
+    def test_per_span_defects_rejected(self, spans, data):
+        corruption = data.draw(
+            st.sampled_from(
+                [
+                    {"name": 7},
+                    {"span_id": "x"},
+                    {"span_id": True},
+                    {"start_time_s": "soon"},
+                    {"duration_s": None},
+                    {"parent_id": "root"},
+                    {"attributes": [1, 2]},
+                ]
+            )
+        )
+        which = data.draw(st.integers(min_value=0, max_value=len(spans) - 1))
+        bad = [dict(span) for span in spans]
+        bad[which].update(corruption)
+        payload = json.dumps(
+            {"v": TELEMETRY_VERSION, "client_id": 0, "spans": bad, "metrics": {}}
+        ).encode()
+        with pytest.raises(ProtocolError, match=f"telemetry span {which}"):
+            decode_telemetry(payload)
